@@ -1,0 +1,223 @@
+package nodb
+
+// Benchmarks regenerating the paper's experiments, one per figure/table.
+// Each bench runs the corresponding experiment from internal/experiments at
+// a reduced scale and reports the key modeled response times (the paper's
+// y-axis) as custom metrics alongside Go's wall-clock numbers. Run the
+// full-scale, formatted versions with `go run ./cmd/nodbbench`.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nodb/internal/experiments"
+)
+
+// benchCfg shares generated data files across benchmark iterations.
+func benchCfg() experiments.Config {
+	return experiments.Config{
+		DataDir: filepath.Join(os.TempDir(), "nodb-bench-data"),
+		Scale:   0.05,
+	}
+}
+
+// reportSeries publishes each series' total modeled seconds.
+func reportSeries(b *testing.B, rep *experiments.Report) {
+	b.Helper()
+	for _, s := range rep.Series {
+		b.ReportMetric(s.Total(), "model-s/"+sanitizeMetric(s.Name))
+	}
+}
+
+func sanitizeMetric(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r == ' ':
+			out = append(out, '_')
+		case r == '/':
+			out = append(out, '-')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	r, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var rep *experiments.Report
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = r.Run(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, rep)
+}
+
+// BenchmarkFig1aLoading regenerates Figure 1a (loading cost vs size).
+func BenchmarkFig1aLoading(b *testing.B) { runExperiment(b, "fig1a") }
+
+// BenchmarkFig1bQueryCosts regenerates Figure 1b (Awk vs cold/hot/index DB).
+func BenchmarkFig1bQueryCosts(b *testing.B) { runExperiment(b, "fig1b") }
+
+// BenchmarkJoinExperiment regenerates the §2.2 in-text join comparison.
+func BenchmarkJoinExperiment(b *testing.B) { runExperiment(b, "joins") }
+
+// BenchmarkPerlVsAwk regenerates the §2.2 in-text Perl-vs-Awk comparison.
+func BenchmarkPerlVsAwk(b *testing.B) { runExperiment(b, "perl") }
+
+// BenchmarkFig3Sequence regenerates Figure 3 (20-query loading-operator
+// sequence).
+func BenchmarkFig3Sequence(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig4Sequence regenerates Figure 4 (12-query file-reorganization
+// sequence).
+func BenchmarkFig4Sequence(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkAblationPositionalMap measures the positional map's effect on a
+// late-attribute load.
+func BenchmarkAblationPositionalMap(b *testing.B) { runExperiment(b, "abl-pm") }
+
+// BenchmarkAblationSplitFiles measures split files vs raw re-reads.
+func BenchmarkAblationSplitFiles(b *testing.B) { runExperiment(b, "abl-split") }
+
+// BenchmarkAblationTokenizerWorkers measures tokenizer parallelism.
+func BenchmarkAblationTokenizerWorkers(b *testing.B) { runExperiment(b, "abl-par") }
+
+// BenchmarkAblationEarlyAbandon measures early row abandonment.
+func BenchmarkAblationEarlyAbandon(b *testing.B) { runExperiment(b, "abl-early") }
+
+// --- End-to-end engine micro-benchmarks over the public API ---
+
+func benchTable(b *testing.B, rows, cols int) string {
+	b.Helper()
+	dir := filepath.Join(os.TempDir(), "nodb-bench-data")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("api_%dx%d.csv", rows, cols))
+	if st, err := os.Stat(path); err == nil && st.Size() > 0 {
+		return path
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < rows; i++ {
+		for c := 0; c < cols; c++ {
+			if c > 0 {
+				fmt.Fprint(f, ",")
+			}
+			fmt.Fprint(f, (i*(c*7+1)+c)%rows)
+		}
+		fmt.Fprintln(f)
+	}
+	return path
+}
+
+// BenchmarkFirstQueryColumnLoads measures the cold-start first query (link
+// + adaptive load + aggregate) — the paper's headline metric.
+func BenchmarkFirstQueryColumnLoads(b *testing.B) {
+	path := benchTable(b, 200_000, 4)
+	st, _ := os.Stat(path)
+	b.SetBytes(st.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := Open(Options{Policy: ColumnLoads, DisableRevalidation: true})
+		if err := db.Link("t", path); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Query("select sum(a1), avg(a2) from t where a1 > 10000 and a1 < 30000"); err != nil {
+			b.Fatal(err)
+		}
+		db.Close()
+	}
+}
+
+// BenchmarkHotQuery measures steady-state queries once data is loaded.
+func BenchmarkHotQuery(b *testing.B) {
+	path := benchTable(b, 200_000, 4)
+	db := Open(Options{Policy: ColumnLoads, DisableRevalidation: true})
+	defer db.Close()
+	if err := db.Link("t", path); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Query("select sum(a1), avg(a2) from t where a1 > 0"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query("select sum(a1), avg(a2) from t where a1 > 10000 and a1 < 30000"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotQueryCracking measures steady-state queries with adaptive
+// indexing enabled.
+func BenchmarkHotQueryCracking(b *testing.B) {
+	path := benchTable(b, 200_000, 4)
+	db := Open(Options{Policy: ColumnLoads, Cracking: true, DisableRevalidation: true})
+	defer db.Close()
+	if err := db.Link("t", path); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Query("select sum(a1), avg(a2) from t where a1 > 0"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := (i * 997) % 150_000
+		q := fmt.Sprintf("select sum(a1), avg(a2) from t where a1 > %d and a1 < %d", lo, lo+20_000)
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPartialV2CacheHit measures a covered query served entirely from
+// the adaptive store.
+func BenchmarkPartialV2CacheHit(b *testing.B) {
+	path := benchTable(b, 200_000, 4)
+	db := Open(Options{Policy: PartialLoadsV2, DisableRevalidation: true})
+	defer db.Close()
+	if err := db.Link("t", path); err != nil {
+		b.Fatal(err)
+	}
+	q := "select sum(a1), avg(a2) from t where a1 > 10000 and a1 < 30000"
+	if _, err := db.Query(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSQLParse measures the SQL front end alone.
+func BenchmarkSQLParse(b *testing.B) {
+	db := Open(Options{})
+	defer db.Close()
+	path := benchTable(b, 100, 4)
+	if err := db.Link("t", path); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Explain("select sum(a1),min(a4),max(a3),avg(a2) from t where a1>10 and a1<20 and a2>30 and a2<40"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,546 @@
+// Package catalog tracks the raw files linked into the engine and all
+// state derived from them: which columns are loaded (fully or partially),
+// which value regions the adaptive store covers, positional maps, split
+// files, crackers, and the file signatures used to detect edits.
+//
+// The paper's update policy (§5.4, "one easy solution") is implemented
+// verbatim: derived state is auxiliary data "we are not afraid to lose";
+// when the raw file changes, everything derived from it is dropped and
+// rebuilt on demand. Life-time management (§5.1.3) is a memory budget
+// with least-recently-used eviction of whole tables' loaded state — "the
+// only cost is that of having to reload this data part if it is needed
+// again in the future."
+package catalog
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"nodb/internal/cracking"
+	"nodb/internal/intervals"
+	"nodb/internal/metrics"
+	"nodb/internal/posmap"
+	"nodb/internal/schema"
+	"nodb/internal/splitfile"
+	"nodb/internal/storage"
+)
+
+// Signature fingerprints a raw file cheaply: size, mtime and a CRC of the
+// first 4 KiB. Any user edit that changes content near the top, length or
+// timestamp invalidates derived state.
+type Signature struct {
+	Size    int64
+	ModTime int64
+	Prefix  uint32
+}
+
+// SignFile computes the signature of the file at path.
+func SignFile(path string) (Signature, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return Signature{}, fmt.Errorf("catalog: %w", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return Signature{}, fmt.Errorf("catalog: %w", err)
+	}
+	defer f.Close()
+	buf := make([]byte, 4096)
+	n, err := io.ReadFull(f, buf)
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return Signature{}, fmt.Errorf("catalog: %w", err)
+	}
+	return Signature{
+		Size:    st.Size(),
+		ModTime: st.ModTime().UnixNano(),
+		Prefix:  crc32.ChecksumIEEE(buf[:n]),
+	}, nil
+}
+
+// Region records one covered area of the adaptive store for a table: the
+// per-column value ranges a past partial load qualified on, and the
+// columns whose qualifying values were materialized.
+type Region struct {
+	// Ranges maps column index → the half-open int64 value range the
+	// load's predicates allowed on that column. A column absent from the
+	// map was unconstrained (full range).
+	Ranges map[int]intervals.Interval
+	// Cols are the columns whose values were materialized for qualifying
+	// rows, ascending.
+	Cols []int
+}
+
+// Covers reports whether r fully covers the query region q: every column q
+// needs was materialized, and q's allowed ranges are contained in r's on
+// every column r constrained. (Conservative: containment is tested against
+// single regions, not unions; see DESIGN.md §5.)
+func (r Region) Covers(q Region) bool {
+	for _, c := range q.Cols {
+		if !containsInt(r.Cols, c) {
+			return false
+		}
+	}
+	for col, rr := range r.Ranges {
+		qr, ok := q.Ranges[col]
+		if !ok {
+			// q does not constrain col → q needs the full range there.
+			return false
+		}
+		if !rr.ContainsInterval(qr) {
+			return false
+		}
+	}
+	return true
+}
+
+func containsInt(sorted []int, x int) bool {
+	i := sort.SearchInts(sorted, x)
+	return i < len(sorted) && sorted[i] == x
+}
+
+// ColState is the adaptive-store state of one attribute.
+type ColState struct {
+	// Dense is non-nil when the column is fully loaded.
+	Dense *storage.DenseColumn
+	// Sparse holds partially loaded values (Partial Loads V2).
+	Sparse *storage.SparseColumn
+}
+
+// Table is one linked raw file and everything derived from it.
+type Table struct {
+	mu sync.RWMutex
+
+	// loadMu serializes loading operations that read-modify-write shared
+	// store state (partial-load merges, column loads, cracking). This is
+	// the paper's §5.4 scenario — "multiple queries might be asking for
+	// the same column at the same time ... have to touch and update the
+	// same loaded table" — resolved with a plain per-table lock.
+	loadMu sync.Mutex
+
+	name   string
+	path   string
+	schema *schema.Schema
+	sig    Signature
+
+	rows    int64 // -1 until discovered by a scan
+	cols    []ColState
+	regions []Region
+	crack   map[int]*cracking.Cracker
+	touches map[int]int // per-column query touch counts (auto policy)
+
+	// PosMap is the positional map for the raw file; Splits the split-file
+	// registry. Both survive column eviction but not file invalidation.
+	PosMap *posmap.Map
+	Splits *splitfile.Registry
+
+	lastUse  atomic.Int64 // catalog clock tick of last touch
+	counters *metrics.Counters
+}
+
+// LockLoads serializes a loading operation against the table; pair with
+// UnlockLoads. Queries that only read immutable dense columns do not need
+// it.
+func (t *Table) LockLoads() { t.loadMu.Lock() }
+
+// UnlockLoads releases LockLoads.
+func (t *Table) UnlockLoads() { t.loadMu.Unlock() }
+
+// Name returns the table's name.
+func (t *Table) Name() string { return t.name }
+
+// Path returns the linked raw file path.
+func (t *Table) Path() string { return t.path }
+
+// Schema returns the detected schema.
+func (t *Table) Schema() *schema.Schema { return t.schema }
+
+// NumRows returns the row count, or -1 when not yet discovered.
+func (t *Table) NumRows() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
+
+// SetNumRows records the row count discovered by a scan.
+func (t *Table) SetNumRows(n int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = n
+}
+
+// Dense returns the dense column for col, or nil.
+func (t *Table) Dense(col int) *storage.DenseColumn {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.cols[col].Dense
+}
+
+// SetDense installs a fully loaded column.
+func (t *Table) SetDense(col int, c *storage.DenseColumn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cols[col].Dense = c
+	t.cols[col].Sparse = nil // dense supersedes partial state
+}
+
+// Sparse returns the sparse column for col, creating it when create is
+// true.
+func (t *Table) Sparse(col int, create bool) *storage.SparseColumn {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cols[col].Sparse == nil && create {
+		t.cols[col].Sparse = storage.NewSparse(t.schema.Columns[col].Type)
+	}
+	return t.cols[col].Sparse
+}
+
+// DenseAll reports whether every listed column is fully loaded.
+func (t *Table) DenseAll(cols []int) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, c := range cols {
+		if t.cols[c].Dense == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// MissingDense returns the listed columns that are not fully loaded.
+func (t *Table) MissingDense(cols []int) []int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []int
+	for _, c := range cols {
+		if t.cols[c].Dense == nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Touch records that a query needed the listed columns and returns the
+// new touch count of each (aligned with cols). The auto policy uses touch
+// counts to decide when a column is hot enough to load fully.
+func (t *Table) Touch(cols []int) []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.touches == nil {
+		t.touches = make(map[int]int)
+	}
+	out := make([]int, len(cols))
+	for i, c := range cols {
+		t.touches[c]++
+		out[i] = t.touches[c]
+	}
+	return out
+}
+
+// TouchCount returns how many queries have needed the column.
+func (t *Table) TouchCount(col int) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.touches[col]
+}
+
+// SparseFraction returns the fraction of the table's rows present in the
+// column's sparse store (0 when rows are unknown or the column has no
+// sparse data).
+func (t *Table) SparseFraction(col int) float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	sp := t.cols[col].Sparse
+	if sp == nil || t.rows <= 0 {
+		return 0
+	}
+	return float64(sp.Len()) / float64(t.rows)
+}
+
+// AddRegion records a covered region of the adaptive store.
+func (t *Table) AddRegion(r Region) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.regions = append(t.regions, r)
+}
+
+// CoveredBy returns a recorded region covering q, if any.
+func (t *Table) CoveredBy(q Region) (Region, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.regions {
+		if r.Covers(q) {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// Regions returns a copy of the recorded regions.
+func (t *Table) Regions() []Region {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]Region(nil), t.regions...)
+}
+
+// Cracker returns the cracker for col, building it from the dense column
+// when create is true and the column is loaded (int64 only).
+func (t *Table) Cracker(col int, create bool) *cracking.Cracker {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cr, ok := t.crack[col]; ok {
+		return cr
+	}
+	if !create {
+		return nil
+	}
+	d := t.cols[col].Dense
+	if d == nil || d.Typ != schema.Int64 {
+		return nil
+	}
+	cr := cracking.New(d.Ints)
+	cr.Counters = t.counters
+	t.crack[col] = cr
+	return cr
+}
+
+// MemSize returns approximate heap bytes of all loaded state.
+func (t *Table) MemSize() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var sz int64
+	for _, cs := range t.cols {
+		if cs.Dense != nil {
+			sz += cs.Dense.MemSize()
+		}
+		if cs.Sparse != nil {
+			sz += cs.Sparse.MemSize()
+		}
+	}
+	for _, cr := range t.crack {
+		sz += cr.MemSize()
+	}
+	if t.PosMap != nil {
+		sz += t.PosMap.MemSize()
+	}
+	return sz
+}
+
+// DropDerived discards all derived state: columns, regions, crackers,
+// positional map and split files. The table remains linked.
+func (t *Table) DropDerived() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dropDerivedLocked()
+}
+
+func (t *Table) dropDerivedLocked() {
+	for i := range t.cols {
+		t.cols[i] = ColState{}
+	}
+	t.regions = nil
+	t.crack = make(map[int]*cracking.Cracker)
+	t.touches = nil
+	t.rows = -1
+	if t.PosMap != nil {
+		t.PosMap.Drop()
+	}
+	if t.Splits != nil {
+		t.Splits.Drop()
+	}
+}
+
+// Revalidate re-checks the raw file's signature; when it changed, all
+// derived state is dropped and the schema re-detected. Returns true when
+// invalidation happened.
+func (t *Table) Revalidate() (bool, error) {
+	sig, err := SignFile(t.path)
+	if err != nil {
+		return false, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if sig == t.sig {
+		return false, nil
+	}
+	sch, err := schema.Detect(t.path, schema.DetectOptions{})
+	if err != nil {
+		return false, fmt.Errorf("catalog: re-detecting schema of %s: %w", t.path, err)
+	}
+	t.sig = sig
+	oldCols := len(t.schema.Columns)
+	t.schema = sch
+	if len(sch.Columns) != oldCols {
+		t.cols = make([]ColState, len(sch.Columns))
+	}
+	t.dropDerivedLocked()
+	return true, nil
+}
+
+// Options configures a Catalog.
+type Options struct {
+	// SplitDir is where split files are written; empty disables split-file
+	// creation (Lookup always returns the raw file).
+	SplitDir string
+	// MemoryBudget caps the bytes of loaded state across all tables; 0
+	// means unlimited. Exceeding it triggers LRU eviction of whole
+	// tables' derived state on EnforceBudget.
+	MemoryBudget int64
+	// PosMapBudget caps each table's positional map (0 = default).
+	PosMapBudget int64
+	// Counters receives work accounting; may be nil.
+	Counters *metrics.Counters
+}
+
+// Catalog is the set of linked tables. Safe for concurrent use.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	opts   Options
+	clock  atomic.Int64
+}
+
+// New returns an empty catalog.
+func New(opts Options) *Catalog {
+	return &Catalog{tables: make(map[string]*Table), opts: opts}
+}
+
+// Link registers a raw file under a table name, detecting its schema. The
+// file must exist. Linking an already linked name relinks it (dropping
+// derived state).
+func (c *Catalog) Link(name, path string) (*Table, error) {
+	sch, err := schema.Detect(path, schema.DetectOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("catalog: linking %s: %w", path, err)
+	}
+	sig, err := SignFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		name:     name,
+		path:     path,
+		schema:   sch,
+		sig:      sig,
+		rows:     -1,
+		cols:     make([]ColState, len(sch.Columns)),
+		crack:    make(map[int]*cracking.Cracker),
+		counters: c.opts.Counters,
+		PosMap:   posmap.New(c.opts.PosMapBudget, c.opts.Counters),
+	}
+	if c.opts.SplitDir != "" {
+		dir := filepath.Join(c.opts.SplitDir, sanitizeName(name))
+		t.Splits = splitfile.NewRegistry(dir, path, len(sch.Columns), sch.Delimiter, c.opts.Counters)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.tables[lower(name)]; ok {
+		old.DropDerived()
+	}
+	c.tables[lower(name)] = t
+	return t, nil
+}
+
+// Get returns the linked table by name (case-insensitive).
+func (c *Catalog) Get(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[lower(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: table %q is not linked", name)
+	}
+	t.lastUse.Store(c.clock.Add(1))
+	return t, nil
+}
+
+// Unlink removes a table and drops its derived state.
+func (c *Catalog) Unlink(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[lower(name)]
+	if !ok {
+		return fmt.Errorf("catalog: table %q is not linked", name)
+	}
+	t.DropDerived()
+	delete(c.tables, lower(name))
+	return nil
+}
+
+// Tables returns the linked table names, sorted.
+func (c *Catalog) Tables() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MemSize returns the total bytes of loaded state.
+func (c *Catalog) MemSize() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var sz int64
+	for _, t := range c.tables {
+		sz += t.MemSize()
+	}
+	return sz
+}
+
+// EnforceBudget evicts least-recently-used tables' derived state until
+// loaded bytes fit the memory budget. It returns the names evicted.
+func (c *Catalog) EnforceBudget() []string {
+	if c.opts.MemoryBudget <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int64
+	var list []*Table
+	for _, t := range c.tables {
+		total += t.MemSize()
+		list = append(list, t)
+	}
+	if total <= c.opts.MemoryBudget {
+		return nil
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].lastUse.Load() < list[j].lastUse.Load() })
+	var evicted []string
+	for _, t := range list {
+		if total <= c.opts.MemoryBudget {
+			break
+		}
+		sz := t.MemSize()
+		if sz == 0 {
+			continue
+		}
+		t.DropDerived()
+		total -= sz
+		evicted = append(evicted, t.name)
+	}
+	return evicted
+}
+
+func lower(s string) string { return strings.ToLower(s) }
+
+func sanitizeName(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		ch := name[i]
+		switch {
+		case ch >= 'a' && ch <= 'z', ch >= 'A' && ch <= 'Z', ch >= '0' && ch <= '9', ch == '-', ch == '_':
+			out = append(out, ch)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

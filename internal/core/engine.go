@@ -1,0 +1,573 @@
+// Package core implements the NoDB engine: the component that makes "here
+// are my data files, here are my queries" work. It owns the catalog of
+// linked raw files, chooses and executes adaptive loading operators
+// according to the configured policy, runs the relational operators, and
+// manages the adaptive store's life-time (memory budget, eviction,
+// invalidation on file edits).
+//
+// The engine is the paper's Figure 2 in code: queries arrive, the adaptive
+// loading component decides what to fetch from the flat files, the
+// adaptive store keeps what the workload needs, and the kernel evaluates
+// the query over whatever mix of freshly loaded and cached data exists.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nodb/internal/catalog"
+	"nodb/internal/cracking"
+	"nodb/internal/exec"
+	"nodb/internal/loader"
+	"nodb/internal/metrics"
+	"nodb/internal/plan"
+	"nodb/internal/schema"
+	"nodb/internal/sql"
+	"nodb/internal/storage"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Policy selects the adaptive loading strategy (default ColumnLoads).
+	Policy plan.Policy
+	// Cracking enables adaptive indexing (database cracking) on dense
+	// int64 predicate columns — the "Index DB" behavior.
+	Cracking bool
+	// SplitDir is where split files are written; required for
+	// PolicySplitFiles.
+	SplitDir string
+	// MemoryBudget caps loaded bytes (0 = unlimited); exceeding it evicts
+	// least-recently-used tables after a query.
+	MemoryBudget int64
+	// PosMapBudget caps each table's positional map bytes (0 = default).
+	PosMapBudget int64
+	// Workers is the tokenization parallelism (default 1).
+	Workers int
+	// DisablePositionalMap turns off both recording and use of the
+	// positional map (for ablations).
+	DisablePositionalMap bool
+	// DisableRevalidation skips the per-query file-change check (for
+	// benchmarks that fix the data).
+	DisableRevalidation bool
+}
+
+// Engine is a NoDB instance. It is safe for concurrent queries against
+// distinct tables; concurrent queries on the same table serialize on the
+// table's internal locks.
+type Engine struct {
+	opts     Options
+	cat      *catalog.Catalog
+	counters metrics.Counters
+	ld       *loader.Loader
+	extLd    *loader.Loader // external baseline: never learns anything
+}
+
+// NewEngine creates an engine with the given options.
+func NewEngine(opts Options) *Engine {
+	e := &Engine{opts: opts}
+	e.cat = catalog.New(catalog.Options{
+		SplitDir:     opts.SplitDir,
+		MemoryBudget: opts.MemoryBudget,
+		PosMapBudget: opts.PosMapBudget,
+		Counters:     &e.counters,
+	})
+	e.ld = &loader.Loader{
+		Counters:        &e.counters,
+		Workers:         opts.Workers,
+		RecordPositions: !opts.DisablePositionalMap,
+		UsePositions:    !opts.DisablePositionalMap,
+	}
+	e.extLd = &loader.Loader{Counters: &e.counters, Workers: opts.Workers}
+	return e
+}
+
+// Counters exposes the engine's work accounting.
+func (e *Engine) Counters() *metrics.Counters { return &e.counters }
+
+// Catalog exposes the table catalog (read-mostly; used by shells and
+// benchmarks for stats).
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Policy returns the current loading policy.
+func (e *Engine) Policy() plan.Policy { return e.opts.Policy }
+
+// SetPolicy changes the loading policy for subsequent queries. Already
+// loaded state stays usable.
+func (e *Engine) SetPolicy(p plan.Policy) { e.opts.Policy = p }
+
+// Link registers a raw file under a table name. This is the only
+// initialization step NoDB requires.
+func (e *Engine) Link(name, path string) error {
+	_, err := e.cat.Link(name, path)
+	return err
+}
+
+// Unlink removes a table and its derived state.
+func (e *Engine) Unlink(name string) error { return e.cat.Unlink(name) }
+
+// Tables returns the linked table names.
+func (e *Engine) Tables() []string { return e.cat.Tables() }
+
+// QueryStats describes what one query cost.
+type QueryStats struct {
+	// Work is the counter delta attributable to this query.
+	Work metrics.Snapshot
+	// Wall is the wall-clock execution time.
+	Wall time.Duration
+	// Plan is the physical plan rendering.
+	Plan string
+}
+
+// Result is a query result.
+type Result struct {
+	Columns []string
+	Rows    [][]storage.Value
+	Stats   QueryStats
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	var sb strings.Builder
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	for i, c := range r.Columns {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		fmt.Fprintf(&sb, "%-*s", widths[i], c)
+	}
+	sb.WriteByte('\n')
+	for ri := range cells {
+		for ci := range cells[ri] {
+			if ci > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[ci], cells[ri][ci])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TableSchema implements plan.CatalogInfo.
+func (e *Engine) TableSchema(name string) (*schema.Schema, error) {
+	t, err := e.cat.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.Schema(), nil
+}
+
+// DenseAll implements plan.CatalogInfo.
+func (e *Engine) DenseAll(name string, cols []int) bool {
+	t, err := e.cat.Get(name)
+	if err != nil {
+		return false
+	}
+	return t.DenseAll(cols)
+}
+
+// Query parses and executes one SELECT statement.
+func (e *Engine) Query(query string) (*Result, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.QueryStmt(stmt)
+}
+
+// Explain returns the physical plan for a query without executing it.
+func (e *Engine) Explain(query string) (string, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	if err := e.revalidate(stmt); err != nil {
+		return "", err
+	}
+	p, err := plan.Build(stmt, e, e.opts.Policy)
+	if err != nil {
+		return "", err
+	}
+	return p.String(), nil
+}
+
+func (e *Engine) revalidate(stmt *sql.SelectStmt) error {
+	if e.opts.DisableRevalidation {
+		return nil
+	}
+	check := func(name string) error {
+		t, err := e.cat.Get(name)
+		if err != nil {
+			return err
+		}
+		_, err = t.Revalidate()
+		return err
+	}
+	if err := check(stmt.From.Name); err != nil {
+		return err
+	}
+	for _, j := range stmt.Joins {
+		if err := check(j.Table.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// QueryStmt executes a parsed statement.
+func (e *Engine) QueryStmt(stmt *sql.SelectStmt) (*Result, error) {
+	timer := metrics.StartTimer()
+	before := e.counters.Snapshot()
+
+	// The user may have edited the flat files; the paper's policy is to
+	// notice and drop derived state (§5.4).
+	if err := e.revalidate(stmt); err != nil {
+		return nil, err
+	}
+
+	p, err := plan.Build(stmt, e, e.opts.Policy)
+	if err != nil {
+		return nil, err
+	}
+
+	// Hybrid operator fast path (paper §5.2.2): single-table pure
+	// aggregation over dense data fuses selection and aggregation into
+	// one pass with no intermediate materialization.
+	if row, ok, err := e.tryFusedAggregate(p); err != nil {
+		return nil, err
+	} else if ok {
+		e.cat.EnforceBudget()
+		return &Result{
+			Columns: p.Output,
+			Rows:    [][]storage.Value{row},
+			Stats: QueryStats{
+				Work: e.counters.Snapshot().Sub(before),
+				Wall: timer.Elapsed(),
+				Plan: p.String() + "fused select+aggregate\n",
+			},
+		}, nil
+	}
+
+	// One view per table, produced by that table's adaptive load operator
+	// plus a selection.
+	views := make([]*exec.View, len(p.Tables))
+	for i := range p.Tables {
+		v, err := e.tableView(&p.Tables[i])
+		if err != nil {
+			return nil, err
+		}
+		views[i] = v
+	}
+
+	combined := views[0]
+	for i, edge := range p.Joins {
+		combined, err = exec.HashJoin(combined, views[i+1], edge.Left, edge.Right)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	rows, err := e.assemble(p, combined)
+	if err != nil {
+		return nil, err
+	}
+
+	exec.SortRows(rows, p.OrderBy)
+	rows = exec.LimitRows(rows, p.Limit)
+
+	e.cat.EnforceBudget()
+
+	return &Result{
+		Columns: p.Output,
+		Rows:    rows,
+		Stats: QueryStats{
+			Work: e.counters.Snapshot().Sub(before),
+			Wall: timer.Elapsed(),
+			Plan: p.String(),
+		},
+	}, nil
+}
+
+// tryFusedAggregate applies the fused select+aggregate operator when the
+// plan is a single-table aggregation (no joins, no grouping) whose load
+// operator yields dense columns and cracking is off. Returns ok=false when
+// the plan does not qualify; the caller then takes the general path.
+func (e *Engine) tryFusedAggregate(p *plan.Plan) ([]storage.Value, bool, error) {
+	if len(p.Tables) != 1 || len(p.Joins) != 0 || len(p.Aggs) == 0 ||
+		len(p.GroupBy) != 0 || len(p.Project) != 0 || e.opts.Cracking {
+		return nil, false, nil
+	}
+	tp := &p.Tables[0]
+	switch tp.LoadOp {
+	case plan.LoadNone:
+	case plan.LoadFull, plan.LoadColumns, plan.LoadSplit:
+		// Run the load operator first, then fuse the scan.
+		t, err := e.cat.Get(tp.Name)
+		if err != nil {
+			return nil, false, err
+		}
+		switch tp.LoadOp {
+		case plan.LoadFull:
+			err = e.ld.FullLoad(t)
+		case plan.LoadColumns:
+			err = e.ld.ColumnLoad(t, tp.NeedCols)
+		case plan.LoadSplit:
+			err = e.ld.SplitColumnLoad(t, tp.NeedCols)
+		}
+		if err != nil {
+			return nil, false, err
+		}
+	default:
+		return nil, false, nil // partial/external paths produce views
+	}
+	t, err := e.cat.Get(tp.Name)
+	if err != nil {
+		return nil, false, err
+	}
+	cols := append([]int(nil), tp.NeedCols...)
+	for _, c := range tp.Conj.Columns() {
+		if !containsInt(cols, c) {
+			cols = append(cols, c)
+		}
+	}
+	src, err := loader.DenseSourceFor(t, cols, &e.counters)
+	if err != nil {
+		return nil, false, err
+	}
+	row, err := exec.SelectAggregateDense(src, tp.Conj, p.Aggs)
+	if err != nil {
+		return nil, false, err
+	}
+	return row, true, nil
+}
+
+// tableView runs the table's load operator and selection, yielding the
+// qualifying rows with all needed columns.
+func (e *Engine) tableView(tp *plan.TablePlan) (*exec.View, error) {
+	t, err := e.cat.Get(tp.Name)
+	if err != nil {
+		return nil, err
+	}
+	switch tp.LoadOp {
+	case plan.LoadNone:
+		return e.denseSelect(t, tp)
+	case plan.LoadFull:
+		if err := e.ld.FullLoad(t); err != nil {
+			return nil, err
+		}
+		return e.denseSelect(t, tp)
+	case plan.LoadColumns:
+		if err := e.ld.ColumnLoad(t, tp.NeedCols); err != nil {
+			return nil, err
+		}
+		return e.denseSelect(t, tp)
+	case plan.LoadSplit:
+		if err := e.ld.SplitColumnLoad(t, tp.NeedCols); err != nil {
+			return nil, err
+		}
+		return e.denseSelect(t, tp)
+	case plan.LoadPartialEphemeral:
+		return e.ld.PartialScan(t, tp.NeedCols, tp.Conj, tp.Ordinal)
+	case plan.LoadPartialRetained:
+		return e.ld.PartialLoadV2(t, tp.NeedCols, tp.Conj, tp.Ordinal)
+	case plan.LoadExternal:
+		return e.extLd.PartialScan(t, tp.NeedCols, tp.Conj, tp.Ordinal)
+	case plan.LoadAuto:
+		return e.autoLoad(t, tp)
+	default:
+		return nil, fmt.Errorf("core: unknown load op %v", tp.LoadOp)
+	}
+}
+
+// Auto-policy promotion thresholds: a column touched this many times, or
+// whose sparse store holds this fraction of the table, gets loaded fully.
+const (
+	autoTouchThreshold    = 3
+	autoSparseFracPromote = 0.25
+)
+
+// autoLoad is the self-tuning load operator (paper §5.5): cold columns are
+// partially loaded with retention; columns the workload keeps coming back
+// for are promoted to full column loads, bounding the number of trips back
+// to the raw file.
+func (e *Engine) autoLoad(t *catalog.Table, tp *plan.TablePlan) (*exec.View, error) {
+	needAll := append([]int(nil), tp.NeedCols...)
+	for _, c := range tp.Conj.Columns() {
+		if !containsInt(needAll, c) {
+			needAll = append(needAll, c)
+		}
+	}
+	touches := t.Touch(needAll)
+
+	var promote []int
+	for i, c := range needAll {
+		if t.Dense(c) != nil {
+			continue
+		}
+		if touches[i] >= autoTouchThreshold || t.SparseFraction(c) >= autoSparseFracPromote {
+			promote = append(promote, c)
+		}
+	}
+	if len(promote) > 0 {
+		if err := e.ld.ColumnLoad(t, promote); err != nil {
+			return nil, err
+		}
+	}
+	if t.DenseAll(needAll) {
+		return e.denseSelect(t, tp)
+	}
+	return e.ld.PartialLoadV2(t, tp.NeedCols, tp.Conj, tp.Ordinal)
+}
+
+// denseSelect evaluates the selection over dense columns, via the cracker
+// when adaptive indexing is on.
+func (e *Engine) denseSelect(t *catalog.Table, tp *plan.TablePlan) (*exec.View, error) {
+	cols := append([]int(nil), tp.NeedCols...)
+	for _, c := range tp.Conj.Columns() {
+		if !containsInt(cols, c) {
+			cols = append(cols, c)
+		}
+	}
+	src, err := loader.DenseSourceFor(t, cols, &e.counters)
+	if err != nil {
+		return nil, err
+	}
+	if e.opts.Cracking && !tp.Conj.Empty() {
+		if v, err := e.crackedSelect(t, src, tp); err == nil {
+			return v, nil
+		}
+		// Fall back to a plain scan when no predicate column is
+		// crackable (non-int, inexact range, ...).
+	}
+	return exec.SelectDense(src, tp.Conj, tp.NeedCols, tp.Ordinal)
+}
+
+func (e *Engine) crackedSelect(t *catalog.Table, src exec.DenseSource, tp *plan.TablePlan) (*exec.View, error) {
+	// Cracking physically reorganizes shared cracker columns; serialize
+	// with other loads on the table.
+	t.LockLoads()
+	defer t.UnlockLoads()
+	crackers := map[int]*cracking.Cracker{}
+	for _, c := range tp.Conj.Columns() {
+		if cr := t.Cracker(c, true); cr != nil {
+			crackers[c] = cr
+		}
+	}
+	if len(crackers) == 0 {
+		return nil, fmt.Errorf("core: no crackable predicate column")
+	}
+	return exec.SelectCracked(src, crackers, tp.Conj, tp.NeedCols, tp.Ordinal)
+}
+
+// TableStats describes the adaptive-store state of one linked table.
+type TableStats struct {
+	// Rows is the discovered row count (-1 when no scan has run yet).
+	Rows int64
+	// DenseCols lists fully loaded attribute indices.
+	DenseCols []int
+	// SparseCols maps partially loaded attribute index → entries held.
+	SparseCols map[int]int
+	// Regions is the number of covered regions recorded for reuse.
+	Regions int
+	// PosMapEntries is the number of recorded attribute positions.
+	PosMapEntries int
+	// SplitBytes is the on-disk size of this table's split files.
+	SplitBytes int64
+	// MemBytes is the in-memory size of all loaded state.
+	MemBytes int64
+}
+
+// TableStats reports what the engine has adaptively built for a table.
+func (e *Engine) TableStats(name string) (TableStats, error) {
+	t, err := e.cat.Get(name)
+	if err != nil {
+		return TableStats{}, err
+	}
+	st := TableStats{
+		Rows:       t.NumRows(),
+		SparseCols: map[int]int{},
+		Regions:    len(t.Regions()),
+		MemBytes:   t.MemSize(),
+	}
+	for c := 0; c < t.Schema().NumCols(); c++ {
+		if t.Dense(c) != nil {
+			st.DenseCols = append(st.DenseCols, c)
+		} else if sp := t.Sparse(c, false); sp != nil {
+			st.SparseCols[c] = sp.Len()
+		}
+	}
+	if t.PosMap != nil {
+		st.PosMapEntries = t.PosMap.Entries()
+	}
+	if t.Splits != nil {
+		st.SplitBytes = t.Splits.DiskSize()
+	}
+	return st, nil
+}
+
+// assemble turns the final view into output rows in select-list order.
+func (e *Engine) assemble(p *plan.Plan, v *exec.View) ([][]storage.Value, error) {
+	switch {
+	case !p.HasAggregates():
+		return exec.ProjectRows(v, p.Project), nil
+	case len(p.GroupBy) == 0:
+		row, err := exec.Aggregate(v, p.Aggs)
+		if err != nil {
+			return nil, err
+		}
+		return [][]storage.Value{row}, nil
+	default:
+		grows, err := exec.GroupBy(v, p.GroupBy, p.Aggs)
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]storage.Value, len(grows))
+		for ri, grow := range grows {
+			row := make([]storage.Value, len(p.Slots))
+			for si, slot := range p.Slots {
+				if slot.Agg {
+					row[si] = grow[len(p.GroupBy)+slot.Idx]
+					continue
+				}
+				key := p.Project[slot.Idx]
+				pos := -1
+				for j, g := range p.GroupBy {
+					if g == key {
+						pos = j
+						break
+					}
+				}
+				if pos < 0 {
+					return nil, fmt.Errorf("core: projected column %v not a group key", key)
+				}
+				row[si] = grow[pos]
+			}
+			out[ri] = row
+		}
+		return out, nil
+	}
+}
+
+func containsInt(v []int, x int) bool {
+	for _, c := range v {
+		if c == x {
+			return true
+		}
+	}
+	return false
+}

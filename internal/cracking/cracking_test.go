@@ -1,0 +1,230 @@
+package cracking
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// naiveSelect returns the sorted values of vals in [lo, hi).
+func naiveSelect(vals []int64, lo, hi int64) []int64 {
+	var out []int64
+	for _, v := range vals {
+		if v >= lo && v < hi {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedCopy(v []int64) []int64 {
+	out := append([]int64(nil), v...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestSelectMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = rng.Int63n(500)
+	}
+	c := New(vals)
+	for q := 0; q < 100; q++ {
+		lo := rng.Int63n(500)
+		hi := lo + rng.Int63n(100)
+		a, b := c.Select(lo, hi)
+		got := sortedCopy(c.Values(a, b))
+		want := naiveSelect(vals, lo, hi)
+		if len(got) != len(want) {
+			t.Fatalf("query %d [%d,%d): got %d values, want %d", q, lo, hi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d: value mismatch at %d: %d vs %d", q, i, got[i], want[i])
+			}
+		}
+		if !c.CheckInvariant() {
+			t.Fatalf("query %d: cracker invariant violated", q)
+		}
+	}
+}
+
+func TestRowIDsFollowValues(t *testing.T) {
+	vals := []int64{50, 10, 40, 20, 30}
+	c := New(vals)
+	a, b := c.Select(15, 45)
+	got := map[int64]int64{}
+	for i, v := range c.Values(a, b) {
+		got[c.RowIDs(a, b)[i]] = v
+	}
+	// rows 3 (20), 4 (30), 2 (40) qualify.
+	want := map[int64]int64{3: 20, 4: 30, 2: 40}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for r, v := range want {
+		if got[r] != v {
+			t.Errorf("row %d = %d, want %d", r, got[r], v)
+		}
+	}
+}
+
+func TestRepeatedQueryNoRecrack(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = rng.Int63n(1000)
+	}
+	c := New(vals)
+	c.Select(100, 200)
+	n := c.Cracks()
+	c.Select(100, 200) // same bounds: index hit, no partitioning
+	if c.Cracks() != n {
+		t.Errorf("repeated query re-cracked: %d -> %d", n, c.Cracks())
+	}
+}
+
+func TestPiecesGrow(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = rng.Int63n(5000)
+	}
+	c := New(vals)
+	if c.Pieces() != 1 {
+		t.Fatalf("fresh cracker pieces = %d, want 1", c.Pieces())
+	}
+	for q := 0; q < 20; q++ {
+		lo := rng.Int63n(4000)
+		c.Select(lo, lo+500)
+	}
+	if c.Pieces() < 10 {
+		t.Errorf("pieces = %d after 20 distinct queries, want many", c.Pieces())
+	}
+	if !c.CheckInvariant() {
+		t.Error("invariant violated")
+	}
+}
+
+func TestSelectEdges(t *testing.T) {
+	c := New([]int64{5, 1, 3})
+	if a, b := c.Select(10, 10); a != b {
+		t.Error("empty range should select nothing")
+	}
+	if a, b := c.Select(9, 2); a != b {
+		t.Error("inverted range should select nothing")
+	}
+	a, b := c.Select(0, 100)
+	if b-a != 3 {
+		t.Errorf("full range selected %d values", b-a)
+	}
+	empty := New(nil)
+	if a, b := empty.Select(0, 10); a != b {
+		t.Error("empty cracker should select nothing")
+	}
+}
+
+func TestSelectBoundarySemantics(t *testing.T) {
+	c := New([]int64{10, 20, 30})
+	a, b := c.Select(10, 30) // half-open: 10, 20 qualify; 30 does not
+	got := sortedCopy(c.Values(a, b))
+	if len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Errorf("Select(10,30) = %v, want [10 20]", got)
+	}
+}
+
+func TestDuplicateValues(t *testing.T) {
+	vals := []int64{5, 5, 5, 1, 1, 9}
+	c := New(vals)
+	a, b := c.Select(5, 6)
+	if b-a != 3 {
+		t.Errorf("selected %d fives, want 3", b-a)
+	}
+}
+
+func TestBaseUnchanged(t *testing.T) {
+	vals := []int64{3, 1, 2}
+	c := New(vals)
+	c.Select(1, 3)
+	if vals[0] != 3 || vals[1] != 1 || vals[2] != 2 {
+		t.Error("cracker must operate on a copy")
+	}
+}
+
+func TestQuickCrackerEquivalence(t *testing.T) {
+	f := func(data []int16, bounds []int16) bool {
+		vals := make([]int64, len(data))
+		for i, d := range data {
+			vals[i] = int64(d)
+		}
+		c := New(vals)
+		for i := 0; i+1 < len(bounds); i += 2 {
+			lo, hi := int64(bounds[i]), int64(bounds[i+1])
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			a, b := c.Select(lo, hi)
+			got := sortedCopy(c.Values(a, b))
+			want := naiveSelect(vals, lo, hi)
+			if len(got) != len(want) {
+				return false
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					return false
+				}
+			}
+			if !c.CheckInvariant() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// BenchmarkCrackedVsScan shows the adaptive-index speedup: after a few
+// queries, cracked selects are much cheaper than full scans.
+func BenchmarkCrackerSelect(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]int64, 1_000_000)
+	for i := range vals {
+		vals[i] = rng.Int63n(1_000_000)
+	}
+	c := New(vals)
+	b.ResetTimer()
+	var sum int64
+	for i := 0; i < b.N; i++ {
+		lo := rng.Int63n(900_000)
+		a, bb := c.Select(lo, lo+100_000)
+		for _, v := range c.Values(a, bb) {
+			sum += v
+		}
+	}
+	_ = sum
+}
+
+func BenchmarkFullScanSelect(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]int64, 1_000_000)
+	for i := range vals {
+		vals[i] = rng.Int63n(1_000_000)
+	}
+	b.ResetTimer()
+	var sum int64
+	for i := 0; i < b.N; i++ {
+		lo := rng.Int63n(900_000)
+		hi := lo + 100_000
+		for _, v := range vals {
+			if v >= lo && v < hi {
+				sum += v
+			}
+		}
+	}
+	_ = sum
+}

@@ -1,0 +1,173 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"nodb/internal/expr"
+	"nodb/internal/schema"
+	"nodb/internal/sql"
+	"nodb/internal/storage"
+)
+
+// SelectAggregateDense is a hybrid operator in the sense of the paper's
+// §5.2.2: "when we need to compute an aggregation over three attributes, a
+// new operator that in one go computes the total aggregation would provide
+// the best result". It fuses selection and aggregation over dense columns
+// into a single pass — no selection vector, no materialized view — and
+// runs a fully unboxed loop when every predicate and aggregate column is
+// int64.
+//
+// It computes exactly what SelectDense followed by Aggregate would.
+func SelectAggregateDense(src DenseSource, conj expr.Conjunction, specs []AggSpec) ([]storage.Value, error) {
+	for _, p := range conj.Preds {
+		if src.Columns[p.Col] == nil {
+			return nil, fmt.Errorf("exec: predicate column %d not loaded", p.Col)
+		}
+	}
+	for _, s := range specs {
+		if !s.Star && src.Columns[s.Col.Col] == nil {
+			return nil, fmt.Errorf("exec: aggregate column %d not loaded", s.Col.Col)
+		}
+	}
+	src.countScanBytes(conj.Columns(), src.NumRows)
+	// Aggregate columns are touched only for qualifying rows; the paths
+	// below charge them after the pass using the qualifying count.
+	if out, ok, err := fusedIntPath(src, conj, specs); ok {
+		return out, err
+	}
+	return fusedGenericPath(src, conj, specs)
+}
+
+// fusedIntPath runs the unboxed loop when everything involved is int64.
+func fusedIntPath(src DenseSource, conj expr.Conjunction, specs []AggSpec) ([]storage.Value, bool, error) {
+	fast, ok := intOnlyPreds(conj, src)
+	if !ok {
+		return nil, false, nil
+	}
+	type intAgg struct {
+		kind sql.AggKind
+		col  []int64 // nil for count(*)
+		sum  int64
+		min  int64
+		max  int64
+	}
+	aggs := make([]intAgg, len(specs))
+	for i, s := range specs {
+		a := intAgg{kind: s.Kind, min: math.MaxInt64, max: math.MinInt64}
+		if !s.Star {
+			c := src.Columns[s.Col.Col]
+			if c.Typ != schema.Int64 {
+				return nil, false, nil
+			}
+			a.col = c.Ints
+		} else if s.Kind != sql.AggCount {
+			return nil, false, nil
+		}
+		aggs[i] = a
+	}
+
+	n := int(src.NumRows)
+	var count int64
+	for i := 0; i < n; i++ {
+		if !fast.eval(i) {
+			continue
+		}
+		count++
+		for k := range aggs {
+			a := &aggs[k]
+			if a.col == nil {
+				continue
+			}
+			v := a.col[i]
+			switch a.kind {
+			case sql.AggSum, sql.AggAvg:
+				a.sum += v
+			case sql.AggMin:
+				if v < a.min {
+					a.min = v
+				}
+			case sql.AggMax:
+				if v > a.max {
+					a.max = v
+				}
+			}
+		}
+	}
+	if src.Counters != nil {
+		src.Counters.AddInternalBytesRead(count * int64(len(aggs)) * 8)
+	}
+
+	out := make([]storage.Value, len(specs))
+	for i := range aggs {
+		a := &aggs[i]
+		switch a.kind {
+		case sql.AggCount:
+			out[i] = storage.IntValue(count)
+		case sql.AggSum:
+			out[i] = storage.IntValue(a.sum)
+		case sql.AggAvg:
+			if count == 0 {
+				out[i] = storage.FloatValue(math.NaN())
+			} else {
+				out[i] = storage.FloatValue(float64(a.sum) / float64(count))
+			}
+		case sql.AggMin:
+			if count > 0 {
+				out[i] = storage.IntValue(a.min)
+			}
+		case sql.AggMax:
+			if count > 0 {
+				out[i] = storage.IntValue(a.max)
+			}
+		default:
+			return nil, false, fmt.Errorf("exec: unsupported aggregate %v", a.kind)
+		}
+	}
+	return out, true, nil
+}
+
+// fusedGenericPath handles mixed types with boxed values, still in one
+// pass without materialization.
+func fusedGenericPath(src DenseSource, conj expr.Conjunction, specs []AggSpec) ([]storage.Value, error) {
+	states := make([]*aggState, len(specs))
+	for i, s := range specs {
+		typ := schema.Int64
+		if !s.Star {
+			typ = src.Columns[s.Col.Col].Typ
+		}
+		states[i] = newAggState(s, typ)
+	}
+	n := int(src.NumRows)
+	var count int64
+	for i := 0; i < n; i++ {
+		ok := conj.EvalRow(func(col int) storage.Value {
+			return src.Columns[col].Value(i)
+		})
+		if !ok {
+			continue
+		}
+		count++
+		for _, st := range states {
+			if st.spec.Star {
+				st.count++
+				continue
+			}
+			st.add(src.Columns[st.spec.Col.Col].Value(i))
+		}
+	}
+	if src.Counters != nil {
+		var aggCols int64
+		for _, s := range specs {
+			if !s.Star {
+				aggCols++
+			}
+		}
+		src.Counters.AddInternalBytesRead(count * aggCols * 8)
+	}
+	out := make([]storage.Value, len(states))
+	for i, st := range states {
+		out[i] = st.result()
+	}
+	return out, nil
+}

@@ -1,0 +1,184 @@
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nodb/internal/expr"
+	"nodb/internal/schema"
+	"nodb/internal/sql"
+	"nodb/internal/storage"
+)
+
+// fusedSpecs is Q1-shaped: four aggregates plus count(*).
+func fusedSpecs() []AggSpec {
+	return []AggSpec{
+		{Kind: sql.AggSum, Col: ColKey{0, 0}},
+		{Kind: sql.AggMin, Col: ColKey{0, 1}},
+		{Kind: sql.AggMax, Col: ColKey{0, 1}},
+		{Kind: sql.AggAvg, Col: ColKey{0, 0}},
+		{Kind: sql.AggCount, Star: true},
+	}
+}
+
+func valuesEqual(a, b storage.Value) bool {
+	if a.Typ != b.Typ {
+		return false
+	}
+	if a.Typ == schema.Float64 && math.IsNaN(a.F) && math.IsNaN(b.F) {
+		return true
+	}
+	return a.Compare(b) == 0
+}
+
+// TestFusedMatchesTwoStep compares the hybrid operator against
+// SelectDense + Aggregate across random data and predicates.
+func TestFusedMatchesTwoStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(500)
+		a1 := make([]int64, n)
+		a2 := make([]int64, n)
+		for i := range a1 {
+			a1[i] = rng.Int63n(200)
+			a2[i] = rng.Int63n(200)
+		}
+		src := mkSource(map[int][]int64{0: a1, 1: a2})
+		var conj expr.Conjunction
+		for p := 0; p < rng.Intn(3); p++ {
+			conj.Preds = append(conj.Preds, expr.Pred{
+				Col: rng.Intn(2), Op: expr.CmpOp(rng.Intn(4)),
+				Val: storage.IntValue(rng.Int63n(200)),
+			})
+		}
+		specs := fusedSpecs()
+
+		fused, err := SelectAggregateDense(src, conj, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := SelectDense(src, conj, []int{0, 1}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		twoStep, err := Aggregate(v, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range specs {
+			// Min/max over an empty selection are unset in both paths;
+			// compare only when the two-step result is set.
+			if !valuesEqual(fused[i], twoStep[i]) {
+				t.Fatalf("trial %d spec %d: fused=%v twostep=%v (conj %s)",
+					trial, i, fused[i], twoStep[i], conj.String())
+			}
+		}
+	}
+}
+
+func TestFusedGenericPathFloats(t *testing.T) {
+	src := DenseSource{NumRows: 4, Columns: map[int]*storage.DenseColumn{}}
+	fc := storage.NewDense(schema.Float64, 4)
+	fc.Floats = append(fc.Floats, 1.5, 2.5, 3.5, 4.5)
+	ic := storage.NewDense(schema.Int64, 4)
+	ic.Ints = append(ic.Ints, 1, 2, 3, 4)
+	src.Columns[0] = fc
+	src.Columns[1] = ic
+	conj := expr.Conjunction{Preds: []expr.Pred{{Col: 1, Op: expr.Ge, Val: storage.IntValue(2)}}}
+	specs := []AggSpec{
+		{Kind: sql.AggSum, Col: ColKey{0, 0}},
+		{Kind: sql.AggCount, Star: true},
+	}
+	out, err := SelectAggregateDense(src, conj, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].F != 10.5 || out[1].I != 3 {
+		t.Errorf("float fused = %v", out)
+	}
+}
+
+func TestFusedEmptySelection(t *testing.T) {
+	src := mkSource(map[int][]int64{0: {1, 2, 3}})
+	conj := expr.Conjunction{Preds: []expr.Pred{intPred(0, expr.Gt, 100)}}
+	out, err := SelectAggregateDense(src, conj, []AggSpec{
+		{Kind: sql.AggSum, Col: ColKey{0, 0}},
+		{Kind: sql.AggAvg, Col: ColKey{0, 0}},
+		{Kind: sql.AggCount, Star: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].I != 0 || out[2].I != 0 {
+		t.Errorf("empty fused = %v", out)
+	}
+	if !math.IsNaN(out[1].F) {
+		t.Errorf("avg over empty = %v, want NaN", out[1])
+	}
+}
+
+func TestFusedErrors(t *testing.T) {
+	src := mkSource(map[int][]int64{0: {1}})
+	conj := expr.Conjunction{Preds: []expr.Pred{intPred(9, expr.Gt, 0)}}
+	if _, err := SelectAggregateDense(src, conj, fusedSpecs()); err == nil {
+		t.Error("missing predicate column should error")
+	}
+	if _, err := SelectAggregateDense(src, expr.Conjunction{}, []AggSpec{{Kind: sql.AggSum, Col: ColKey{0, 9}}}); err == nil {
+		t.Error("missing aggregate column should error")
+	}
+}
+
+func BenchmarkFusedAggregate1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1_000_000
+	a1 := make([]int64, n)
+	a2 := make([]int64, n)
+	for i := range a1 {
+		a1[i] = rng.Int63n(int64(n))
+		a2[i] = rng.Int63n(int64(n))
+	}
+	src := mkSource(map[int][]int64{0: a1, 1: a2})
+	conj := expr.Conjunction{Preds: []expr.Pred{
+		intPred(0, expr.Gt, 100_000), intPred(0, expr.Lt, 200_000),
+	}}
+	specs := []AggSpec{
+		{Kind: sql.AggSum, Col: ColKey{0, 0}},
+		{Kind: sql.AggAvg, Col: ColKey{0, 1}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SelectAggregateDense(src, conj, specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTwoStepAggregate1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1_000_000
+	a1 := make([]int64, n)
+	a2 := make([]int64, n)
+	for i := range a1 {
+		a1[i] = rng.Int63n(int64(n))
+		a2[i] = rng.Int63n(int64(n))
+	}
+	src := mkSource(map[int][]int64{0: a1, 1: a2})
+	conj := expr.Conjunction{Preds: []expr.Pred{
+		intPred(0, expr.Gt, 100_000), intPred(0, expr.Lt, 200_000),
+	}}
+	specs := []AggSpec{
+		{Kind: sql.AggSum, Col: ColKey{0, 0}},
+		{Kind: sql.AggAvg, Col: ColKey{0, 1}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := SelectDense(src, conj, []int{0, 1}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Aggregate(v, specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"nodb/internal/schema"
+	"nodb/internal/storage"
+)
+
+// HashJoin performs an inner equi-join of two views on left.Col(lkey) =
+// right.Col(rkey), building a hash table on the smaller input. The output
+// view carries every column of both inputs (their ColKeys are disjoint by
+// construction: different Tab ordinals); Rows is nil.
+func HashJoin(left, right *View, lkey, rkey ColKey) (*View, error) {
+	lc, rc := left.Col(lkey), right.Col(rkey)
+	if lc == nil || rc == nil {
+		return nil, fmt.Errorf("exec: join keys %v/%v not in views", lkey, rkey)
+	}
+	// Build on the smaller side.
+	if right.Len() < left.Len() {
+		return hashJoin(right, left, rkey, lkey)
+	}
+	return hashJoin(left, right, lkey, rkey)
+}
+
+// hashJoin builds on `build` and probes with `probe`.
+func hashJoin(build, probe *View, bkey, pkey ColKey) (*View, error) {
+	bc, pc := build.Col(bkey), probe.Col(pkey)
+	if bc.Typ != pc.Typ && (bc.Typ == schema.String) != (pc.Typ == schema.String) {
+		return nil, fmt.Errorf("exec: join key type mismatch %v vs %v", bc.Typ, pc.Typ)
+	}
+
+	var bIdx, pIdx []int32
+	if bc.Typ == schema.Int64 && pc.Typ == schema.Int64 {
+		ht := make(map[int64][]int32, build.Len())
+		for i, v := range bc.Ints {
+			ht[v] = append(ht[v], int32(i))
+		}
+		for i, v := range pc.Ints {
+			for _, bi := range ht[v] {
+				bIdx = append(bIdx, bi)
+				pIdx = append(pIdx, int32(i))
+			}
+		}
+	} else {
+		ht := make(map[string][]int32, build.Len())
+		for i := 0; i < build.Len(); i++ {
+			ht[bc.Value(i).String()] = append(ht[bc.Value(i).String()], int32(i))
+		}
+		for i := 0; i < probe.Len(); i++ {
+			for _, bi := range ht[pc.Value(i).String()] {
+				bIdx = append(bIdx, bi)
+				pIdx = append(pIdx, int32(i))
+			}
+		}
+	}
+	return gatherJoin(build, probe, bIdx, pIdx), nil
+}
+
+// MergeJoin performs an inner equi-join by sorting both inputs on the key
+// and merging — the paper's §2.2 "sort the data ... and then implement a
+// merge join" comparator. Only int64 keys are supported (the experiment's
+// keys are unique integers).
+func MergeJoin(left, right *View, lkey, rkey ColKey) (*View, error) {
+	lc, rc := left.Col(lkey), right.Col(rkey)
+	if lc == nil || rc == nil {
+		return nil, fmt.Errorf("exec: join keys %v/%v not in views", lkey, rkey)
+	}
+	if lc.Typ != schema.Int64 || rc.Typ != schema.Int64 {
+		return nil, fmt.Errorf("exec: merge join requires int64 keys")
+	}
+	lperm := sortedPerm(lc.Ints)
+	rperm := sortedPerm(rc.Ints)
+
+	var lIdx, rIdx []int32
+	i, j := 0, 0
+	for i < len(lperm) && j < len(rperm) {
+		lv, rv := lc.Ints[lperm[i]], rc.Ints[rperm[j]]
+		switch {
+		case lv < rv:
+			i++
+		case lv > rv:
+			j++
+		default:
+			// Emit the cross product of the equal runs.
+			i2 := i
+			for i2 < len(lperm) && lc.Ints[lperm[i2]] == lv {
+				i2++
+			}
+			j2 := j
+			for j2 < len(rperm) && rc.Ints[rperm[j2]] == rv {
+				j2++
+			}
+			for a := i; a < i2; a++ {
+				for b := j; b < j2; b++ {
+					lIdx = append(lIdx, lperm[a])
+					rIdx = append(rIdx, rperm[b])
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+	return gatherJoin(left, right, lIdx, rIdx), nil
+}
+
+func sortedPerm(vals []int64) []int32 {
+	perm := make([]int32, len(vals))
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.Slice(perm, func(a, b int) bool { return vals[perm[a]] < vals[perm[b]] })
+	return perm
+}
+
+// gatherJoin materializes the matched index pairs into an output view.
+func gatherJoin(a, b *View, aIdx, bIdx []int32) *View {
+	out := NewView()
+	copySide := func(src *View, idx []int32) {
+		for k, c := range src.Cols {
+			oc := storage.NewDense(c.Typ, len(idx))
+			switch c.Typ {
+			case schema.Int64:
+				for _, i := range idx {
+					oc.Ints = append(oc.Ints, c.Ints[i])
+				}
+			case schema.Float64:
+				for _, i := range idx {
+					oc.Floats = append(oc.Floats, c.Floats[i])
+				}
+			default:
+				for _, i := range idx {
+					oc.Strs = append(oc.Strs, c.Strs[i])
+				}
+			}
+			out.AddCol(k, oc)
+		}
+	}
+	copySide(a, aIdx)
+	copySide(b, bIdx)
+	return out
+}

@@ -1,0 +1,242 @@
+// Package expr implements bound scalar predicates and conjunctions over
+// table columns, plus the interval algebra that turns WHERE clauses into
+// per-column value ranges. Those ranges are what the adaptive machinery
+// consumes: partial loading pushes them into the tokenizer, the adaptive
+// store records them as covered regions, and the cracker uses them as
+// partition bounds.
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"nodb/internal/intervals"
+	"nodb/internal/schema"
+	"nodb/internal/storage"
+)
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+// Comparison operators.
+const (
+	Lt CmpOp = iota
+	Le
+	Gt
+	Ge
+	Eq
+	Ne
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(op))
+	}
+}
+
+// Pred is one predicate bound to a column index of a single table:
+// either `col <op> val`, or `col BETWEEN val AND val2` (inclusive).
+type Pred struct {
+	Col     int
+	Op      CmpOp
+	Val     storage.Value
+	Val2    storage.Value
+	Between bool
+}
+
+// Eval reports whether value v satisfies the predicate.
+func (p Pred) Eval(v storage.Value) bool {
+	if p.Between {
+		return v.Compare(p.Val) >= 0 && v.Compare(p.Val2) <= 0
+	}
+	c := v.Compare(p.Val)
+	switch p.Op {
+	case Lt:
+		return c < 0
+	case Le:
+		return c <= 0
+	case Gt:
+		return c > 0
+	case Ge:
+		return c >= 0
+	case Eq:
+		return c == 0
+	case Ne:
+		return c != 0
+	default:
+		return false
+	}
+}
+
+// EvalInt is Eval specialized for int64 columns compared against int64
+// literals; the hot path of selective scans.
+func (p Pred) EvalInt(v int64) bool {
+	if p.Between {
+		return v >= p.Val.I && v <= p.Val2.I
+	}
+	switch p.Op {
+	case Lt:
+		return v < p.Val.I
+	case Le:
+		return v <= p.Val.I
+	case Gt:
+		return v > p.Val.I
+	case Ge:
+		return v >= p.Val.I
+	case Eq:
+		return v == p.Val.I
+	case Ne:
+		return v != p.Val.I
+	default:
+		return false
+	}
+}
+
+func (p Pred) String() string {
+	if p.Between {
+		return fmt.Sprintf("col%d BETWEEN %s AND %s", p.Col, p.Val, p.Val2)
+	}
+	return fmt.Sprintf("col%d %s %s", p.Col, p.Op, p.Val)
+}
+
+// Conjunction is an AND of predicates over one table.
+type Conjunction struct {
+	Preds []Pred
+}
+
+// Columns returns the distinct column indices referenced, ascending.
+func (c Conjunction) Columns() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range c.Preds {
+		if !seen[p.Col] {
+			seen[p.Col] = true
+			out = append(out, p.Col)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// OnColumn returns the predicates that reference col, preserving order.
+func (c Conjunction) OnColumn(col int) []Pred {
+	var out []Pred
+	for _, p := range c.Preds {
+		if p.Col == col {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// EvalRow evaluates the conjunction for one row; get returns the row's
+// value for a column index.
+func (c Conjunction) EvalRow(get func(col int) storage.Value) bool {
+	for _, p := range c.Preds {
+		if !p.Eval(get(p.Col)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether there are no predicates.
+func (c Conjunction) Empty() bool { return len(c.Preds) == 0 }
+
+func (c Conjunction) String() string {
+	parts := make([]string, len(c.Preds))
+	for i, p := range c.Preds {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// IntRange computes the half-open int64 interval implied by all predicates
+// on column col (assumed of type Int64). The boolean reports whether the
+// interval captures the predicates exactly; it is false when a `<>`
+// predicate exists on the column (the range is then an over-approximation
+// and the caller must still evaluate the residual predicate).
+//
+// With no predicates on the column, the full interval is returned (exact).
+func (c Conjunction) IntRange(col int) (intervals.Interval, bool) {
+	lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
+	exact := true
+	for _, p := range c.Preds {
+		if p.Col != col {
+			continue
+		}
+		if p.Val.Typ != schema.Int64 || (p.Between && p.Val2.Typ != schema.Int64) {
+			// A non-integer literal (e.g. a1 > 2.5) is not representable
+			// as an int interval bound; keep the full range and mark it
+			// inexact so callers re-evaluate the predicate.
+			exact = false
+			continue
+		}
+		if p.Between {
+			if p.Val.I > lo {
+				lo = p.Val.I
+			}
+			if h := satAdd1(p.Val2.I); h < hi {
+				hi = h
+			}
+			continue
+		}
+		switch p.Op {
+		case Lt:
+			if p.Val.I < hi {
+				hi = p.Val.I
+			}
+		case Le:
+			if h := satAdd1(p.Val.I); h < hi {
+				hi = h
+			}
+		case Gt:
+			if g := satAdd1(p.Val.I); g > lo {
+				lo = g
+			}
+		case Ge:
+			if p.Val.I > lo {
+				lo = p.Val.I
+			}
+		case Eq:
+			if p.Val.I > lo {
+				lo = p.Val.I
+			}
+			if h := satAdd1(p.Val.I); h < hi {
+				hi = h
+			}
+		case Ne:
+			exact = false
+		}
+	}
+	if hi < lo {
+		hi = lo // canonical empty interval
+	}
+	return intervals.Interval{Lo: lo, Hi: hi}, exact
+}
+
+// satAdd1 adds one, saturating at MaxInt64.
+func satAdd1(v int64) int64 {
+	if v == math.MaxInt64 {
+		return v
+	}
+	return v + 1
+}

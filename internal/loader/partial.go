@@ -1,0 +1,303 @@
+package loader
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nodb/internal/catalog"
+	"nodb/internal/exec"
+	"nodb/internal/expr"
+	"nodb/internal/intervals"
+	"nodb/internal/scan"
+	"nodb/internal/schema"
+	"nodb/internal/storage"
+)
+
+// rowBatch accumulates qualifying rows from a (possibly parallel) partial
+// scan, then emits them in row order.
+type rowBatch struct {
+	mu   sync.Mutex
+	rows []int64
+	vals [][]storage.Value // aligned with rows; one value per loaded column
+}
+
+func (b *rowBatch) add(row int64, vals []storage.Value) {
+	b.mu.Lock()
+	b.rows = append(b.rows, row)
+	b.vals = append(b.vals, vals)
+	b.mu.Unlock()
+}
+
+// sorted returns the permutation that orders rows ascending.
+func (b *rowBatch) sort() {
+	perm := make([]int, len(b.rows))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(i, j int) bool { return b.rows[perm[i]] < b.rows[perm[j]] })
+	rows := make([]int64, len(b.rows))
+	vals := make([][]storage.Value, len(b.vals))
+	for i, p := range perm {
+		rows[i] = b.rows[p]
+		vals[i] = b.vals[p]
+	}
+	b.rows, b.vals = rows, vals
+}
+
+// PartialScan is the Partial Loads operator: it pushes the conjunction into
+// tokenization (abandoning a row the moment a predicate fails), parses and
+// materializes only needCols of qualifying rows, and returns them as a
+// View. Nothing is stored in the adaptive store — this is V1's "throw the
+// data away immediately after every query" behavior; V2 layers retention
+// on top.
+func (l *Loader) PartialScan(t *catalog.Table, needCols []int, conj expr.Conjunction, tab int) (*exec.View, error) {
+	loadCols := neededWithPreds(needCols, conj)
+	sch := t.Schema()
+	for _, c := range loadCols {
+		if c < 0 || c >= sch.NumCols() {
+			return nil, fmt.Errorf("loader: column %d out of range", c)
+		}
+	}
+
+	// Predicates indexed by position in loadCols for the abandon hook.
+	predsAt := make([][]expr.Pred, len(loadCols))
+	for i, c := range loadCols {
+		predsAt[i] = conj.OnColumn(c)
+	}
+
+	sc, err := scan.Open(t.Path(), l.scanOpts(t))
+	if err != nil {
+		return nil, err
+	}
+
+	batch := &rowBatch{}
+	record := l.RecordPositions && t.PosMap != nil
+
+	// The abandon hook parses predicate columns to evaluate them; the
+	// handler re-parses. The duplicate parse touches only the (few)
+	// predicate columns of the (few) qualifying rows and keeps the hook
+	// stateless, which matters because portions run on separate
+	// goroutines.
+	abandon := func(idx int, f scan.FieldRef) bool {
+		if len(predsAt[idx]) == 0 {
+			return false
+		}
+		// Parse once, remember for the handler.
+		v, err := parseField(f.Bytes, sch.Columns[loadCols[idx]].Type)
+		if err != nil {
+			return true // unparseable under predicate: treat as non-qualifying
+		}
+		for _, p := range predsAt[idx] {
+			if !p.Eval(v) {
+				return true
+			}
+		}
+		return false
+	}
+
+	lateFilter := l.DisableEarlyAbandon && !conj.Empty()
+	handler := func(rowID int64, fields []scan.FieldRef) error {
+		vals := make([]storage.Value, len(loadCols))
+		for i, f := range fields {
+			v, err := parseField(f.Bytes, sch.Columns[loadCols[i]].Type)
+			if err != nil {
+				return fmt.Errorf("loader: row %d col %d: %w", rowID, loadCols[i], err)
+			}
+			vals[i] = v
+		}
+		if l.Counters != nil {
+			l.Counters.AddValuesParsed(int64(len(fields)))
+		}
+		if record {
+			for i, f := range fields {
+				t.PosMap.Record(loadCols[i], rowID, f.Offset)
+			}
+		}
+		if lateFilter {
+			ok := conj.EvalRow(func(col int) storage.Value {
+				for i, c := range loadCols {
+					if c == col {
+						return vals[i]
+					}
+				}
+				return storage.Value{}
+			})
+			if !ok {
+				return nil
+			}
+		}
+		batch.add(rowID, vals)
+		return nil
+	}
+
+	if l.DisableEarlyAbandon {
+		abandon = nil
+	}
+	if err := sc.ScanColumns(loadCols, handler, abandon); err != nil {
+		return nil, err
+	}
+	// Every row was tokenized exactly once (qualifying or not), so the
+	// scan doubles as row-count discovery.
+	t.SetNumRows(sc.RowsScanned())
+	batch.sort()
+	return viewFromBatch(batch, loadCols, sch, tab), nil
+}
+
+func viewFromBatch(b *rowBatch, loadCols []int, sch *schema.Schema, tab int) *exec.View {
+	v := exec.NewView()
+	v.Rows = b.rows
+	for i, c := range loadCols {
+		col := storage.NewDense(sch.Columns[c].Type, len(b.rows))
+		for _, vals := range b.vals {
+			col.Append(vals[i])
+		}
+		v.AddCol(exec.ColKey{Tab: tab, Col: c}, col)
+	}
+	return v
+}
+
+// queryRegion builds the region describing this query: per-predicate-column
+// exact value ranges plus the set of materialized columns. ok is false
+// when the region is not representable (non-int predicate column or a <>
+// predicate) — V2 then skips region bookkeeping for this query.
+func queryRegion(t *catalog.Table, loadCols []int, conj expr.Conjunction) (catalog.Region, bool) {
+	sch := t.Schema()
+	r := catalog.Region{Ranges: map[int]intervals.Interval{}, Cols: append([]int(nil), loadCols...)}
+	sort.Ints(r.Cols)
+	for _, c := range conj.Columns() {
+		if sch.Columns[c].Type != schema.Int64 {
+			return catalog.Region{}, false
+		}
+		iv, exact := conj.IntRange(c)
+		if !exact {
+			return catalog.Region{}, false
+		}
+		r.Ranges[c] = iv
+	}
+	return r, true
+}
+
+// PartialLoadV2 is the retaining variant: when the adaptive store's
+// recorded regions cover the query, it is answered from the sparse columns
+// without touching the raw file; otherwise a PartialScan runs, its rows are
+// merged into the sparse columns, and the query's region is recorded for
+// future reuse.
+func (l *Loader) PartialLoadV2(t *catalog.Table, needCols []int, conj expr.Conjunction, tab int) (*exec.View, error) {
+	// Coverage check, scan, merge and region recording must be atomic
+	// with respect to other loads on this table (§5.4).
+	t.LockLoads()
+	defer t.UnlockLoads()
+
+	loadCols := neededWithPreds(needCols, conj)
+	q, representable := queryRegion(t, loadCols, conj)
+
+	if representable {
+		if _, ok := t.CoveredBy(q); ok {
+			if l.Counters != nil {
+				l.Counters.AddCacheHit(1)
+			}
+			return l.viewFromStore(t, loadCols, conj, tab)
+		}
+	}
+	if l.Counters != nil {
+		l.Counters.AddCacheMiss(1)
+	}
+
+	view, err := l.PartialScan(t, needCols, conj, tab)
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge qualifying rows into the sparse columns (unless dense already
+	// holds the column: dense supersedes).
+	var stored int64
+	for _, c := range loadCols {
+		if t.Dense(c) != nil {
+			continue
+		}
+		sp := t.Sparse(c, true)
+		col := view.Col(exec.ColKey{Tab: tab, Col: c})
+		for i, row := range view.Rows {
+			v := col.Value(i)
+			sp.Add(row, v)
+			stored += valueBytes(v) + 8
+		}
+	}
+	if l.Counters != nil && stored > 0 {
+		l.Counters.AddInternalBytesWritten(stored)
+	}
+	if representable {
+		t.AddRegion(q)
+	}
+	return view, nil
+}
+
+// viewFromStore serves a covered query from the adaptive store: it walks
+// the rows present in the (sparse or dense) columns, re-evaluates the
+// conjunction, and materializes the result view.
+func (l *Loader) viewFromStore(t *catalog.Table, loadCols []int, conj expr.Conjunction, tab int) (*exec.View, error) {
+	sch := t.Schema()
+
+	// Candidate rows: the sparse column with the fewest entries bounds the
+	// iteration; if every column is dense, fall back to a dense select.
+	var driver *storage.SparseColumn
+	for _, c := range loadCols {
+		if t.Dense(c) != nil {
+			continue
+		}
+		sp := t.Sparse(c, false)
+		if sp == nil {
+			return nil, fmt.Errorf("loader: column %d has no stored data despite coverage", c)
+		}
+		if driver == nil || sp.Len() < driver.Len() {
+			driver = sp
+		}
+	}
+	if driver == nil {
+		src, err := DenseSourceFor(t, loadCols, l.Counters)
+		if err != nil {
+			return nil, err
+		}
+		return exec.SelectDense(src, conj, loadCols, tab)
+	}
+
+	get := func(c int, row int64) (storage.Value, bool) {
+		if d := t.Dense(c); d != nil {
+			return d.Value(int(row)), true
+		}
+		return t.Sparse(c, false).Get(row)
+	}
+
+	batch := &rowBatch{}
+	n := driver.Len()
+	if l.Counters != nil {
+		l.Counters.AddInternalBytesRead(int64(n) * 16)
+	}
+outer:
+	for i := 0; i < n; i++ {
+		row, _ := driver.At(i)
+		vals := make([]storage.Value, len(loadCols))
+		for j, c := range loadCols {
+			v, ok := get(c, row)
+			if !ok {
+				continue outer // row loaded by a region lacking this column
+			}
+			vals[j] = v
+		}
+		ok := conj.EvalRow(func(col int) storage.Value {
+			for j, c := range loadCols {
+				if c == col {
+					return vals[j]
+				}
+			}
+			v, _ := get(col, row)
+			return v
+		})
+		if ok {
+			batch.add(row, vals)
+		}
+	}
+	batch.sort()
+	return viewFromBatch(batch, loadCols, sch, tab), nil
+}

@@ -1,0 +1,217 @@
+package loader
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"nodb/internal/catalog"
+	"nodb/internal/scan"
+	"nodb/internal/storage"
+)
+
+// tryPositionalColumnLoad loads the missing columns by jumping straight to
+// a recorded anchor attribute in every row instead of tokenizing from the
+// row start. It applies when the positional map covers some attribute
+// j <= min(missing) for every row of the table; tokenization then costs
+// (max(missing) - j + 1) attributes per row instead of (max(missing) + 1).
+// Returns true when it handled the load.
+func (l *Loader) tryPositionalColumnLoad(t *catalog.Table, missing []int) bool {
+	pm := t.PosMap
+	rows := t.NumRows()
+	if pm == nil || rows <= 0 {
+		return false
+	}
+	minCol := missing[0] // missing is sorted
+	anchor := -1
+	for _, c := range pm.CoveredCols() {
+		if c <= minCol && c > anchor && pm.Covers(c, 0, rows) {
+			anchor = c
+		}
+	}
+	if anchor < 0 {
+		return false
+	}
+	if anchor == 0 {
+		// Tokenizing from the row start is what the plain scan does
+		// anyway; no benefit.
+		return false
+	}
+	_, offs := pm.Pairs(anchor)
+	if int64(len(offs)) != rows {
+		return false
+	}
+
+	sch := t.Schema()
+	dense := make([]*storage.DenseColumn, len(missing))
+	relCols := make([]int, len(missing))
+	for i, c := range missing {
+		dense[i] = storage.NewDenseSized(sch.Columns[c].Type, int(rows))
+		relCols[i] = c - anchor
+	}
+
+	err := l.positionalScan(t.Path(), t.Schema().Delimiter, offs, relCols, func(rowID int64, fields []scan.FieldRef) error {
+		for i, f := range fields {
+			v, err := parseField(f.Bytes, sch.Columns[missing[i]].Type)
+			if err != nil {
+				return fmt.Errorf("loader: row %d col %d: %w", rowID, missing[i], err)
+			}
+			dense[i].Set(int(rowID), v)
+		}
+		if l.Counters != nil {
+			l.Counters.AddValuesParsed(int64(len(fields)))
+		}
+		if l.RecordPositions {
+			for i, f := range fields {
+				t.PosMap.Record(missing[i], rowID, f.Offset)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return false // fall back to the plain scan
+	}
+
+	var written int64
+	for i, c := range missing {
+		t.SetDense(c, dense[i])
+		written += dense[i].MemSize()
+	}
+	if l.Counters != nil {
+		l.Counters.AddInternalBytesWritten(written)
+	}
+	return true
+}
+
+// positionalScan streams the file sequentially but tokenizes each row from
+// the given per-row anchor offset (ascending). relCols are attribute
+// indices relative to the anchor attribute.
+func (l *Loader) positionalScan(path string, delim byte, offs []int64, relCols []int, handler scan.RowHandler) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("loader: %w", err)
+	}
+	defer f.Close()
+
+	chunk := l.ChunkSize
+	if chunk <= 0 {
+		chunk = scan.DefaultChunkSize
+	}
+	buf := make([]byte, 0, chunk)
+	var bufStart int64
+	maxRel := 0
+	for _, c := range relCols {
+		if c > maxRel {
+			maxRel = c
+		}
+	}
+	sortedRel := append([]int(nil), relCols...)
+	sort.Ints(sortedRel)
+
+	fields := make([]scan.FieldRef, len(relCols))
+
+	// refill loads the buffer so it covers [off, off+chunk).
+	refill := func(off int64, minLen int) error {
+		want := chunk
+		if minLen > want {
+			want = minLen
+		}
+		if cap(buf) < want {
+			buf = make([]byte, 0, want)
+		}
+		buf = buf[:want]
+		n, err := f.ReadAt(buf, off)
+		buf = buf[:n]
+		bufStart = off
+		if l.Counters != nil {
+			l.Counters.AddRawBytesRead(int64(n))
+		}
+		if err != nil && err != io.EOF {
+			return fmt.Errorf("loader: %w", err)
+		}
+		return nil
+	}
+
+	for rowID, off := range offs {
+		// Ensure the line starting at off is in the buffer.
+		var line []byte
+		for attempt, want := 0, chunk; ; attempt, want = attempt+1, want*2 {
+			if off < bufStart || off >= bufStart+int64(len(buf)) {
+				if err := refill(off, want); err != nil {
+					return err
+				}
+			}
+			rel := int(off - bufStart)
+			if nl := bytes.IndexByte(buf[rel:], '\n'); nl >= 0 {
+				line = buf[rel : rel+nl]
+				break
+			}
+			// Line extends past the buffer: refill bigger from off,
+			// unless we already hold the file tail.
+			if int64(len(buf)) < int64(want) && bufStart+int64(len(buf)) >= off { // EOF reached
+				line = buf[rel:]
+				break
+			}
+			if err := refill(off, want*2); err != nil {
+				return err
+			}
+			rel = int(off - bufStart)
+			if nl := bytes.IndexByte(buf[rel:], '\n'); nl >= 0 {
+				line = buf[rel : rel+nl]
+				break
+			}
+			if attempt > 30 {
+				return fmt.Errorf("loader: row at offset %d exceeds buffer growth limit", off)
+			}
+		}
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+
+		// Tokenize relCols within the line (relative attribute 0 starts
+		// at position 0 of the anchor offset).
+		fieldIdx, pos := 0, 0
+		attrs := int64(0)
+		for si, want := range sortedRel {
+			for fieldIdx < want {
+				i := bytes.IndexByte(line[pos:], delim)
+				if i < 0 {
+					return fmt.Errorf("loader: row %d too short for relative column %d", rowID, want)
+				}
+				pos += i + 1
+				fieldIdx++
+				attrs++
+			}
+			end := bytes.IndexByte(line[pos:], delim)
+			var fb []byte
+			if end < 0 {
+				fb = line[pos:]
+			} else {
+				fb = line[pos : pos+end]
+			}
+			attrs++
+			fr := scan.FieldRef{Bytes: fb, Offset: off + int64(pos)}
+			for i, rc := range relCols {
+				if rc == want {
+					fields[i] = fr
+				}
+			}
+			if end >= 0 && si+1 < len(sortedRel) {
+				pos += end + 1
+				fieldIdx++
+			} else if end < 0 && si+1 < len(sortedRel) {
+				return fmt.Errorf("loader: row %d ended before relative column %d", rowID, sortedRel[si+1])
+			}
+		}
+		if l.Counters != nil {
+			l.Counters.AddRowsTokenized(1)
+			l.Counters.AddAttrsTokenized(attrs)
+		}
+		if err := handler(int64(rowID), fields); err != nil {
+			return err
+		}
+	}
+	return nil
+}

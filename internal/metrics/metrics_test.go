@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersAndSnapshot(t *testing.T) {
+	var c Counters
+	c.AddRawBytesRead(100)
+	c.AddInternalBytesRead(10)
+	c.AddInternalBytesWritten(20)
+	c.AddSplitBytesRead(5)
+	c.AddSplitBytesWritten(6)
+	c.AddRowsTokenized(3)
+	c.AddAttrsTokenized(9)
+	c.AddValuesParsed(4)
+	c.AddRowsAbandoned(1)
+	c.AddPosMapHit(2)
+	c.AddPosMapMiss(1)
+	c.AddCacheHit(1)
+	c.AddCacheMiss(2)
+
+	s := c.Snapshot()
+	if s.RawBytesRead != 100 || s.InternalBytesRead != 10 || s.InternalBytesWritten != 20 {
+		t.Errorf("byte counters wrong: %+v", s)
+	}
+	if s.SplitBytesRead != 5 || s.SplitBytesWritten != 6 {
+		t.Errorf("split counters wrong: %+v", s)
+	}
+	if s.RowsTokenized != 3 || s.AttrsTokenized != 9 || s.ValuesParsed != 4 || s.RowsAbandoned != 1 {
+		t.Errorf("work counters wrong: %+v", s)
+	}
+	if s.PosMapHits != 2 || s.PosMapMisses != 1 || s.CacheHits != 1 || s.CacheMisses != 2 {
+		t.Errorf("hit counters wrong: %+v", s)
+	}
+}
+
+func TestSnapshotSubAdd(t *testing.T) {
+	a := Snapshot{RawBytesRead: 100, RowsTokenized: 10}
+	b := Snapshot{RawBytesRead: 30, RowsTokenized: 4}
+	d := a.Sub(b)
+	if d.RawBytesRead != 70 || d.RowsTokenized != 6 {
+		t.Errorf("Sub = %+v", d)
+	}
+	s := b.Add(d)
+	if s != a {
+		t.Errorf("Add(Sub) != original: %+v", s)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c Counters
+	c.AddRawBytesRead(1)
+	c.AddCacheHit(1)
+	c.Reset()
+	if s := c.Snapshot(); s != (Snapshot{}) {
+		t.Errorf("Reset left %+v", s)
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.AddRawBytesRead(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Snapshot().RawBytesRead; got != 8000 {
+		t.Errorf("concurrent adds = %d, want 8000", got)
+	}
+}
+
+func TestCostModelColdVsHot(t *testing.T) {
+	m := DefaultCostModel()
+	s := Snapshot{RawBytesRead: 120_000_000} // 1 second at 120 MB/s
+	cold := m.Seconds(s)
+	if cold < 0.9 || cold > 1.1 {
+		t.Errorf("cold raw read = %v s, want ~1", cold)
+	}
+	m.HotRaw = true
+	hot := m.Seconds(s)
+	if hot >= cold/10 {
+		t.Errorf("hot raw read %v should be far below cold %v", hot, cold)
+	}
+}
+
+func TestCostModelInternalHot(t *testing.T) {
+	m := DefaultCostModel()
+	s := Snapshot{InternalBytesRead: 150_000_000}
+	cold := m.Seconds(s)
+	m.Hot = true
+	hot := m.Seconds(s)
+	if hot >= cold {
+		t.Errorf("hot internal %v !< cold %v", hot, cold)
+	}
+}
+
+func TestCostModelCPUTerms(t *testing.T) {
+	m := DefaultCostModel()
+	s := Snapshot{RowsTokenized: 1e9}
+	if sec := m.Seconds(s); sec < 1 { // 1e9 * 25ns = 25s
+		t.Errorf("tokenization cost missing: %v", sec)
+	}
+	if m.Duration(s) <= 0 {
+		t.Error("Duration should be positive")
+	}
+}
+
+func TestCostModelSplitBytesChargedAsRaw(t *testing.T) {
+	m := DefaultCostModel()
+	a := m.Seconds(Snapshot{RawBytesRead: 1e8})
+	b := m.Seconds(Snapshot{SplitBytesRead: 1e8})
+	if a != b {
+		t.Errorf("split reads should cost like raw reads: %v vs %v", a, b)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	s := Snapshot{RawBytesRead: 5, CacheHits: 2}
+	str := s.String()
+	if !strings.Contains(str, "raw=5B") || !strings.Contains(str, "cacheHit=2") {
+		t.Errorf("String = %q", str)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	tm := StartTimer()
+	if tm.Elapsed() < 0 {
+		t.Error("Elapsed should be non-negative")
+	}
+}
+
+func TestCostModelMemoryLimitSwap(t *testing.T) {
+	m := DefaultCostModel()
+	m.Hot = true
+	s := Snapshot{InternalBytesWritten: 100 << 20}
+	free := m.Seconds(s)
+	m.MemoryLimitBytes = 50 << 20
+	spill := m.Seconds(s)
+	if spill <= free {
+		t.Errorf("spilling writes should cost more: %v vs %v", spill, free)
+	}
+	// Under the limit nothing changes.
+	small := Snapshot{InternalBytesWritten: 10 << 20}
+	m2 := m
+	m2.MemoryLimitBytes = 0
+	if m.Seconds(small) != m2.Seconds(small) {
+		t.Error("limit must not affect writes under it")
+	}
+}
+
+func TestCostModelScriptOps(t *testing.T) {
+	m := DefaultCostModel()
+	s := Snapshot{ScriptOps: 1_000_000}
+	if sec := m.Seconds(s); sec < 0.5 { // 1e6 * 1µs = 1s
+		t.Errorf("script ops cost missing: %v", sec)
+	}
+}

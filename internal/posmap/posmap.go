@@ -1,0 +1,251 @@
+// Package posmap implements the positional map: a partial index of
+// (attribute, row) → absolute byte offset in the raw file.
+//
+// The paper (§4.1.5) observes that "every time we touch a file, we learn a
+// bit more about its structure, e.g., the physical position of certain rows
+// and attributes. ... Identifying and exploiting this knowledge in the
+// future can bring significant benefits." The positional map is that
+// knowledge, collected as a free side effect of tokenization: when a later
+// query needs attribute k of a row whose attribute j (j ≤ k) position is
+// known, the loader jumps directly to j and tokenizes only j..k, skipping
+// the attributes before j entirely.
+//
+// The map is partial by design: it covers only rows and attributes that
+// past queries touched, and it stops growing at a configurable memory
+// budget (unbounded maps would defeat the "minimum possible investment"
+// goal).
+package posmap
+
+import (
+	"sort"
+	"sync"
+
+	"nodb/internal/intervals"
+	"nodb/internal/metrics"
+)
+
+// Map records known byte positions of attributes in one raw file. It is
+// safe for concurrent use; parallel scan workers record runs while queries
+// look positions up.
+type Map struct {
+	mu       sync.RWMutex
+	cols     map[int]*colMap
+	maxBytes int64
+	bytes    int64
+	counters *metrics.Counters
+}
+
+// colMap holds positions for one attribute as parallel (row, offset)
+// slices sorted by row.
+type colMap struct {
+	rows []int64
+	offs []int64
+	cov  intervals.Set // covered row ranges
+}
+
+// New returns an empty positional map. maxBytes caps the map's memory; 0
+// means a default of 64 MiB. counters may be nil.
+func New(maxBytes int64, counters *metrics.Counters) *Map {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	return &Map{cols: make(map[int]*colMap), maxBytes: maxBytes, counters: counters}
+}
+
+// Record stores the byte offset of (col, row). Records arriving in
+// ascending row order per column append in O(1); out-of-order records
+// insert. Recording is dropped silently once the memory budget is reached
+// (the map is an opportunistic cache, losing an entry is always safe).
+func (m *Map) Record(col int, row, off int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.bytes >= m.maxBytes {
+		return
+	}
+	c := m.cols[col]
+	if c == nil {
+		c = &colMap{}
+		m.cols[col] = c
+	}
+	n := len(c.rows)
+	if n > 0 && c.rows[n-1] == row {
+		c.offs[n-1] = off
+		return
+	}
+	if n == 0 || row > c.rows[n-1] {
+		c.rows = append(c.rows, row)
+		c.offs = append(c.offs, off)
+	} else {
+		i := sort.Search(n, func(i int) bool { return c.rows[i] >= row })
+		if i < n && c.rows[i] == row {
+			c.offs[i] = off
+			return
+		}
+		c.rows = append(c.rows, 0)
+		copy(c.rows[i+1:], c.rows[i:])
+		c.rows[i] = row
+		c.offs = append(c.offs, 0)
+		copy(c.offs[i+1:], c.offs[i:])
+		c.offs[i] = off
+	}
+	c.cov.Add(intervals.Interval{Lo: row, Hi: row + 1})
+	m.bytes += 16
+}
+
+// RecordRun stores offsets for rows startRow, startRow+1, ... in one lock
+// acquisition. Scan portions call it once per chunk.
+func (m *Map) RecordRun(col int, startRow int64, offs []int64) {
+	if len(offs) == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.bytes >= m.maxBytes {
+		return
+	}
+	c := m.cols[col]
+	if c == nil {
+		c = &colMap{}
+		m.cols[col] = c
+	}
+	n := len(c.rows)
+	if n == 0 || startRow > c.rows[n-1] {
+		for i, off := range offs {
+			c.rows = append(c.rows, startRow+int64(i))
+			c.offs = append(c.offs, off)
+		}
+	} else {
+		for i, off := range offs {
+			m.mu.Unlock()
+			m.Record(col, startRow+int64(i), off)
+			m.mu.Lock()
+		}
+		return
+	}
+	c.cov.Add(intervals.Interval{Lo: startRow, Hi: startRow + int64(len(offs))})
+	m.bytes += int64(len(offs)) * 16
+}
+
+// Lookup returns the byte offset of (col, row) if known.
+func (m *Map) Lookup(col int, row int64) (int64, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	c := m.cols[col]
+	if c == nil {
+		m.miss()
+		return 0, false
+	}
+	i := sort.Search(len(c.rows), func(i int) bool { return c.rows[i] >= row })
+	if i < len(c.rows) && c.rows[i] == row {
+		m.hit()
+		return c.offs[i], true
+	}
+	m.miss()
+	return 0, false
+}
+
+// BestAnchor returns, among the columns ≤ target whose position for row is
+// known, the largest such column and its offset. A loader tokenizes from
+// the anchor forward, paying only (target - anchor) attribute
+// tokenizations instead of (target - 0).
+func (m *Map) BestAnchor(target int, row int64) (col int, off int64, ok bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for c := target; c >= 0; c-- {
+		cm := m.cols[c]
+		if cm == nil {
+			continue
+		}
+		i := sort.Search(len(cm.rows), func(i int) bool { return cm.rows[i] >= row })
+		if i < len(cm.rows) && cm.rows[i] == row {
+			m.hit()
+			return c, cm.offs[i], true
+		}
+	}
+	m.miss()
+	return 0, 0, false
+}
+
+// CoveredCols returns the attribute indices with at least one recorded
+// position, ascending.
+func (m *Map) CoveredCols() []int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]int, 0, len(m.cols))
+	for c := range m.cols {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Covers reports whether every row of [lo, hi) has a recorded position for
+// col.
+func (m *Map) Covers(col int, lo, hi int64) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	c := m.cols[col]
+	if c == nil {
+		return false
+	}
+	return c.cov.Covers(intervals.Interval{Lo: lo, Hi: hi})
+}
+
+// Pairs returns copies of the (rows, offsets) slices for col, sorted by
+// row. Loaders iterate them to drive sequential positional access.
+func (m *Map) Pairs(col int) (rows, offs []int64) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	c := m.cols[col]
+	if c == nil {
+		return nil, nil
+	}
+	rows = append([]int64(nil), c.rows...)
+	offs = append([]int64(nil), c.offs...)
+	return rows, offs
+}
+
+// Entries returns the total number of recorded positions.
+func (m *Map) Entries() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n := 0
+	for _, c := range m.cols {
+		n += len(c.rows)
+	}
+	return n
+}
+
+// MemSize returns the approximate heap bytes held by the map.
+func (m *Map) MemSize() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.bytes
+}
+
+// Full reports whether the memory budget is exhausted (recording stopped).
+func (m *Map) Full() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.bytes >= m.maxBytes
+}
+
+// Drop discards all recorded positions (used when the raw file changed).
+func (m *Map) Drop() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cols = make(map[int]*colMap)
+	m.bytes = 0
+}
+
+func (m *Map) hit() {
+	if m.counters != nil {
+		m.counters.AddPosMapHit(1)
+	}
+}
+
+func (m *Map) miss() {
+	if m.counters != nil {
+		m.counters.AddPosMapMiss(1)
+	}
+}

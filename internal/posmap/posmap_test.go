@@ -1,0 +1,209 @@
+package posmap
+
+import (
+	"sync"
+	"testing"
+
+	"nodb/internal/metrics"
+)
+
+func TestRecordLookup(t *testing.T) {
+	m := New(0, nil)
+	m.Record(2, 10, 123)
+	m.Record(2, 11, 456)
+	if off, ok := m.Lookup(2, 10); !ok || off != 123 {
+		t.Errorf("Lookup = %d, %v", off, ok)
+	}
+	if _, ok := m.Lookup(2, 12); ok {
+		t.Error("absent row should miss")
+	}
+	if _, ok := m.Lookup(3, 10); ok {
+		t.Error("absent col should miss")
+	}
+}
+
+func TestRecordOverwrite(t *testing.T) {
+	m := New(0, nil)
+	m.Record(0, 5, 100)
+	m.Record(0, 5, 200)
+	if off, _ := m.Lookup(0, 5); off != 200 {
+		t.Errorf("overwrite failed: %d", off)
+	}
+	if m.Entries() != 1 {
+		t.Errorf("Entries = %d, want 1", m.Entries())
+	}
+}
+
+func TestRecordOutOfOrder(t *testing.T) {
+	m := New(0, nil)
+	m.Record(1, 30, 300)
+	m.Record(1, 10, 100)
+	m.Record(1, 20, 200)
+	rows, offs := m.Pairs(1)
+	if len(rows) != 3 || rows[0] != 10 || rows[1] != 20 || rows[2] != 30 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if offs[0] != 100 || offs[1] != 200 || offs[2] != 300 {
+		t.Errorf("offs = %v", offs)
+	}
+}
+
+func TestRecordRun(t *testing.T) {
+	m := New(0, nil)
+	m.RecordRun(0, 100, []int64{10, 20, 30})
+	if off, ok := m.Lookup(0, 101); !ok || off != 20 {
+		t.Errorf("run lookup = %d, %v", off, ok)
+	}
+	if !m.Covers(0, 100, 103) {
+		t.Error("run should cover [100,103)")
+	}
+	if m.Covers(0, 100, 104) {
+		t.Error("should not cover beyond run")
+	}
+	// Appending a second adjacent run extends coverage.
+	m.RecordRun(0, 103, []int64{40})
+	if !m.Covers(0, 100, 104) {
+		t.Error("adjacent run should extend coverage")
+	}
+}
+
+func TestRecordRunOutOfOrderFallback(t *testing.T) {
+	m := New(0, nil)
+	m.RecordRun(0, 100, []int64{1, 2})
+	m.RecordRun(0, 50, []int64{3, 4}) // before existing → fallback path
+	if off, ok := m.Lookup(0, 50); !ok || off != 3 {
+		t.Errorf("fallback lookup = %d, %v", off, ok)
+	}
+	if off, ok := m.Lookup(0, 101); !ok || off != 2 {
+		t.Errorf("original entries damaged: %d, %v", off, ok)
+	}
+	if m.Entries() != 4 {
+		t.Errorf("Entries = %d, want 4", m.Entries())
+	}
+}
+
+func TestBestAnchor(t *testing.T) {
+	m := New(0, nil)
+	m.Record(0, 7, 70)  // row start
+	m.Record(3, 7, 85)  // attribute 3
+	m.Record(5, 8, 120) // different row
+	col, off, ok := m.BestAnchor(4, 7)
+	if !ok || col != 3 || off != 85 {
+		t.Errorf("BestAnchor(4,7) = %d, %d, %v; want 3, 85", col, off, ok)
+	}
+	col, off, ok = m.BestAnchor(2, 7)
+	if !ok || col != 0 || off != 70 {
+		t.Errorf("BestAnchor(2,7) = %d, %d, %v; want 0, 70", col, off, ok)
+	}
+	if _, _, ok := m.BestAnchor(4, 9); ok {
+		t.Error("unknown row should have no anchor")
+	}
+	// Anchor at exactly the target column.
+	col, off, ok = m.BestAnchor(3, 7)
+	if !ok || col != 3 || off != 85 {
+		t.Errorf("BestAnchor(3,7) = %d, %d, %v", col, off, ok)
+	}
+}
+
+func TestBudget(t *testing.T) {
+	m := New(32, nil) // room for 2 entries of 16 bytes
+	m.Record(0, 1, 10)
+	m.Record(0, 2, 20)
+	if !m.Full() {
+		t.Fatal("map should be full after 2 entries at 32-byte budget")
+	}
+	m.Record(0, 3, 30) // dropped
+	if _, ok := m.Lookup(0, 3); ok {
+		t.Error("record past budget should be dropped")
+	}
+	if m.Entries() != 2 {
+		t.Errorf("Entries = %d, want 2", m.Entries())
+	}
+}
+
+func TestDrop(t *testing.T) {
+	m := New(0, nil)
+	m.Record(1, 1, 1)
+	m.Drop()
+	if m.Entries() != 0 || m.MemSize() != 0 {
+		t.Error("Drop should clear everything")
+	}
+	if _, ok := m.Lookup(1, 1); ok {
+		t.Error("lookup after drop should miss")
+	}
+}
+
+func TestCoveredCols(t *testing.T) {
+	m := New(0, nil)
+	m.Record(5, 0, 1)
+	m.Record(2, 0, 1)
+	got := m.CoveredCols()
+	if len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Errorf("CoveredCols = %v", got)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	var c metrics.Counters
+	m := New(0, &c)
+	m.Record(0, 1, 1)
+	m.Lookup(0, 1)
+	m.Lookup(0, 2)
+	s := c.Snapshot()
+	if s.PosMapHits != 1 || s.PosMapMisses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", s.PosMapHits, s.PosMapMisses)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	m := New(0, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w * 1000)
+			for i := int64(0); i < 500; i++ {
+				m.Record(w, base+i, base+i*8)
+				m.Lookup(w, base+i)
+				m.BestAnchor(w, base+i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Entries() != 2000 {
+		t.Errorf("Entries = %d, want 2000", m.Entries())
+	}
+}
+
+func TestPairsCopies(t *testing.T) {
+	m := New(0, nil)
+	m.Record(0, 1, 11)
+	rows, _ := m.Pairs(0)
+	rows[0] = 999 // mutate the copy
+	if off, ok := m.Lookup(0, 1); !ok || off != 11 {
+		t.Error("Pairs must return copies")
+	}
+	r, o := m.Pairs(7)
+	if r != nil || o != nil {
+		t.Error("Pairs of unknown col should be nil")
+	}
+}
+
+func BenchmarkRecordAscending(b *testing.B) {
+	m := New(1<<30, nil)
+	for i := 0; i < b.N; i++ {
+		m.Record(0, int64(i), int64(i*8))
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	m := New(1<<30, nil)
+	for i := int64(0); i < 1e6; i++ {
+		m.Record(0, i, i*8)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Lookup(0, int64(i)%1e6)
+	}
+}

@@ -1,0 +1,87 @@
+package scan
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ParseInt64 converts a decimal field to int64 without allocating. It is
+// the hot path of loading: every value brought from a flat file into the
+// engine goes through it.
+func ParseInt64(b []byte) (int64, error) {
+	if len(b) == 0 {
+		return 0, fmt.Errorf("scan: empty integer field")
+	}
+	neg := false
+	i := 0
+	switch b[0] {
+	case '-':
+		neg = true
+		i = 1
+	case '+':
+		i = 1
+	}
+	if i == len(b) {
+		return 0, fmt.Errorf("scan: invalid integer %q", b)
+	}
+	var v uint64
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("scan: invalid integer %q", b)
+		}
+		d := uint64(c - '0')
+		if v > (1<<63-1)/10 {
+			return 0, fmt.Errorf("scan: integer overflow %q", b)
+		}
+		v = v*10 + d
+	}
+	if neg {
+		if v > 1<<63 {
+			return 0, fmt.Errorf("scan: integer overflow %q", b)
+		}
+		return -int64(v), nil
+	}
+	if v > 1<<63-1 {
+		return 0, fmt.Errorf("scan: integer overflow %q", b)
+	}
+	return int64(v), nil
+}
+
+// ParseFloat64 converts a field to float64. Unlike ParseInt64 it defers to
+// strconv, converting via an unsafe-free string copy only on the slow path.
+func ParseFloat64(b []byte) (float64, error) {
+	f, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return 0, fmt.Errorf("scan: invalid float %q", b)
+	}
+	return f, nil
+}
+
+// LooksLikeInt reports whether the field consists solely of an optional
+// sign and digits. Schema detection uses it for cheap type inference.
+func LooksLikeInt(b []byte) bool {
+	if len(b) == 0 {
+		return false
+	}
+	i := 0
+	if b[0] == '-' || b[0] == '+' {
+		i = 1
+		if len(b) == 1 {
+			return false
+		}
+	}
+	for ; i < len(b); i++ {
+		if b[i] < '0' || b[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// LooksLikeFloat reports whether the field parses as a float (including
+// plain integers, which are also valid floats).
+func LooksLikeFloat(b []byte) bool {
+	_, err := strconv.ParseFloat(string(b), 64)
+	return err == nil
+}

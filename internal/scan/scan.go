@@ -1,0 +1,667 @@
+// Package scan implements tokenization of raw flat files (CSV).
+//
+// It follows the design of the paper's adaptive loading operators (§3.2):
+// the file is split into horizontal portions; tokenization happens in two
+// steps per portion — first row boundaries are identified, then the
+// relevant attributes are located within each row. Tokenization of a row
+// stops as soon as all attributes a query needs have been found, and a
+// pushed-down predicate can abandon the rest of a row the moment it fails
+// ("early tuple elimination").
+//
+// Field bytes handed to callbacks alias the scanner's internal buffer and
+// are only valid for the duration of the callback; parse or copy them
+// before returning.
+package scan
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"nodb/internal/metrics"
+)
+
+// DefaultChunkSize is the streaming read granularity.
+const DefaultChunkSize = 1 << 20
+
+// Options configures a Scanner.
+type Options struct {
+	// Delimiter separates attributes; defaults to ','.
+	Delimiter byte
+	// Workers is the number of parallel tokenization workers; defaults
+	// to 1. Each worker processes one horizontal portion of the file.
+	Workers int
+	// ChunkSize is the streaming read size; defaults to DefaultChunkSize.
+	ChunkSize int
+	// SkipHeader skips the first line of the file.
+	SkipHeader bool
+	// Counters, when non-nil, receives work accounting.
+	Counters *metrics.Counters
+}
+
+func (o Options) delim() byte {
+	if o.Delimiter == 0 {
+		return ','
+	}
+	return o.Delimiter
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return 1
+	}
+	return o.Workers
+}
+
+func (o Options) chunkSize() int {
+	if o.ChunkSize <= 0 {
+		return DefaultChunkSize
+	}
+	return o.ChunkSize
+}
+
+// FieldRef is one located attribute within a row. Bytes aliases the scan
+// buffer; Offset is the absolute byte offset of the field's first character
+// in the file (used to build positional maps).
+type FieldRef struct {
+	Bytes  []byte
+	Offset int64
+}
+
+// RowHandler receives one tokenized row. fields[i] corresponds to cols[i]
+// of the ScanColumns call (or to attribute i when scanning all columns).
+// Handlers run concurrently when Workers > 1, but each is called from a
+// single goroutine per portion with rowIDs from a contiguous range.
+type RowHandler func(rowID int64, fields []FieldRef) error
+
+// AbandonFunc is consulted after each requested column of a row is
+// tokenized, in file order; idx is the index into cols. Returning true
+// abandons the row: no further attributes are tokenized and the handler is
+// not called. This is the paper's predicate push-down into loading.
+type AbandonFunc func(idx int, field FieldRef) bool
+
+// RowTailHandler receives one tokenized row plus the un-tokenized remainder
+// of the line after the last requested column (without the delimiter that
+// preceded it). tail.Bytes is empty when the row ends at the last requested
+// column. Split-file writing uses the tail to emit the "non tokenized
+// columns" file without tokenizing them.
+type RowTailHandler func(rowID int64, fields []FieldRef, tail FieldRef) error
+
+// ErrStop can be returned by a RowHandler to stop the scan early without
+// reporting an error.
+var ErrStop = errors.New("scan: stop")
+
+// Scanner tokenizes one raw file. It is created by Open and may be used for
+// multiple scans; each scan re-reads the file (that is the point: the cost
+// of going back to the raw file is what the adaptive store avoids).
+type Scanner struct {
+	path string
+	opts Options
+	size int64
+
+	portionsOnce sync.Once
+	portionsErr  error
+	portions     []portion
+	rows         int64 // -1 until counted (single-portion scans skip counting)
+	countOnce    sync.Once
+	countErr     error
+	dataStart    int64 // after optional header
+
+	scannedRows atomic.Int64 // rows tokenized by the most recent scan
+}
+
+// portion is a horizontal slice of the file aligned on row boundaries.
+type portion struct {
+	off, end int64 // byte range [off, end)
+	firstRow int64 // global row id of first row
+	rows     int64
+}
+
+// Open prepares a Scanner for path. The file must exist; its size is
+// captured now and a scan reads at most that many bytes, so a file being
+// appended to mid-scan yields the prefix.
+func Open(path string, opts Options) (*Scanner, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("scan: %w", err)
+	}
+	return &Scanner{path: path, opts: opts, size: st.Size()}, nil
+}
+
+// Path returns the scanned file's path.
+func (s *Scanner) Path() string { return s.path }
+
+// Size returns the file size in bytes at Open time.
+func (s *Scanner) Size() int64 { return s.size }
+
+// NumRows returns the number of data rows, running phase-1 tokenization
+// (row boundary identification) if it has not run yet. Single-portion
+// scanners defer the counting pass until someone actually asks.
+func (s *Scanner) NumRows() (int64, error) {
+	if err := s.ensurePortions(); err != nil {
+		return 0, err
+	}
+	if s.rows >= 0 {
+		return s.rows, nil
+	}
+	s.countOnce.Do(func() {
+		f, err := os.Open(s.path)
+		if err != nil {
+			s.countErr = fmt.Errorf("scan: %w", err)
+			return
+		}
+		defer f.Close()
+		var total int64
+		for i := range s.portions {
+			n, err := countRows(f, s.portions[i].off, s.portions[i].end, s.opts.chunkSize(), s.opts.Counters)
+			if err != nil {
+				s.countErr = err
+				return
+			}
+			s.portions[i].rows = n
+			total += n
+		}
+		s.rows = total
+	})
+	if s.countErr != nil {
+		return 0, s.countErr
+	}
+	return s.rows, nil
+}
+
+// RowsScanned returns the number of rows tokenized by the most recent
+// ScanColumns/ScanColumnsTail call (exact for single-worker scans, which
+// visit every row exactly once).
+func (s *Scanner) RowsScanned() int64 { return s.scannedRows.Load() }
+
+// ensurePortions runs phase 1: find the header end, split the file into
+// worker portions aligned to newlines, and count rows per portion so every
+// portion knows the global row id of its first row.
+func (s *Scanner) ensurePortions() error {
+	s.portionsOnce.Do(func() { s.portionsErr = s.buildPortions() })
+	return s.portionsErr
+}
+
+func (s *Scanner) buildPortions() error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return fmt.Errorf("scan: %w", err)
+	}
+	defer f.Close()
+
+	s.dataStart = 0
+	if s.opts.SkipHeader {
+		off, err := findLineEnd(f, 0, s.size, s.opts.chunkSize())
+		if err != nil {
+			return err
+		}
+		s.dataStart = off
+	}
+	if s.dataStart >= s.size {
+		s.portions = nil
+		s.rows = 0
+		return nil
+	}
+
+	w := int64(s.opts.workers())
+	span := s.size - s.dataStart
+	per := span / w
+	if per < int64(s.opts.chunkSize()) {
+		// Too small to be worth splitting; one portion.
+		w, per = 1, span
+	}
+	if w == 1 {
+		// A sequential scan needs no counting pre-pass: rows are numbered
+		// as they stream. NumRows stays lazy.
+		s.portions = []portion{{off: s.dataStart, end: s.size, firstRow: 0, rows: -1}}
+		s.rows = -1
+		return nil
+	}
+	bounds := make([]int64, 0, w+1)
+	bounds = append(bounds, s.dataStart)
+	for i := int64(1); i < w; i++ {
+		nominal := s.dataStart + i*per
+		aligned, err := findLineEnd(f, nominal, s.size, s.opts.chunkSize())
+		if err != nil {
+			return err
+		}
+		if aligned > bounds[len(bounds)-1] && aligned < s.size {
+			bounds = append(bounds, aligned)
+		}
+	}
+	bounds = append(bounds, s.size)
+
+	s.portions = make([]portion, 0, len(bounds)-1)
+	var firstRow int64
+	for i := 0; i+1 < len(bounds); i++ {
+		p := portion{off: bounds[i], end: bounds[i+1], firstRow: firstRow}
+		n, err := countRows(f, p.off, p.end, s.opts.chunkSize(), s.opts.Counters)
+		if err != nil {
+			return err
+		}
+		p.rows = n
+		firstRow += n
+		s.portions = append(s.portions, p)
+	}
+	s.rows = firstRow
+	return nil
+}
+
+// findLineEnd returns the offset just past the first '\n' at or after off,
+// or end if none.
+func findLineEnd(f *os.File, off, end int64, chunk int) (int64, error) {
+	buf := make([]byte, chunk)
+	for off < end {
+		n := int64(len(buf))
+		if off+n > end {
+			n = end - off
+		}
+		m, err := f.ReadAt(buf[:n], off)
+		if m > 0 {
+			if i := bytes.IndexByte(buf[:m], '\n'); i >= 0 {
+				return off + int64(i) + 1, nil
+			}
+			off += int64(m)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, fmt.Errorf("scan: %w", err)
+		}
+	}
+	return end, nil
+}
+
+// countRows counts data rows in [off, end). A final line without a
+// trailing newline counts as a row.
+func countRows(f *os.File, off, end int64, chunk int, c *metrics.Counters) (int64, error) {
+	buf := make([]byte, chunk)
+	var rows int64
+	lastByte := byte('\n')
+	pos := off
+	for pos < end {
+		n := int64(len(buf))
+		if pos+n > end {
+			n = end - pos
+		}
+		m, err := f.ReadAt(buf[:n], pos)
+		if m > 0 {
+			rows += int64(bytes.Count(buf[:m], []byte{'\n'}))
+			lastByte = buf[m-1]
+			pos += int64(m)
+			if c != nil {
+				c.AddRawBytesRead(int64(m))
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, fmt.Errorf("scan: %w", err)
+		}
+	}
+	if lastByte != '\n' && pos > off {
+		rows++
+	}
+	return rows, nil
+}
+
+// ScanColumns tokenizes the file and emits, for every surviving row, the
+// requested columns (0-based attribute indices, which need not be sorted).
+// A nil cols requests every attribute of every row; in that mode the number
+// of fields per row is determined by the row itself.
+//
+// abandon, when non-nil, is consulted after each requested column is
+// located (in file order); returning true drops the row. The handler
+// receives fields ordered like cols.
+func (s *Scanner) ScanColumns(cols []int, handler RowHandler, abandon AbandonFunc) error {
+	return s.scan(cols, handler, nil, abandon)
+}
+
+// ScanColumnsTail is ScanColumns with tail capture: the handler also
+// receives the un-tokenized remainder of each row after the last requested
+// column. Abandoned rows do not reach the handler.
+func (s *Scanner) ScanColumnsTail(cols []int, handler RowTailHandler, abandon AbandonFunc) error {
+	return s.scan(cols, nil, handler, abandon)
+}
+
+func (s *Scanner) scan(cols []int, handler RowHandler, tailH RowTailHandler, abandon AbandonFunc) error {
+	if err := s.ensurePortions(); err != nil {
+		return err
+	}
+	s.scannedRows.Store(0)
+	if len(s.portions) == 0 {
+		return nil
+	}
+	w := s.opts.workers()
+	if w > len(s.portions) {
+		w = len(s.portions)
+	}
+	if w == 1 {
+		for _, p := range s.portions {
+			if err := s.scanPortion(p, cols, handler, tailH, abandon); err != nil {
+				if errors.Is(err, ErrStop) {
+					return nil
+				}
+				return err
+			}
+		}
+		return nil
+	}
+
+	work := make(chan portion)
+	errCh := make(chan error, w)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range work {
+				if err := s.scanPortion(p, cols, handler, tailH, abandon); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	for _, p := range s.portions {
+		work <- p
+	}
+	close(work)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil && !errors.Is(err, ErrStop) {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanPortion streams one portion and tokenizes its rows.
+func (s *Scanner) scanPortion(p portion, cols []int, handler RowHandler, tailH RowTailHandler, abandon AbandonFunc) error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return fmt.Errorf("scan: %w", err)
+	}
+	defer f.Close()
+
+	delim := s.opts.delim()
+	c := s.opts.Counters
+	chunk := s.opts.chunkSize()
+	buf := make([]byte, chunk+4096)
+	carry := 0 // bytes of an incomplete row carried from the previous chunk
+	pos := p.off
+	rowID := p.firstRow
+
+	tok := newTokenizer(delim, cols)
+
+	for pos < p.end || carry > 0 {
+		n := 0
+		if pos < p.end {
+			want := chunk
+			if int64(want) > p.end-pos {
+				want = int(p.end - pos)
+			}
+			if carry+want > len(buf) {
+				nb := make([]byte, carry+want+4096)
+				copy(nb, buf[:carry])
+				buf = nb
+			}
+			m, err := f.ReadAt(buf[carry:carry+want], pos)
+			if m > 0 {
+				pos += int64(m)
+				if c != nil {
+					c.AddRawBytesRead(int64(m))
+				}
+			}
+			if err != nil && err != io.EOF {
+				return fmt.Errorf("scan: %w", err)
+			}
+			n = carry + m
+			if m == 0 && err == io.EOF {
+				n = carry
+				pos = p.end
+			}
+		} else {
+			n = carry
+		}
+		if n == 0 {
+			break
+		}
+
+		data := buf[:n]
+		base := pos - int64(n) // file offset of data[0]
+		consumed := 0
+		for {
+			nl := bytes.IndexByte(data[consumed:], '\n')
+			var line []byte
+			lineStart := consumed
+			if nl < 0 {
+				if pos < p.end {
+					break // incomplete row; wait for more data
+				}
+				// Final row without trailing newline.
+				line = data[consumed:]
+				consumed = len(data)
+				if len(line) == 0 {
+					break
+				}
+			} else {
+				line = data[consumed : consumed+nl]
+				consumed += nl + 1
+			}
+			if len(line) > 0 && line[len(line)-1] == '\r' {
+				line = line[:len(line)-1]
+			}
+			if c != nil {
+				c.AddRowsTokenized(1)
+			}
+			s.scannedRows.Add(1)
+			err := tok.row(line, base+int64(lineStart), rowID, handler, tailH, abandon, c)
+			rowID++
+			if err != nil {
+				return err
+			}
+			if consumed >= len(data) {
+				break
+			}
+		}
+		// Carry the incomplete tail to the front of the buffer.
+		carry = len(data) - consumed
+		if carry > 0 {
+			copy(buf, data[consumed:])
+		}
+		if pos >= p.end && consumed == len(data) {
+			carry = 0
+		}
+		if pos >= p.end && carry > 0 && consumed == 0 {
+			return fmt.Errorf("scan: row longer than buffer at offset %d", base)
+		}
+	}
+	return nil
+}
+
+// tokenizer locates requested columns within rows.
+type tokenizer struct {
+	delim   byte
+	cols    []int // requested columns in caller order, or nil for all
+	sorted  []int // unique requested columns in ascending order
+	sortPos []int // sortPos[i]: index in cols of sorted[i]
+	dup     [][]int
+	fields  []FieldRef
+	all     bool
+}
+
+func newTokenizer(delim byte, cols []int) *tokenizer {
+	t := &tokenizer{delim: delim, cols: cols, all: cols == nil}
+	if t.all {
+		return t
+	}
+	// Build the ascending visit order once; duplicate column requests are
+	// supported (each position in cols gets the field).
+	type pair struct{ col, idx int }
+	pairs := make([]pair, len(cols))
+	for i, col := range cols {
+		pairs[i] = pair{col, i}
+	}
+	for i := 1; i < len(pairs); i++ { // insertion sort; cols is tiny
+		for j := i; j > 0 && pairs[j].col < pairs[j-1].col; j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+	for i := 0; i < len(pairs); {
+		j := i
+		var idxs []int
+		for j < len(pairs) && pairs[j].col == pairs[i].col {
+			idxs = append(idxs, pairs[j].idx)
+			j++
+		}
+		t.sorted = append(t.sorted, pairs[i].col)
+		t.dup = append(t.dup, idxs)
+		i = j
+	}
+	t.fields = make([]FieldRef, len(cols))
+	return t
+}
+
+// row tokenizes one line. lineOff is the absolute file offset of line[0].
+func (t *tokenizer) row(line []byte, lineOff, rowID int64, handler RowHandler, tailH RowTailHandler, abandon AbandonFunc, c *metrics.Counters) error {
+	if t.all {
+		return t.rowAll(line, lineOff, rowID, handler, tailH, c)
+	}
+	fieldIdx := 0 // current attribute index in the row
+	off := 0
+	attrs := int64(0)
+	lastEnd := 0 // index just past the last requested field
+	for si, want := range t.sorted {
+		// Advance to attribute `want`, tokenizing (skipping) intermediate
+		// attributes. This is the cost the paper's §4.1.2 complains
+		// about: locating attribute k requires tokenizing the k-1 before
+		// it.
+		for fieldIdx < want {
+			i := bytes.IndexByte(line[off:], t.delim)
+			if i < 0 {
+				return fmt.Errorf("scan: row %d has %d attributes, need index %d", rowID, fieldIdx+1, want)
+			}
+			off += i + 1
+			fieldIdx++
+			attrs++
+		}
+		end := bytes.IndexByte(line[off:], t.delim)
+		var fb []byte
+		if end < 0 {
+			fb = line[off:]
+			lastEnd = len(line)
+		} else {
+			fb = line[off : off+end]
+			lastEnd = off + end
+		}
+		attrs++
+		fr := FieldRef{Bytes: fb, Offset: lineOff + int64(off)}
+		for _, ci := range t.dup[si] {
+			t.fields[ci] = fr
+		}
+		if abandon != nil {
+			for _, ci := range t.dup[si] {
+				if abandon(ci, fr) {
+					if c != nil {
+						c.AddAttrsTokenized(attrs)
+						c.AddRowsAbandoned(1)
+					}
+					return nil
+				}
+			}
+		}
+		// Position after this field for the next sorted column.
+		if end >= 0 && si+1 < len(t.sorted) {
+			off += end + 1
+			fieldIdx++
+		} else if end < 0 && si+1 < len(t.sorted) {
+			return fmt.Errorf("scan: row %d ended before attribute %d", rowID, t.sorted[si+1])
+		}
+	}
+	if c != nil {
+		c.AddAttrsTokenized(attrs)
+	}
+	if tailH != nil {
+		tail := FieldRef{Bytes: nil, Offset: lineOff + int64(len(line))}
+		if lastEnd < len(line) { // line[lastEnd] is the delimiter
+			tail = FieldRef{Bytes: line[lastEnd+1:], Offset: lineOff + int64(lastEnd) + 1}
+		}
+		return tailH(rowID, t.fields, tail)
+	}
+	return handler(rowID, t.fields)
+}
+
+// rowAll tokenizes every attribute of the line.
+func (t *tokenizer) rowAll(line []byte, lineOff, rowID int64, handler RowHandler, tailH RowTailHandler, c *metrics.Counters) error {
+	t.fields = t.fields[:0]
+	off := 0
+	for {
+		i := bytes.IndexByte(line[off:], t.delim)
+		if i < 0 {
+			t.fields = append(t.fields, FieldRef{Bytes: line[off:], Offset: lineOff + int64(off)})
+			break
+		}
+		t.fields = append(t.fields, FieldRef{Bytes: line[off : off+i], Offset: lineOff + int64(off)})
+		off += i + 1
+	}
+	if c != nil {
+		c.AddAttrsTokenized(int64(len(t.fields)))
+	}
+	if tailH != nil {
+		return tailH(rowID, t.fields, FieldRef{Offset: lineOff + int64(len(line))})
+	}
+	return handler(rowID, t.fields)
+}
+
+// ReadRowAt tokenizes the single row that starts at byte offset rowOff.
+// It is used by positional-map guided access: when the map knows where a
+// row (or attribute) begins, the engine can jump straight to it instead of
+// scanning from the start of the file. cols follows ScanColumns semantics.
+func (s *Scanner) ReadRowAt(rowOff int64, rowID int64, cols []int, handler RowHandler) error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return fmt.Errorf("scan: %w", err)
+	}
+	defer f.Close()
+	// Read forward until a full line is available.
+	bufSize := 4096
+	var line []byte
+	for {
+		buf := make([]byte, bufSize)
+		m, err := f.ReadAt(buf, rowOff)
+		if m == 0 && err != nil {
+			if err == io.EOF {
+				break
+			}
+			return fmt.Errorf("scan: %w", err)
+		}
+		if s.opts.Counters != nil {
+			s.opts.Counters.AddRawBytesRead(int64(m))
+		}
+		if i := bytes.IndexByte(buf[:m], '\n'); i >= 0 {
+			line = buf[:i]
+			break
+		}
+		if err == io.EOF {
+			line = buf[:m]
+			break
+		}
+		bufSize *= 2
+	}
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	if s.opts.Counters != nil {
+		s.opts.Counters.AddRowsTokenized(1)
+	}
+	tok := newTokenizer(s.opts.delim(), cols)
+	return tok.row(line, rowOff, rowID, handler, nil, nil, s.opts.Counters)
+}

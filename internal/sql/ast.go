@@ -1,0 +1,195 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"nodb/internal/storage"
+)
+
+// AggKind identifies an aggregate function in a select list.
+type AggKind int
+
+// Aggregate kinds; AggNone marks a plain column reference.
+const (
+	AggNone AggKind = iota
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+	AggCount
+)
+
+func (a AggKind) String() string {
+	switch a {
+	case AggNone:
+		return ""
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	case AggCount:
+		return "count"
+	default:
+		return fmt.Sprintf("AggKind(%d)", int(a))
+	}
+}
+
+// ColRef names a column, optionally qualified by a table name or alias.
+type ColRef struct {
+	Table  string
+	Column string
+}
+
+func (c ColRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// SelectItem is one entry of a select list: an aggregate over a column,
+// count(*), a plain column, or * (all columns).
+type SelectItem struct {
+	Agg  AggKind
+	Col  ColRef
+	Star bool // count(*) when Agg == AggCount, or a bare *
+}
+
+func (it SelectItem) String() string {
+	switch {
+	case it.Agg != AggNone && it.Star:
+		return it.Agg.String() + "(*)"
+	case it.Agg != AggNone:
+		return fmt.Sprintf("%s(%s)", it.Agg, it.Col)
+	case it.Star:
+		return "*"
+	default:
+		return it.Col.String()
+	}
+}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// RefName returns the name queries use to qualify columns of this table.
+func (t TableRef) RefName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// Join is an inner equi-join clause.
+type Join struct {
+	Table TableRef
+	Left  ColRef // column of the FROM table
+	Right ColRef // column of the joined table
+}
+
+// Predicate is a WHERE conjunct: Col <Op> Value, or Col BETWEEN Lo AND Hi.
+type Predicate struct {
+	Col     ColRef
+	Op      string // "<", "<=", ">", ">=", "=", "<>"
+	Val     storage.Value
+	Lo, Hi  storage.Value
+	Between bool
+}
+
+func (p Predicate) String() string {
+	if p.Between {
+		return fmt.Sprintf("%s BETWEEN %s AND %s", p.Col, p.Lo, p.Hi)
+	}
+	return fmt.Sprintf("%s %s %s", p.Col, p.Op, p.Val)
+}
+
+// OrderItem is one ORDER BY entry.
+type OrderItem struct {
+	Col  ColRef
+	Desc bool
+}
+
+// SelectStmt is a parsed SELECT statement.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    TableRef
+	Joins   []Join
+	Where   []Predicate // conjunction
+	GroupBy []ColRef
+	OrderBy []OrderItem
+	Limit   int // -1 when absent
+}
+
+// HasAggregates reports whether any select item is an aggregate.
+func (s *SelectStmt) HasAggregates() bool {
+	for _, it := range s.Items {
+		if it.Agg != AggNone {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *SelectStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(it.String())
+	}
+	sb.WriteString(" FROM ")
+	sb.WriteString(s.From.Name)
+	if s.From.Alias != "" {
+		sb.WriteString(" " + s.From.Alias)
+	}
+	for _, j := range s.Joins {
+		fmt.Fprintf(&sb, " JOIN %s", j.Table.Name)
+		if j.Table.Alias != "" {
+			sb.WriteString(" " + j.Table.Alias)
+		}
+		fmt.Fprintf(&sb, " ON %s = %s", j.Left, j.Right)
+	}
+	if len(s.Where) > 0 {
+		sb.WriteString(" WHERE ")
+		for i, p := range s.Where {
+			if i > 0 {
+				sb.WriteString(" AND ")
+			}
+			sb.WriteString(p.String())
+		}
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, c := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(c.String())
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.Col.String())
+			if o.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", s.Limit)
+	}
+	return sb.String()
+}

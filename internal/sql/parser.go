@@ -1,0 +1,421 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nodb/internal/storage"
+)
+
+// Parse parses one SELECT statement.
+func Parse(query string) (*SelectStmt, error) {
+	p := &parser{lex: lexer{src: query}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	stmt, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected %s after statement", p.tok)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	lex lexer
+	tok token
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: position %d: %s", p.tok.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// keywordIs reports whether the current token is the given keyword
+// (case-insensitive).
+func (p *parser) keywordIs(kw string) bool {
+	return p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, kw)
+}
+
+// expectKeyword consumes the given keyword or fails.
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keywordIs(kw) {
+		return p.errf("expected %s, got %s", strings.ToUpper(kw), p.tok)
+	}
+	return p.advance()
+}
+
+var reservedWords = map[string]bool{
+	"select": true, "from": true, "where": true, "and": true, "or": true,
+	"join": true, "inner": true, "on": true, "group": true, "order": true,
+	"by": true, "limit": true, "as": true, "between": true, "asc": true,
+	"desc": true, "not": true,
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+
+	// Select list.
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	from, err := p.tableRef()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from
+
+	// Joins.
+	for p.keywordIs("join") || p.keywordIs("inner") {
+		if p.keywordIs("inner") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectKeyword("join"); err != nil {
+			return nil, err
+		}
+		tref, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("on"); err != nil {
+			return nil, err
+		}
+		left, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokOp || p.tok.text != "=" {
+			return nil, p.errf("expected = in join condition, got %s", p.tok)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Joins = append(stmt.Joins, Join{Table: tref, Left: left, Right: right})
+	}
+
+	// WHERE conjunction.
+	if p.keywordIs("where") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for {
+			pred, err := p.predicate()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Where = append(stmt.Where, pred)
+			if !p.keywordIs("and") {
+				if p.keywordIs("or") {
+					return nil, p.errf("OR is not supported; only conjunctive WHERE clauses")
+				}
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// GROUP BY.
+	if p.keywordIs("group") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, c)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// ORDER BY.
+	if p.keywordIs("order") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Col: c}
+			if p.keywordIs("desc") {
+				item.Desc = true
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			} else if p.keywordIs("asc") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// LIMIT.
+	if p.keywordIs("limit") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokNumber {
+			return nil, p.errf("expected number after LIMIT, got %s", p.tok)
+		}
+		n, err := strconv.Atoi(p.tok.text)
+		if err != nil || n < 0 {
+			return nil, p.errf("invalid LIMIT %q", p.tok.text)
+		}
+		stmt.Limit = n
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+
+	return stmt, nil
+}
+
+var aggNames = map[string]AggKind{
+	"sum": AggSum, "min": AggMin, "max": AggMax, "avg": AggAvg, "count": AggCount,
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	if p.tok.kind == tokStar {
+		if err := p.advance(); err != nil {
+			return SelectItem{}, err
+		}
+		return SelectItem{Star: true}, nil
+	}
+	if p.tok.kind != tokIdent {
+		return SelectItem{}, p.errf("expected column or aggregate, got %s", p.tok)
+	}
+	name := strings.ToLower(p.tok.text)
+	if agg, ok := aggNames[name]; ok {
+		// Peek: aggregate only when followed by '('.
+		save := p.lex.pos
+		saveTok := p.tok
+		if err := p.advance(); err != nil {
+			return SelectItem{}, err
+		}
+		if p.tok.kind == tokLParen {
+			if err := p.advance(); err != nil {
+				return SelectItem{}, err
+			}
+			item := SelectItem{Agg: agg}
+			if p.tok.kind == tokStar {
+				if agg != AggCount {
+					return SelectItem{}, p.errf("%s(*) is only valid for count", agg)
+				}
+				item.Star = true
+				if err := p.advance(); err != nil {
+					return SelectItem{}, err
+				}
+			} else {
+				col, err := p.colRef()
+				if err != nil {
+					return SelectItem{}, err
+				}
+				item.Col = col
+			}
+			if p.tok.kind != tokRParen {
+				return SelectItem{}, p.errf("expected ), got %s", p.tok)
+			}
+			if err := p.advance(); err != nil {
+				return SelectItem{}, err
+			}
+			return item, nil
+		}
+		// Not an aggregate call after all: rewind and treat as column.
+		p.lex.pos = save
+		p.tok = saveTok
+	}
+	col, err := p.colRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Col: col}, nil
+}
+
+func (p *parser) tableRef() (TableRef, error) {
+	if p.tok.kind != tokIdent || reservedWords[strings.ToLower(p.tok.text)] {
+		return TableRef{}, p.errf("expected table name, got %s", p.tok)
+	}
+	ref := TableRef{Name: p.tok.text}
+	if err := p.advance(); err != nil {
+		return TableRef{}, err
+	}
+	if p.keywordIs("as") {
+		if err := p.advance(); err != nil {
+			return TableRef{}, err
+		}
+		if p.tok.kind != tokIdent {
+			return TableRef{}, p.errf("expected alias after AS, got %s", p.tok)
+		}
+		ref.Alias = p.tok.text
+		return ref, p.advance()
+	}
+	if p.tok.kind == tokIdent && !reservedWords[strings.ToLower(p.tok.text)] {
+		ref.Alias = p.tok.text
+		return ref, p.advance()
+	}
+	return ref, nil
+}
+
+func (p *parser) colRef() (ColRef, error) {
+	if p.tok.kind != tokIdent || reservedWords[strings.ToLower(p.tok.text)] {
+		return ColRef{}, p.errf("expected column name, got %s", p.tok)
+	}
+	first := p.tok.text
+	if err := p.advance(); err != nil {
+		return ColRef{}, err
+	}
+	if p.tok.kind == tokDot {
+		if err := p.advance(); err != nil {
+			return ColRef{}, err
+		}
+		if p.tok.kind != tokIdent {
+			return ColRef{}, p.errf("expected column after '.', got %s", p.tok)
+		}
+		col := ColRef{Table: first, Column: p.tok.text}
+		return col, p.advance()
+	}
+	return ColRef{Column: first}, nil
+}
+
+func (p *parser) literal() (storage.Value, error) {
+	switch p.tok.kind {
+	case tokNumber:
+		text := p.tok.text
+		if err := p.advance(); err != nil {
+			return storage.Value{}, err
+		}
+		if strings.ContainsRune(text, '.') {
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return storage.Value{}, p.errf("invalid number %q", text)
+			}
+			return storage.FloatValue(f), nil
+		}
+		i, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return storage.Value{}, p.errf("invalid integer %q", text)
+		}
+		return storage.IntValue(i), nil
+	case tokString:
+		v := storage.StringValue(p.tok.text)
+		return v, p.advance()
+	default:
+		return storage.Value{}, p.errf("expected literal, got %s", p.tok)
+	}
+}
+
+var flipOp = map[string]string{"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}
+
+func (p *parser) predicate() (Predicate, error) {
+	// literal op col form: flip into col op literal.
+	if p.tok.kind == tokNumber || p.tok.kind == tokString {
+		val, err := p.literal()
+		if err != nil {
+			return Predicate{}, err
+		}
+		if p.tok.kind != tokOp {
+			return Predicate{}, p.errf("expected comparison operator, got %s", p.tok)
+		}
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return Predicate{}, err
+		}
+		col, err := p.colRef()
+		if err != nil {
+			return Predicate{}, err
+		}
+		return Predicate{Col: col, Op: flipOp[op], Val: val}, nil
+	}
+
+	col, err := p.colRef()
+	if err != nil {
+		return Predicate{}, err
+	}
+	if p.keywordIs("between") {
+		if err := p.advance(); err != nil {
+			return Predicate{}, err
+		}
+		lo, err := p.literal()
+		if err != nil {
+			return Predicate{}, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return Predicate{}, err
+		}
+		hi, err := p.literal()
+		if err != nil {
+			return Predicate{}, err
+		}
+		return Predicate{Col: col, Between: true, Lo: lo, Hi: hi}, nil
+	}
+	if p.tok.kind != tokOp {
+		return Predicate{}, p.errf("expected comparison operator, got %s", p.tok)
+	}
+	op := p.tok.text
+	if err := p.advance(); err != nil {
+		return Predicate{}, err
+	}
+	val, err := p.literal()
+	if err != nil {
+		return Predicate{}, err
+	}
+	return Predicate{Col: col, Op: op, Val: val}, nil
+}

@@ -1,0 +1,251 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"nodb/internal/schema"
+)
+
+func parse(t *testing.T, q string) *SelectStmt {
+	t.Helper()
+	s, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return s
+}
+
+func TestParseQ1(t *testing.T) {
+	// The paper's Q1 template.
+	s := parse(t, "select sum(a1),min(a4),max(a3),avg(a2) from R where a1>10 and a1<20 and a2>30 and a2<40")
+	if len(s.Items) != 4 {
+		t.Fatalf("items = %d", len(s.Items))
+	}
+	wantAggs := []AggKind{AggSum, AggMin, AggMax, AggAvg}
+	wantCols := []string{"a1", "a4", "a3", "a2"}
+	for i, it := range s.Items {
+		if it.Agg != wantAggs[i] || it.Col.Column != wantCols[i] {
+			t.Errorf("item %d = %v", i, it)
+		}
+	}
+	if s.From.Name != "R" {
+		t.Errorf("from = %v", s.From)
+	}
+	if len(s.Where) != 4 {
+		t.Fatalf("where = %d", len(s.Where))
+	}
+	if s.Where[0].Col.Column != "a1" || s.Where[0].Op != ">" || s.Where[0].Val.I != 10 {
+		t.Errorf("pred 0 = %v", s.Where[0])
+	}
+	if !s.HasAggregates() {
+		t.Error("HasAggregates should be true")
+	}
+}
+
+func TestParseQ2(t *testing.T) {
+	s := parse(t, "select sum(a1),avg(a2) from R where a1>1 and a1<2 and a2>3 and a2<4")
+	if len(s.Items) != 2 || len(s.Where) != 4 {
+		t.Errorf("Q2 shape wrong: %v", s)
+	}
+}
+
+func TestParsePlainColumns(t *testing.T) {
+	s := parse(t, "select a1, a2 from t")
+	if s.HasAggregates() {
+		t.Error("no aggregates expected")
+	}
+	if len(s.Items) != 2 || s.Items[0].Col.Column != "a1" {
+		t.Errorf("items = %v", s.Items)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	s := parse(t, "select * from t limit 5")
+	if !s.Items[0].Star || s.Limit != 5 {
+		t.Errorf("star/limit: %v", s)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	s := parse(t, "select count(*) from t")
+	if s.Items[0].Agg != AggCount || !s.Items[0].Star {
+		t.Errorf("count(*) = %v", s.Items[0])
+	}
+}
+
+func TestParseCountColumn(t *testing.T) {
+	s := parse(t, "select count(a1) from t")
+	if s.Items[0].Agg != AggCount || s.Items[0].Col.Column != "a1" {
+		t.Errorf("count(a1) = %v", s.Items[0])
+	}
+}
+
+func TestParseSumStarRejected(t *testing.T) {
+	if _, err := Parse("select sum(*) from t"); err == nil {
+		t.Error("sum(*) should be rejected")
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	s := parse(t, "select sum(r.a1) from R r join S s on r.a1 = s.b1 where r.a2 > 5")
+	if len(s.Joins) != 1 {
+		t.Fatalf("joins = %d", len(s.Joins))
+	}
+	j := s.Joins[0]
+	if j.Table.Name != "S" || j.Table.Alias != "s" {
+		t.Errorf("join table = %v", j.Table)
+	}
+	if j.Left.Table != "r" || j.Left.Column != "a1" || j.Right.Table != "s" || j.Right.Column != "b1" {
+		t.Errorf("join cond = %v = %v", j.Left, j.Right)
+	}
+	if s.From.Alias != "r" {
+		t.Errorf("from alias = %q", s.From.Alias)
+	}
+}
+
+func TestParseInnerJoin(t *testing.T) {
+	s := parse(t, "select count(*) from a inner join b on a.x = b.y")
+	if len(s.Joins) != 1 {
+		t.Errorf("inner join not parsed")
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	s := parse(t, "select a1 from t where a1 between 5 and 10")
+	p := s.Where[0]
+	if !p.Between || p.Lo.I != 5 || p.Hi.I != 10 {
+		t.Errorf("between = %v", p)
+	}
+}
+
+func TestParseFlippedPredicate(t *testing.T) {
+	s := parse(t, "select a1 from t where 10 < a1")
+	p := s.Where[0]
+	if p.Col.Column != "a1" || p.Op != ">" || p.Val.I != 10 {
+		t.Errorf("flipped pred = %v", p)
+	}
+}
+
+func TestParseGroupOrder(t *testing.T) {
+	s := parse(t, "select a1, count(*) from t group by a1 order by a1 desc limit 3")
+	if len(s.GroupBy) != 1 || s.GroupBy[0].Column != "a1" {
+		t.Errorf("group by = %v", s.GroupBy)
+	}
+	if len(s.OrderBy) != 1 || !s.OrderBy[0].Desc {
+		t.Errorf("order by = %v", s.OrderBy)
+	}
+	if s.Limit != 3 {
+		t.Errorf("limit = %d", s.Limit)
+	}
+}
+
+func TestParseStringLiteral(t *testing.T) {
+	s := parse(t, "select a from t where name = 'o''brien'")
+	if s.Where[0].Val.Typ != schema.String || s.Where[0].Val.S != "o'brien" {
+		t.Errorf("string literal = %v", s.Where[0].Val)
+	}
+}
+
+func TestParseFloatLiteral(t *testing.T) {
+	s := parse(t, "select a from t where x > 2.5")
+	if s.Where[0].Val.Typ != schema.Float64 || s.Where[0].Val.F != 2.5 {
+		t.Errorf("float literal = %v", s.Where[0].Val)
+	}
+}
+
+func TestParseNegativeLiteral(t *testing.T) {
+	s := parse(t, "select a from t where x > -5")
+	if s.Where[0].Val.I != -5 {
+		t.Errorf("negative literal = %v", s.Where[0].Val)
+	}
+}
+
+func TestParseNeOps(t *testing.T) {
+	for _, q := range []string{"select a from t where x <> 3", "select a from t where x != 3"} {
+		s := parse(t, q)
+		if s.Where[0].Op != "<>" {
+			t.Errorf("%q: op = %q", q, s.Where[0].Op)
+		}
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	s := parse(t, "SELECT SUM(a1) FROM r WHERE a1 > 1 AND a2 < 2")
+	if len(s.Items) != 1 || s.Items[0].Agg != AggSum || len(s.Where) != 2 {
+		t.Errorf("uppercase parse: %v", s)
+	}
+}
+
+func TestParseAliasWithAs(t *testing.T) {
+	s := parse(t, "select x from mytable as m where m.x > 1")
+	if s.From.Alias != "m" {
+		t.Errorf("alias = %q", s.From.Alias)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"selec a from t",
+		"select from t",
+		"select a",
+		"select a from",
+		"select a from t where",
+		"select a from t where a >",
+		"select a from t where a > 1 or b < 2",
+		"select a from t where a between 1",
+		"select a from t join s",
+		"select a from t join s on a.x",
+		"select a from t join s on a.x > s.y",
+		"select a from t limit x",
+		"select a from t where a ~ 1",
+		"select a from t where name = 'unterminated",
+		"select a from t 1234",
+		"select sum(a from t",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestParseAggregateNameAsColumn(t *testing.T) {
+	// "count" not followed by '(' is a plain column name.
+	s := parse(t, "select count from t")
+	if s.Items[0].Agg != AggNone || s.Items[0].Col.Column != "count" {
+		t.Errorf("count-as-column = %v", s.Items[0])
+	}
+}
+
+func TestStmtStringRoundTrip(t *testing.T) {
+	queries := []string{
+		"select sum(a1), avg(a2) from R where a1 > 1 and a1 < 2",
+		"select * from t limit 5",
+		"select a, count(*) from t group by a order by a desc",
+		"select sum(r.a1) from R r join S s on r.a1 = s.b1",
+		"select a from t where a between 1 and 2",
+	}
+	for _, q := range queries {
+		s1 := parse(t, q)
+		s2 := parse(t, s1.String())
+		if s1.String() != s2.String() {
+			t.Errorf("round trip changed:\n  %s\n  %s", s1, s2)
+		}
+	}
+}
+
+func TestSemicolonTolerated(t *testing.T) {
+	s := parse(t, "select a from t;")
+	if s.From.Name != "t" {
+		t.Error("trailing semicolon should be tolerated")
+	}
+}
+
+func TestLexerPositionsInErrors(t *testing.T) {
+	_, err := Parse("select a from t where a @ 1")
+	if err == nil || !strings.Contains(err.Error(), "position") {
+		t.Errorf("error should cite a position: %v", err)
+	}
+}

@@ -1,0 +1,221 @@
+// Package nodb is a query engine over raw flat files with zero
+// initialization cost — a from-scratch Go reproduction of the system
+// envisioned in "Here are my Data Files. Here are my Queries. Where are my
+// Results?" (Idreos, Alagiannis, Johnson, Ailamaki — CIDR 2011).
+//
+// Point it at CSV files and fire SQL immediately:
+//
+//	db := nodb.Open(nodb.Options{})
+//	defer db.Close()
+//	if err := db.Link("events", "events.csv"); err != nil { ... }
+//	res, err := db.Query("select sum(a1), avg(a2) from events where a1 > 10 and a1 < 1000")
+//
+// There is no load step. The engine brings data in adaptively, driven by
+// the queries: depending on the configured policy it loads whole columns
+// on demand (ColumnLoads), only the qualifying values (PartialLoads), or
+// cracks the raw file into per-column split files as a side effect of
+// scanning (SplitFiles). Everything it learns — parsed columns, covered
+// value regions, attribute byte positions, split files — makes the next
+// query cheaper, and all of it is disposable: edit the CSV with a text
+// editor and the engine notices and starts over.
+package nodb
+
+import (
+	"nodb/internal/core"
+	"nodb/internal/metrics"
+	"nodb/internal/plan"
+	"nodb/internal/schema"
+	"nodb/internal/storage"
+)
+
+// Policy selects the adaptive loading strategy.
+type Policy int
+
+// Loading policies. See DESIGN.md for the mapping to the paper's curves.
+const (
+	// ColumnLoads (the default) loads whole missing columns on demand.
+	ColumnLoads Policy = iota
+	// FullLoad loads the complete table on first touch — classic DBMS
+	// behavior, kept as a comparator.
+	FullLoad
+	// PartialLoadsV1 pushes WHERE clauses into loading and retains
+	// nothing between queries.
+	PartialLoadsV1
+	// PartialLoadsV2 retains qualifying values; repeated or narrower
+	// queries are answered without touching the file.
+	PartialLoadsV2
+	// SplitFiles loads columns through per-column split files created as
+	// a side effect of earlier scans ("file cracking").
+	SplitFiles
+	// External re-reads and re-parses the file for every query, caching
+	// nothing (MySQL-CSV-engine-style external tables).
+	External
+	// Auto self-tunes per column: cold columns are partially loaded with
+	// retention, and columns the workload keeps touching are promoted to
+	// full column loads (the paper's §5.5 robustness direction).
+	Auto
+)
+
+func (p Policy) internal() plan.Policy {
+	switch p {
+	case FullLoad:
+		return plan.PolicyFullLoad
+	case PartialLoadsV1:
+		return plan.PolicyPartialV1
+	case PartialLoadsV2:
+		return plan.PolicyPartialV2
+	case SplitFiles:
+		return plan.PolicySplitFiles
+	case External:
+		return plan.PolicyExternal
+	case Auto:
+		return plan.PolicyAuto
+	default:
+		return plan.PolicyColumnLoads
+	}
+}
+
+func fromInternal(p plan.Policy) Policy {
+	switch p {
+	case plan.PolicyFullLoad:
+		return FullLoad
+	case plan.PolicyPartialV1:
+		return PartialLoadsV1
+	case plan.PolicyPartialV2:
+		return PartialLoadsV2
+	case plan.PolicySplitFiles:
+		return SplitFiles
+	case plan.PolicyExternal:
+		return External
+	case plan.PolicyAuto:
+		return Auto
+	default:
+		return ColumnLoads
+	}
+}
+
+func (p Policy) String() string { return p.internal().String() }
+
+// ParsePolicy converts a policy name ("columns", "full", "partial-v1",
+// "partial-v2", "splitfiles", "external") to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	ip, err := plan.ParsePolicy(s)
+	if err != nil {
+		return 0, err
+	}
+	return fromInternal(ip), nil
+}
+
+// Options configures a DB.
+type Options struct {
+	// Policy is the adaptive loading strategy (default ColumnLoads).
+	Policy Policy
+	// Cracking enables adaptive indexing (database cracking) on loaded
+	// integer predicate columns.
+	Cracking bool
+	// SplitDir is the directory for split files; required for the
+	// SplitFiles policy. Files there are derived state and safe to
+	// delete.
+	SplitDir string
+	// MemoryBudget caps bytes of loaded state (0 = unlimited); exceeding
+	// it evicts least-recently-used tables.
+	MemoryBudget int64
+	// Workers is tokenization parallelism (default 1).
+	Workers int
+	// DisablePositionalMap turns the positional map off.
+	DisablePositionalMap bool
+	// DisableRevalidation skips per-query file-change detection.
+	DisableRevalidation bool
+}
+
+// Value is one typed scalar in a result row.
+type Value = storage.Value
+
+// Result is a query result: column names, rows, and per-query work stats.
+type Result = core.Result
+
+// QueryStats is the per-query work accounting attached to results.
+type QueryStats = core.QueryStats
+
+// WorkSnapshot is a point-in-time copy of the engine's work counters.
+type WorkSnapshot = metrics.Snapshot
+
+// Type is a column's data type.
+type Type = schema.Type
+
+// Column data types.
+const (
+	Int64   = schema.Int64
+	Float64 = schema.Float64
+	String  = schema.String
+)
+
+// DB is a NoDB instance: a set of linked raw files plus whatever the
+// engine has adaptively loaded from them so far.
+type DB struct {
+	e *core.Engine
+}
+
+// Open creates a DB. It never touches the filesystem until a file is
+// linked — there is nothing to initialize.
+func Open(opts Options) *DB {
+	return &DB{e: core.NewEngine(core.Options{
+		Policy:               opts.Policy.internal(),
+		Cracking:             opts.Cracking,
+		SplitDir:             opts.SplitDir,
+		MemoryBudget:         opts.MemoryBudget,
+		Workers:              opts.Workers,
+		DisablePositionalMap: opts.DisablePositionalMap,
+		DisableRevalidation:  opts.DisableRevalidation,
+	})}
+}
+
+// Close releases the DB. Loaded state is in-memory and split files are
+// disposable, so Close is currently trivial; it exists so callers can
+// defer it and stay compatible with future resource ownership.
+func (db *DB) Close() error { return nil }
+
+// Link registers the flat file at path as a queryable table. The schema
+// (delimiter, header, column names and types) is detected automatically.
+// This is the only setup step.
+func (db *DB) Link(name, path string) error { return db.e.Link(name, path) }
+
+// Unlink removes a table and drops everything derived from its file.
+func (db *DB) Unlink(name string) error { return db.e.Unlink(name) }
+
+// Tables returns the linked table names.
+func (db *DB) Tables() []string { return db.e.Tables() }
+
+// Schema returns the detected schema of a linked table.
+func (db *DB) Schema(name string) (*schema.Schema, error) { return db.e.TableSchema(name) }
+
+// Query executes one SELECT statement. Supported SQL: aggregates
+// (sum/min/max/avg/count), inner equi-joins, conjunctive WHERE clauses
+// (comparisons and BETWEEN), GROUP BY, ORDER BY, LIMIT.
+func (db *DB) Query(query string) (*Result, error) { return db.e.Query(query) }
+
+// Explain returns the physical plan — including the adaptive load
+// operators chosen for the current store state — without executing.
+func (db *DB) Explain(query string) (string, error) { return db.e.Explain(query) }
+
+// Policy returns the current loading policy.
+func (db *DB) Policy() Policy { return fromInternal(db.e.Policy()) }
+
+// SetPolicy switches the loading policy for subsequent queries; loaded
+// state remains usable.
+func (db *DB) SetPolicy(p Policy) { db.e.SetPolicy(p.internal()) }
+
+// Work returns the cumulative work counters (raw bytes read, values
+// parsed, cache hits, ...) since Open.
+func (db *DB) Work() WorkSnapshot { return db.e.Counters().Snapshot() }
+
+// MemSize returns the bytes of adaptively loaded state currently held.
+func (db *DB) MemSize() int64 { return db.e.Catalog().MemSize() }
+
+// TableStats describes the adaptive-store state of one linked table:
+// which columns are fully or partially loaded, covered regions, positional
+// map entries, and split-file footprint.
+type TableStats = core.TableStats
+
+// TableStats reports what the engine has adaptively built for a table.
+func (db *DB) TableStats(name string) (TableStats, error) { return db.e.TableStats(name) }
