@@ -7,6 +7,7 @@ package nodb
 // full-scale, formatted versions with `go run ./cmd/nodbbench`.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -220,4 +221,57 @@ func BenchmarkSQLParse(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkConcurrentClients measures the server scenario: one shared DB,
+// GOMAXPROCS parallel clients firing QueryContext at a warmed adaptive
+// store. This is the hot path nodbd serves once the workload's columns
+// are loaded.
+func BenchmarkConcurrentClients(b *testing.B) {
+	db := Open(Options{Policy: PartialLoadsV2})
+	defer db.Close()
+	path := benchTable(b, 50000, 4)
+	if err := db.Link("t", path); err != nil {
+		b.Fatal(err)
+	}
+	q := "select sum(a1), count(*) from t where a1 > 10000 and a1 < 30000"
+	if _, err := db.Query(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ctx := context.Background()
+		for pb.Next() {
+			if _, err := db.QueryContext(ctx, q); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkConcurrentClientsColdLoads is the same fan-out but against
+// tables whose columns race to load: each iteration cycles predicates so
+// partial-load coverage keeps missing and the raw file stays in play.
+func BenchmarkConcurrentClientsColdLoads(b *testing.B) {
+	db := Open(Options{Policy: PartialLoadsV1})
+	defer db.Close()
+	path := benchTable(b, 50000, 4)
+	if err := db.Link("t", path); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ctx := context.Background()
+		i := 0
+		for pb.Next() {
+			lo := (i * 997) % 40000
+			q := fmt.Sprintf("select sum(a1) from t where a1 > %d and a1 < %d", lo, lo+5000)
+			if _, err := db.QueryContext(ctx, q); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
 }

@@ -1,0 +1,122 @@
+// Command nodbd is the NoDB query server: it links raw CSV files into one
+// shared engine and serves SQL over HTTP/JSON to many concurrent clients.
+//
+// Usage:
+//
+//	nodbd [-addr :8080] [-policy columns|full|partial-v1|partial-v2|splitfiles|external|auto]
+//	      [-cracking] [-mem bytes] [-splitdir dir] [-workers n]
+//	      [-max-inflight n] [-timeout d] [-max-timeout d] [-grace d]
+//	      name=path.csv [name=path.csv ...]
+//
+// Example:
+//
+//	nodbd -addr :8080 -policy partial-v2 events=events.csv
+//	curl -s localhost:8080/query -d '{"query": "select count(*) from events"}'
+//
+// The server enforces admission control (-max-inflight; excess requests
+// get 429), applies a per-query timeout (-timeout, overridable per request
+// up to -max-timeout), and shuts down gracefully on SIGINT/SIGTERM:
+// in-flight queries get a grace period, new ones are refused, and
+// cancellation propagates into running scans.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"nodb"
+	"nodb/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		policyName  = flag.String("policy", "columns", "loading policy")
+		cracking    = flag.Bool("cracking", false, "enable adaptive indexing (database cracking)")
+		mem         = flag.Int64("mem", 0, "memory budget in bytes (0 = unlimited)")
+		splitDir    = flag.String("splitdir", "", "directory for split files (default: $TMPDIR/nodb-splits)")
+		workers     = flag.Int("workers", 0, "tokenizer workers (0 = 1)")
+		maxInFlight = flag.Int("max-inflight", 64, "max concurrently executing queries; excess requests get 429")
+		timeout     = flag.Duration("timeout", 30*time.Second, "default per-query timeout (0 = none)")
+		maxTimeout  = flag.Duration("max-timeout", 5*time.Minute, "cap on per-request timeout_ms (0 = no cap)")
+		grace       = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight queries")
+	)
+	flag.Parse()
+
+	pol, err := nodb.ParsePolicy(*policyName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nodbd: %v\n", err)
+		os.Exit(2)
+	}
+	sd := *splitDir
+	if sd == "" {
+		sd = os.TempDir() + "/nodb-splits"
+	}
+	db := nodb.Open(nodb.Options{
+		Policy:       pol,
+		Cracking:     *cracking,
+		MemoryBudget: *mem,
+		SplitDir:     sd,
+		Workers:      *workers,
+	})
+	defer db.Close()
+
+	for _, arg := range flag.Args() {
+		name, path, ok := strings.Cut(arg, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "nodbd: argument %q is not name=path\n", arg)
+			os.Exit(2)
+		}
+		if err := db.Link(name, path); err != nil {
+			fmt.Fprintf(os.Stderr, "nodbd: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("linked %s -> %s\n", name, path)
+	}
+
+	srv := server.New(server.Config{
+		DB:             db,
+		MaxInFlight:    *maxInFlight,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("nodbd listening on %s (policy=%s, max-inflight=%d)\n", *addr, pol, *maxInFlight)
+
+	select {
+	case <-ctx.Done():
+		// Graceful shutdown: stop accepting, let in-flight queries drain
+		// within the grace period, then cancel whatever is left — the
+		// context plumbing stops their scans between chunks.
+		fmt.Fprintln(os.Stderr, "nodbd: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			httpSrv.Close()
+		}
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "nodbd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -12,8 +12,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"nodb/internal/catalog"
@@ -44,6 +46,10 @@ type Options struct {
 	PosMapBudget int64
 	// Workers is the tokenization parallelism (default 1).
 	Workers int
+	// ChunkSize overrides the raw-file streaming read size (default
+	// scan.DefaultChunkSize). Smaller chunks tighten the cancellation
+	// granularity of QueryContext at the cost of more read calls.
+	ChunkSize int
 	// DisablePositionalMap turns off both recording and use of the
 	// positional map (for ablations).
 	DisablePositionalMap bool
@@ -57,6 +63,7 @@ type Options struct {
 // table's internal locks.
 type Engine struct {
 	opts     Options
+	policy   atomic.Int32 // current plan.Policy; atomic so SetPolicy races with queries safely
 	cat      *catalog.Catalog
 	counters metrics.Counters
 	ld       *loader.Loader
@@ -66,6 +73,7 @@ type Engine struct {
 // NewEngine creates an engine with the given options.
 func NewEngine(opts Options) *Engine {
 	e := &Engine{opts: opts}
+	e.policy.Store(int32(opts.Policy))
 	e.cat = catalog.New(catalog.Options{
 		SplitDir:     opts.SplitDir,
 		MemoryBudget: opts.MemoryBudget,
@@ -75,10 +83,11 @@ func NewEngine(opts Options) *Engine {
 	e.ld = &loader.Loader{
 		Counters:        &e.counters,
 		Workers:         opts.Workers,
+		ChunkSize:       opts.ChunkSize,
 		RecordPositions: !opts.DisablePositionalMap,
 		UsePositions:    !opts.DisablePositionalMap,
 	}
-	e.extLd = &loader.Loader{Counters: &e.counters, Workers: opts.Workers}
+	e.extLd = &loader.Loader{Counters: &e.counters, Workers: opts.Workers, ChunkSize: opts.ChunkSize}
 	return e
 }
 
@@ -90,11 +99,12 @@ func (e *Engine) Counters() *metrics.Counters { return &e.counters }
 func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
 
 // Policy returns the current loading policy.
-func (e *Engine) Policy() plan.Policy { return e.opts.Policy }
+func (e *Engine) Policy() plan.Policy { return plan.Policy(e.policy.Load()) }
 
 // SetPolicy changes the loading policy for subsequent queries. Already
-// loaded state stays usable.
-func (e *Engine) SetPolicy(p plan.Policy) { e.opts.Policy = p }
+// loaded state stays usable. Safe to call while queries are in flight;
+// each query reads the policy once, at plan time.
+func (e *Engine) SetPolicy(p plan.Policy) { e.policy.Store(int32(p)) }
 
 // Link registers a raw file under a table name. This is the only
 // initialization step NoDB requires.
@@ -183,23 +193,40 @@ func (e *Engine) DenseAll(name string, cols []int) bool {
 
 // Query parses and executes one SELECT statement.
 func (e *Engine) Query(query string) (*Result, error) {
+	return e.QueryContext(context.Background(), query)
+}
+
+// QueryContext parses and executes one SELECT statement under ctx. When
+// ctx is cancelled or times out, execution stops cooperatively — a scan in
+// progress aborts between chunks rather than finishing the raw-file pass —
+// and the context's error is returned.
+func (e *Engine) QueryContext(ctx context.Context, query string) (*Result, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return e.QueryStmt(stmt)
+	return e.QueryStmtContext(ctx, stmt)
 }
 
 // Explain returns the physical plan for a query without executing it.
 func (e *Engine) Explain(query string) (string, error) {
+	return e.ExplainContext(context.Background(), query)
+}
+
+// ExplainContext is Explain under a context (revalidation may touch the
+// filesystem, so even planning honors cancellation).
+func (e *Engine) ExplainContext(ctx context.Context, query string) (string, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
+		return "", err
+	}
+	if err := ctx.Err(); err != nil {
 		return "", err
 	}
 	if err := e.revalidate(stmt); err != nil {
 		return "", err
 	}
-	p, err := plan.Build(stmt, e, e.opts.Policy)
+	p, err := plan.Build(stmt, e, e.Policy())
 	if err != nil {
 		return "", err
 	}
@@ -231,8 +258,19 @@ func (e *Engine) revalidate(stmt *sql.SelectStmt) error {
 
 // QueryStmt executes a parsed statement.
 func (e *Engine) QueryStmt(stmt *sql.SelectStmt) (*Result, error) {
+	return e.QueryStmtContext(context.Background(), stmt)
+}
+
+// QueryStmtContext executes a parsed statement under ctx. Cancellation is
+// cooperative: it is checked before planning, before each table's load
+// operator runs, and inside the scan/load chunk loops.
+func (e *Engine) QueryStmtContext(ctx context.Context, stmt *sql.SelectStmt) (*Result, error) {
 	timer := metrics.StartTimer()
 	before := e.counters.Snapshot()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// The user may have edited the flat files; the paper's policy is to
 	// notice and drop derived state (§5.4).
@@ -240,7 +278,7 @@ func (e *Engine) QueryStmt(stmt *sql.SelectStmt) (*Result, error) {
 		return nil, err
 	}
 
-	p, err := plan.Build(stmt, e, e.opts.Policy)
+	p, err := plan.Build(stmt, e, e.Policy())
 	if err != nil {
 		return nil, err
 	}
@@ -248,7 +286,7 @@ func (e *Engine) QueryStmt(stmt *sql.SelectStmt) (*Result, error) {
 	// Hybrid operator fast path (paper §5.2.2): single-table pure
 	// aggregation over dense data fuses selection and aggregation into
 	// one pass with no intermediate materialization.
-	if row, ok, err := e.tryFusedAggregate(p); err != nil {
+	if row, ok, err := e.tryFusedAggregate(ctx, p); err != nil {
 		return nil, err
 	} else if ok {
 		e.cat.EnforceBudget()
@@ -267,7 +305,10 @@ func (e *Engine) QueryStmt(stmt *sql.SelectStmt) (*Result, error) {
 	// plus a selection.
 	views := make([]*exec.View, len(p.Tables))
 	for i := range p.Tables {
-		v, err := e.tableView(&p.Tables[i])
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		v, err := e.tableView(ctx, &p.Tables[i])
 		if err != nil {
 			return nil, err
 		}
@@ -307,7 +348,7 @@ func (e *Engine) QueryStmt(stmt *sql.SelectStmt) (*Result, error) {
 // plan is a single-table aggregation (no joins, no grouping) whose load
 // operator yields dense columns and cracking is off. Returns ok=false when
 // the plan does not qualify; the caller then takes the general path.
-func (e *Engine) tryFusedAggregate(p *plan.Plan) ([]storage.Value, bool, error) {
+func (e *Engine) tryFusedAggregate(ctx context.Context, p *plan.Plan) ([]storage.Value, bool, error) {
 	if len(p.Tables) != 1 || len(p.Joins) != 0 || len(p.Aggs) == 0 ||
 		len(p.GroupBy) != 0 || len(p.Project) != 0 || e.opts.Cracking {
 		return nil, false, nil
@@ -323,11 +364,11 @@ func (e *Engine) tryFusedAggregate(p *plan.Plan) ([]storage.Value, bool, error) 
 		}
 		switch tp.LoadOp {
 		case plan.LoadFull:
-			err = e.ld.FullLoad(t)
+			err = e.ld.FullLoadContext(ctx, t)
 		case plan.LoadColumns:
-			err = e.ld.ColumnLoad(t, tp.NeedCols)
+			err = e.ld.ColumnLoadContext(ctx, t, tp.NeedCols)
 		case plan.LoadSplit:
-			err = e.ld.SplitColumnLoad(t, tp.NeedCols)
+			err = e.ld.SplitColumnLoadContext(ctx, t, tp.NeedCols)
 		}
 		if err != nil {
 			return nil, false, err
@@ -358,7 +399,7 @@ func (e *Engine) tryFusedAggregate(p *plan.Plan) ([]storage.Value, bool, error) 
 
 // tableView runs the table's load operator and selection, yielding the
 // qualifying rows with all needed columns.
-func (e *Engine) tableView(tp *plan.TablePlan) (*exec.View, error) {
+func (e *Engine) tableView(ctx context.Context, tp *plan.TablePlan) (*exec.View, error) {
 	t, err := e.cat.Get(tp.Name)
 	if err != nil {
 		return nil, err
@@ -367,28 +408,28 @@ func (e *Engine) tableView(tp *plan.TablePlan) (*exec.View, error) {
 	case plan.LoadNone:
 		return e.denseSelect(t, tp)
 	case plan.LoadFull:
-		if err := e.ld.FullLoad(t); err != nil {
+		if err := e.ld.FullLoadContext(ctx, t); err != nil {
 			return nil, err
 		}
 		return e.denseSelect(t, tp)
 	case plan.LoadColumns:
-		if err := e.ld.ColumnLoad(t, tp.NeedCols); err != nil {
+		if err := e.ld.ColumnLoadContext(ctx, t, tp.NeedCols); err != nil {
 			return nil, err
 		}
 		return e.denseSelect(t, tp)
 	case plan.LoadSplit:
-		if err := e.ld.SplitColumnLoad(t, tp.NeedCols); err != nil {
+		if err := e.ld.SplitColumnLoadContext(ctx, t, tp.NeedCols); err != nil {
 			return nil, err
 		}
 		return e.denseSelect(t, tp)
 	case plan.LoadPartialEphemeral:
-		return e.ld.PartialScan(t, tp.NeedCols, tp.Conj, tp.Ordinal)
+		return e.ld.PartialScanContext(ctx, t, tp.NeedCols, tp.Conj, tp.Ordinal)
 	case plan.LoadPartialRetained:
-		return e.ld.PartialLoadV2(t, tp.NeedCols, tp.Conj, tp.Ordinal)
+		return e.ld.PartialLoadV2Context(ctx, t, tp.NeedCols, tp.Conj, tp.Ordinal)
 	case plan.LoadExternal:
-		return e.extLd.PartialScan(t, tp.NeedCols, tp.Conj, tp.Ordinal)
+		return e.extLd.PartialScanContext(ctx, t, tp.NeedCols, tp.Conj, tp.Ordinal)
 	case plan.LoadAuto:
-		return e.autoLoad(t, tp)
+		return e.autoLoad(ctx, t, tp)
 	default:
 		return nil, fmt.Errorf("core: unknown load op %v", tp.LoadOp)
 	}
@@ -405,7 +446,7 @@ const (
 // partially loaded with retention; columns the workload keeps coming back
 // for are promoted to full column loads, bounding the number of trips back
 // to the raw file.
-func (e *Engine) autoLoad(t *catalog.Table, tp *plan.TablePlan) (*exec.View, error) {
+func (e *Engine) autoLoad(ctx context.Context, t *catalog.Table, tp *plan.TablePlan) (*exec.View, error) {
 	needAll := append([]int(nil), tp.NeedCols...)
 	for _, c := range tp.Conj.Columns() {
 		if !containsInt(needAll, c) {
@@ -424,14 +465,14 @@ func (e *Engine) autoLoad(t *catalog.Table, tp *plan.TablePlan) (*exec.View, err
 		}
 	}
 	if len(promote) > 0 {
-		if err := e.ld.ColumnLoad(t, promote); err != nil {
+		if err := e.ld.ColumnLoadContext(ctx, t, promote); err != nil {
 			return nil, err
 		}
 	}
 	if t.DenseAll(needAll) {
 		return e.denseSelect(t, tp)
 	}
-	return e.ld.PartialLoadV2(t, tp.NeedCols, tp.Conj, tp.Ordinal)
+	return e.ld.PartialLoadV2Context(ctx, t, tp.NeedCols, tp.Conj, tp.Ordinal)
 }
 
 // denseSelect evaluates the selection over dense columns, via the cracker

@@ -267,8 +267,8 @@ func TestReportFormat(t *testing.T) {
 
 func TestAllAndLookup(t *testing.T) {
 	all := All()
-	if len(all) != 10 {
-		t.Fatalf("experiments = %d, want 10", len(all))
+	if len(all) != 11 {
+		t.Fatalf("experiments = %d, want 11", len(all))
 	}
 	ids := map[string]bool{}
 	for _, r := range all {

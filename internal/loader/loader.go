@@ -20,6 +20,7 @@
 package loader
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -52,13 +53,14 @@ type Loader struct {
 	DisableEarlyAbandon bool
 }
 
-func (l *Loader) scanOpts(t *catalog.Table) scan.Options {
+func (l *Loader) scanOpts(ctx context.Context, t *catalog.Table) scan.Options {
 	return scan.Options{
 		Delimiter:  t.Schema().Delimiter,
 		Workers:    l.Workers,
 		ChunkSize:  l.ChunkSize,
 		SkipHeader: t.Schema().HasHeader,
 		Counters:   l.Counters,
+		Context:    ctx,
 	}
 }
 
@@ -91,11 +93,16 @@ func valueBytes(v storage.Value) int64 {
 
 // FullLoad loads every column of the table (classic up-front loading).
 func (l *Loader) FullLoad(t *catalog.Table) error {
+	return l.FullLoadContext(context.Background(), t)
+}
+
+// FullLoadContext is FullLoad with cooperative cancellation.
+func (l *Loader) FullLoadContext(ctx context.Context, t *catalog.Table) error {
 	all := make([]int, t.Schema().NumCols())
 	for i := range all {
 		all[i] = i
 	}
-	return l.ColumnLoad(t, all)
+	return l.ColumnLoadContext(ctx, t, all)
 }
 
 // ColumnLoad fully loads the given columns from the raw file. Columns that
@@ -104,12 +111,19 @@ func (l *Loader) FullLoad(t *catalog.Table) error {
 // columns"). When the positional map covers an anchor attribute for every
 // row, tokenization starts there instead of at the row start.
 func (l *Loader) ColumnLoad(t *catalog.Table, cols []int) error {
-	t.LockLoads()
-	defer t.UnlockLoads()
-	return l.columnLoadLocked(t, cols)
+	return l.ColumnLoadContext(context.Background(), t, cols)
 }
 
-func (l *Loader) columnLoadLocked(t *catalog.Table, cols []int) error {
+// ColumnLoadContext is ColumnLoad with cooperative cancellation: a
+// cancelled ctx aborts the underlying scan between chunks, leaving the
+// table's loaded state untouched.
+func (l *Loader) ColumnLoadContext(ctx context.Context, t *catalog.Table, cols []int) error {
+	t.LockLoads()
+	defer t.UnlockLoads()
+	return l.columnLoadLocked(ctx, t, cols)
+}
+
+func (l *Loader) columnLoadLocked(ctx context.Context, t *catalog.Table, cols []int) error {
 	missing := t.MissingDense(cols)
 	if len(missing) == 0 {
 		if l.Counters != nil {
@@ -122,11 +136,11 @@ func (l *Loader) columnLoadLocked(t *catalog.Table, cols []int) error {
 	}
 	sort.Ints(missing)
 
-	if l.UsePositions && l.tryPositionalColumnLoad(t, missing) {
+	if l.UsePositions && l.tryPositionalColumnLoad(ctx, t, missing) {
 		return nil
 	}
 
-	sc, err := scan.Open(t.Path(), l.scanOpts(t))
+	sc, err := scan.Open(t.Path(), l.scanOpts(ctx, t))
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package loader
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -52,6 +53,13 @@ func (b *rowBatch) sort() {
 // data away immediately after every query" behavior; V2 layers retention
 // on top.
 func (l *Loader) PartialScan(t *catalog.Table, needCols []int, conj expr.Conjunction, tab int) (*exec.View, error) {
+	return l.PartialScanContext(context.Background(), t, needCols, conj, tab)
+}
+
+// PartialScanContext is PartialScan with cooperative cancellation: a
+// cancelled ctx aborts tokenization between chunks and the partial result
+// is discarded.
+func (l *Loader) PartialScanContext(ctx context.Context, t *catalog.Table, needCols []int, conj expr.Conjunction, tab int) (*exec.View, error) {
 	loadCols := neededWithPreds(needCols, conj)
 	sch := t.Schema()
 	for _, c := range loadCols {
@@ -66,7 +74,7 @@ func (l *Loader) PartialScan(t *catalog.Table, needCols []int, conj expr.Conjunc
 		predsAt[i] = conj.OnColumn(c)
 	}
 
-	sc, err := scan.Open(t.Path(), l.scanOpts(t))
+	sc, err := scan.Open(t.Path(), l.scanOpts(ctx, t))
 	if err != nil {
 		return nil, err
 	}
@@ -184,6 +192,13 @@ func queryRegion(t *catalog.Table, loadCols []int, conj expr.Conjunction) (catal
 // merged into the sparse columns, and the query's region is recorded for
 // future reuse.
 func (l *Loader) PartialLoadV2(t *catalog.Table, needCols []int, conj expr.Conjunction, tab int) (*exec.View, error) {
+	return l.PartialLoadV2Context(context.Background(), t, needCols, conj, tab)
+}
+
+// PartialLoadV2Context is PartialLoadV2 with cooperative cancellation. A
+// cancelled scan merges nothing and records no region, so the adaptive
+// store never sees a half-loaded query's state.
+func (l *Loader) PartialLoadV2Context(ctx context.Context, t *catalog.Table, needCols []int, conj expr.Conjunction, tab int) (*exec.View, error) {
 	// Coverage check, scan, merge and region recording must be atomic
 	// with respect to other loads on this table (§5.4).
 	t.LockLoads()
@@ -204,7 +219,7 @@ func (l *Loader) PartialLoadV2(t *catalog.Table, needCols []int, conj expr.Conju
 		l.Counters.AddCacheMiss(1)
 	}
 
-	view, err := l.PartialScan(t, needCols, conj, tab)
+	view, err := l.PartialScanContext(ctx, t, needCols, conj, tab)
 	if err != nil {
 		return nil, err
 	}

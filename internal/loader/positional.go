@@ -2,6 +2,7 @@ package loader
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -18,7 +19,7 @@ import (
 // j <= min(missing) for every row of the table; tokenization then costs
 // (max(missing) - j + 1) attributes per row instead of (max(missing) + 1).
 // Returns true when it handled the load.
-func (l *Loader) tryPositionalColumnLoad(t *catalog.Table, missing []int) bool {
+func (l *Loader) tryPositionalColumnLoad(ctx context.Context, t *catalog.Table, missing []int) bool {
 	pm := t.PosMap
 	rows := t.NumRows()
 	if pm == nil || rows <= 0 {
@@ -52,7 +53,7 @@ func (l *Loader) tryPositionalColumnLoad(t *catalog.Table, missing []int) bool {
 		relCols[i] = c - anchor
 	}
 
-	err := l.positionalScan(t.Path(), t.Schema().Delimiter, offs, relCols, func(rowID int64, fields []scan.FieldRef) error {
+	err := l.positionalScan(ctx, t.Path(), t.Schema().Delimiter, offs, relCols, func(rowID int64, fields []scan.FieldRef) error {
 		for i, f := range fields {
 			v, err := parseField(f.Bytes, sch.Columns[missing[i]].Type)
 			if err != nil {
@@ -88,7 +89,7 @@ func (l *Loader) tryPositionalColumnLoad(t *catalog.Table, missing []int) bool {
 // positionalScan streams the file sequentially but tokenizes each row from
 // the given per-row anchor offset (ascending). relCols are attribute
 // indices relative to the anchor attribute.
-func (l *Loader) positionalScan(path string, delim byte, offs []int64, relCols []int, handler scan.RowHandler) error {
+func (l *Loader) positionalScan(ctx context.Context, path string, delim byte, offs []int64, relCols []int, handler scan.RowHandler) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("loader: %w", err)
@@ -112,8 +113,15 @@ func (l *Loader) positionalScan(path string, delim byte, offs []int64, relCols [
 
 	fields := make([]scan.FieldRef, len(relCols))
 
-	// refill loads the buffer so it covers [off, off+chunk).
+	// refill loads the buffer so it covers [off, off+chunk). It doubles as
+	// the cancellation checkpoint: one check per buffer refill costs
+	// nothing next to the read itself.
 	refill := func(off int64, minLen int) error {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("loader: %w", err)
+			}
+		}
 		want := chunk
 		if minLen > want {
 			want = minLen

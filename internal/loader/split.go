@@ -1,6 +1,7 @@
 package loader
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -18,6 +19,13 @@ import (
 // sidecar; loads of un-split attributes read only the residual file, which
 // keeps shrinking as splits recurse.
 func (l *Loader) SplitColumnLoad(t *catalog.Table, cols []int) error {
+	return l.SplitColumnLoadContext(context.Background(), t, cols)
+}
+
+// SplitColumnLoadContext is SplitColumnLoad with cooperative cancellation.
+// Cancellation is checked between source groups and inside each scan; a
+// partially written split file is closed and not registered.
+func (l *Loader) SplitColumnLoadContext(ctx context.Context, t *catalog.Table, cols []int) error {
 	if t.Splits == nil {
 		return fmt.Errorf("loader: table %s has no split registry (set SplitDir)", t.Name())
 	}
@@ -58,7 +66,10 @@ func (l *Loader) SplitColumnLoad(t *catalog.Table, cols []int) error {
 
 	for _, p := range order {
 		g := groups[p]
-		if err := l.loadGroup(t, g.src, g.locals, g.origs); err != nil {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("loader: %w", err)
+		}
+		if err := l.loadGroup(ctx, t, g.src, g.locals, g.origs); err != nil {
 			return err
 		}
 	}
@@ -68,7 +79,7 @@ func (l *Loader) SplitColumnLoad(t *catalog.Table, cols []int) error {
 // loadGroup loads origs (attribute ids) from one source file whose local
 // column indices are locals. Multi-column sources are split as a side
 // effect.
-func (l *Loader) loadGroup(t *catalog.Table, src splitfile.Source, locals, origs []int) error {
+func (l *Loader) loadGroup(ctx context.Context, t *catalog.Table, src splitfile.Source, locals, origs []int) error {
 	sch := t.Schema()
 	opts := scan.Options{
 		Delimiter: sch.Delimiter,
@@ -79,6 +90,7 @@ func (l *Loader) loadGroup(t *catalog.Table, src splitfile.Source, locals, origs
 		ChunkSize:  l.ChunkSize,
 		SkipHeader: src.Raw && sch.HasHeader,
 		Counters:   l.Counters,
+		Context:    ctx,
 	}
 	sc, err := scan.Open(src.Path, opts)
 	if err != nil {

@@ -1,0 +1,117 @@
+package scan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"nodb/internal/metrics"
+)
+
+// writeRows produces a CSV with n rows of two int columns and returns its
+// path.
+func writeRows(t *testing.T, n int) string {
+	t.Helper()
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "%d,%d\n", i, i*2)
+	}
+	path := filepath.Join(t.TempDir(), "rows.csv")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestScanCancelMidScan cancels the context from the row handler during
+// the first chunk; the scan must abort at the next chunk boundary, having
+// read well short of the whole file.
+func TestScanCancelMidScan(t *testing.T) {
+	const rows = 20000
+	path := writeRows(t, rows)
+
+	var c metrics.Counters
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, err := Open(path, Options{ChunkSize: 4096, Counters: &c, Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seen := 0
+	err = s.ScanColumns([]int{0}, func(rowID int64, fields []FieldRef) error {
+		seen++
+		if seen == 1 {
+			cancel()
+		}
+		return nil
+	}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ScanColumns error = %v, want context.Canceled", err)
+	}
+	if seen == 0 {
+		t.Fatal("scan aborted before tokenizing any row")
+	}
+	read := c.Snapshot().RawBytesRead
+	if read >= s.Size() {
+		t.Fatalf("scan read %d of %d bytes despite cancellation", read, s.Size())
+	}
+	if got := s.RowsScanned(); got >= rows {
+		t.Fatalf("scan tokenized all %d rows despite cancellation", got)
+	}
+}
+
+// TestScanPreCancelled verifies an already-cancelled context stops the
+// scan before it reads anything.
+func TestScanPreCancelled(t *testing.T) {
+	path := writeRows(t, 100)
+
+	var c metrics.Counters
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s, err := Open(path, Options{Counters: &c, Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.ScanColumns([]int{0}, func(rowID int64, fields []FieldRef) error {
+		t.Error("handler called under cancelled context")
+		return nil
+	}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ScanColumns error = %v, want context.Canceled", err)
+	}
+	if read := c.Snapshot().RawBytesRead; read != 0 {
+		t.Fatalf("pre-cancelled scan read %d bytes, want 0", read)
+	}
+}
+
+// TestScanCancelParallelWorkers exercises cancellation with multiple
+// portion workers: every worker must observe the cancelled context and the
+// scan must return the context error, not hang.
+func TestScanCancelParallelWorkers(t *testing.T) {
+	const rows = 40000
+	path := writeRows(t, rows)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, err := Open(path, Options{Workers: 4, ChunkSize: 4096, Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var once sync.Once
+	err = s.ScanColumns([]int{0}, func(rowID int64, fields []FieldRef) error {
+		once.Do(cancel)
+		return nil
+	}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ScanColumns error = %v, want context.Canceled", err)
+	}
+	if got := s.RowsScanned(); got >= rows {
+		t.Fatalf("scan tokenized all %d rows despite cancellation", got)
+	}
+}

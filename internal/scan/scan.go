@@ -15,6 +15,7 @@ package scan
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -41,6 +42,22 @@ type Options struct {
 	SkipHeader bool
 	// Counters, when non-nil, receives work accounting.
 	Counters *metrics.Counters
+	// Context, when non-nil, cancels a scan cooperatively: the chunk
+	// loops check it between reads, so a cancelled scan stops after at
+	// most one chunk instead of finishing a multi-MB file pass.
+	Context context.Context
+}
+
+// canceled reports the context's error, if any. Checked once per chunk —
+// cheap relative to a ChunkSize read.
+func (o Options) canceled() error {
+	if o.Context == nil {
+		return nil
+	}
+	if err := o.Context.Err(); err != nil {
+		return fmt.Errorf("scan: %w", err)
+	}
+	return nil
 }
 
 func (o Options) delim() byte {
@@ -157,7 +174,7 @@ func (s *Scanner) NumRows() (int64, error) {
 		defer f.Close()
 		var total int64
 		for i := range s.portions {
-			n, err := countRows(f, s.portions[i].off, s.portions[i].end, s.opts.chunkSize(), s.opts.Counters)
+			n, err := countRows(f, s.portions[i].off, s.portions[i].end, s.opts)
 			if err != nil {
 				s.countErr = err
 				return
@@ -239,7 +256,7 @@ func (s *Scanner) buildPortions() error {
 	var firstRow int64
 	for i := 0; i+1 < len(bounds); i++ {
 		p := portion{off: bounds[i], end: bounds[i+1], firstRow: firstRow}
-		n, err := countRows(f, p.off, p.end, s.opts.chunkSize(), s.opts.Counters)
+		n, err := countRows(f, p.off, p.end, s.opts)
 		if err != nil {
 			return err
 		}
@@ -279,12 +296,16 @@ func findLineEnd(f *os.File, off, end int64, chunk int) (int64, error) {
 
 // countRows counts data rows in [off, end). A final line without a
 // trailing newline counts as a row.
-func countRows(f *os.File, off, end int64, chunk int, c *metrics.Counters) (int64, error) {
-	buf := make([]byte, chunk)
+func countRows(f *os.File, off, end int64, o Options) (int64, error) {
+	c := o.Counters
+	buf := make([]byte, o.chunkSize())
 	var rows int64
 	lastByte := byte('\n')
 	pos := off
 	for pos < end {
+		if err := o.canceled(); err != nil {
+			return 0, err
+		}
 		n := int64(len(buf))
 		if pos+n > end {
 			n = end - pos
@@ -331,6 +352,9 @@ func (s *Scanner) ScanColumnsTail(cols []int, handler RowTailHandler, abandon Ab
 }
 
 func (s *Scanner) scan(cols []int, handler RowHandler, tailH RowTailHandler, abandon AbandonFunc) error {
+	if err := s.opts.canceled(); err != nil {
+		return err
+	}
 	if err := s.ensurePortions(); err != nil {
 		return err
 	}
@@ -402,6 +426,9 @@ func (s *Scanner) scanPortion(p portion, cols []int, handler RowHandler, tailH R
 	tok := newTokenizer(delim, cols)
 
 	for pos < p.end || carry > 0 {
+		if err := s.opts.canceled(); err != nil {
+			return err
+		}
 		n := 0
 		if pos < p.end {
 			want := chunk
@@ -626,6 +653,9 @@ func (t *tokenizer) rowAll(line []byte, lineOff, rowID int64, handler RowHandler
 // row (or attribute) begins, the engine can jump straight to it instead of
 // scanning from the start of the file. cols follows ScanColumns semantics.
 func (s *Scanner) ReadRowAt(rowOff int64, rowID int64, cols []int, handler RowHandler) error {
+	if err := s.opts.canceled(); err != nil {
+		return err
+	}
 	f, err := os.Open(s.path)
 	if err != nil {
 		return fmt.Errorf("scan: %w", err)

@@ -1,0 +1,395 @@
+// Package server exposes a nodb.DB over HTTP/JSON: many concurrent
+// clients, one shared engine. It is the network layer of the NoDB
+// reproduction — "here are my data files, here are my queries" as a
+// service instead of a library call.
+//
+// The server adds the production concerns the engine itself stays out of:
+// admission control (a fixed number of in-flight queries; excess requests
+// get 429 instead of piling onto the engine), per-request timeouts layered
+// on the client's own context, and work/health introspection endpoints.
+// Cancellation is end-to-end: a client that disconnects or times out has
+// its context cancelled, which stops the engine's raw-file scan between
+// chunks via the QueryContext path.
+//
+// Endpoints:
+//
+//	POST /query    {"query": "...", "timeout_ms": 0}  -> columns, rows, stats
+//	GET  /query?q=...                                 -> same
+//	POST /explain  {"query": "..."} (or GET ?q=...)   -> physical plan text
+//	GET  /tables                                      -> linked table names
+//	GET  /schema?table=name                           -> detected schema
+//	GET  /stats                                       -> engine counters + server counters
+//	GET  /healthz                                     -> liveness
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"nodb"
+	"nodb/internal/metrics"
+	"nodb/internal/schema"
+	"nodb/internal/storage"
+)
+
+// Config configures a Server.
+type Config struct {
+	// DB is the shared engine. Required.
+	DB *nodb.DB
+	// MaxInFlight caps concurrently executing queries; further requests
+	// are rejected with 429 until a slot frees (default 64).
+	MaxInFlight int
+	// DefaultTimeout bounds each query when the request does not set its
+	// own (0 = no server-side timeout; the client context still applies).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the timeout a request may ask for (default: no cap).
+	MaxTimeout time.Duration
+	// MaxBodyBytes caps request body size (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) maxInFlight() int {
+	if c.MaxInFlight <= 0 {
+		return 64
+	}
+	return c.MaxInFlight
+}
+
+func (c Config) maxBodyBytes() int64 {
+	if c.MaxBodyBytes <= 0 {
+		return 1 << 20
+	}
+	return c.MaxBodyBytes
+}
+
+// Server serves queries against one shared DB.
+type Server struct {
+	cfg Config
+	db  *nodb.DB
+	sem chan struct{}
+	mux *http.ServeMux
+
+	started time.Time
+
+	// Request accounting, all monotonic except inFlight.
+	inFlight  atomic.Int64
+	served    atomic.Int64 // queries executed to completion (ok or error)
+	rejected  atomic.Int64 // 429s from admission control
+	cancelled atomic.Int64 // queries that died to context cancel/timeout
+	failed    atomic.Int64 // queries that returned any other error
+}
+
+// New creates a Server around cfg.DB.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg,
+		db:      cfg.DB,
+		sem:     make(chan struct{}, cfg.maxInFlight()),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/explain", s.handleExplain)
+	s.mux.HandleFunc("/tables", s.handleTables)
+	s.mux.HandleFunc("/schema", s.handleSchema)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the HTTP handler; mount it on an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler directly so a Server can be passed to
+// httptest and http.Server without the extra Handler() hop.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// queryRequest is the /query and /explain request body.
+type queryRequest struct {
+	Query string `json:"query"`
+	// TimeoutMS bounds this query; 0 uses the server default. Capped by
+	// Config.MaxTimeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// errorResponse is every non-200 body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// queryResponse is the /query response body.
+type queryResponse struct {
+	Columns []string       `json:"columns"`
+	Rows    [][]any        `json:"rows"`
+	Stats   queryStatsJSON `json:"stats"`
+}
+
+type queryStatsJSON struct {
+	WallMicros int64            `json:"wall_us"`
+	Work       metrics.Snapshot `json:"work"`
+	Plan       string           `json:"plan"`
+}
+
+// statsResponse is the /stats response body.
+type statsResponse struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Policy        string           `json:"policy"`
+	MemBytes      int64            `json:"mem_bytes"`
+	Work          metrics.Snapshot `json:"work"`
+	Server        serverStatsJSON  `json:"server"`
+}
+
+type serverStatsJSON struct {
+	InFlight    int64 `json:"in_flight"`
+	MaxInFlight int   `json:"max_in_flight"`
+	Served      int64 `json:"served"`
+	Rejected    int64 `json:"rejected"`
+	Cancelled   int64 `json:"cancelled"`
+	Failed      int64 `json:"failed"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// readQueryRequest accepts POST {"query": ...} or GET ?q=...&timeout_ms=...
+func (s *Server) readQueryRequest(w http.ResponseWriter, r *http.Request) (queryRequest, bool) {
+	var req queryRequest
+	switch r.Method {
+	case http.MethodGet:
+		req.Query = r.URL.Query().Get("q")
+		if ms := r.URL.Query().Get("timeout_ms"); ms != "" {
+			v, err := strconv.ParseInt(ms, 10, 64)
+			if err != nil || v < 0 {
+				writeError(w, http.StatusBadRequest, "invalid timeout_ms %q", ms)
+				return queryRequest{}, false
+			}
+			req.TimeoutMS = v
+		}
+	case http.MethodPost:
+		body := http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes())
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					"request body exceeds %d bytes", tooBig.Limit)
+				return queryRequest{}, false
+			}
+			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return queryRequest{}, false
+		}
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return queryRequest{}, false
+	}
+	if req.Query == "" {
+		writeError(w, http.StatusBadRequest, "missing query")
+		return queryRequest{}, false
+	}
+	return req, true
+}
+
+// admit reserves an execution slot, or rejects the request with 429. The
+// release func must be called when the query finishes.
+func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	select {
+	case s.sem <- struct{}{}:
+		s.inFlight.Add(1)
+		return func() {
+			s.inFlight.Add(-1)
+			<-s.sem
+		}, true
+	default:
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"server at capacity (%d queries in flight)", cap(s.sem))
+		return nil, false
+	}
+}
+
+// queryContext derives the execution context: the client's own context
+// (cancelled on disconnect) plus the request or server default timeout.
+func (s *Server) queryContext(r *http.Request, req queryRequest) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if s.cfg.MaxTimeout > 0 && (timeout == 0 || timeout > s.cfg.MaxTimeout) {
+		timeout = s.cfg.MaxTimeout
+	}
+	if timeout > 0 {
+		return context.WithTimeout(r.Context(), timeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// errStatus maps an execution error to an HTTP status.
+func errStatus(err error) int {
+	var pathErr *fs.PathError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// Client went away (or server shutting down) mid-query.
+		return http.StatusServiceUnavailable
+	case errors.As(err, &pathErr):
+		// The raw file vanished or became unreadable mid-query: a server
+		// fault, not a caller bug.
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.readQueryRequest(w, r)
+	if !ok {
+		return
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	ctx, cancel := s.queryContext(r, req)
+	defer cancel()
+
+	res, err := s.db.QueryContext(ctx, req.Query)
+	s.served.Add(1)
+	if err != nil {
+		code := errStatus(err)
+		if code == http.StatusGatewayTimeout || code == http.StatusServiceUnavailable {
+			s.cancelled.Add(1)
+		} else {
+			s.failed.Add(1)
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+
+	writeJSON(w, http.StatusOK, queryResponse{
+		Columns: res.Columns,
+		Rows:    encodeRows(res.Rows),
+		Stats: queryStatsJSON{
+			WallMicros: res.Stats.Wall.Microseconds(),
+			Work:       res.Stats.Work,
+			Plan:       res.Stats.Plan,
+		},
+	})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.readQueryRequest(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.queryContext(r, req)
+	defer cancel()
+	p, err := s.db.ExplainContext(ctx, req.Query)
+	if err != nil {
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"plan": p})
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	tables := s.db.Tables()
+	if tables == nil {
+		tables = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"tables": tables})
+}
+
+// schemaJSON renders a detected schema.
+type schemaJSON struct {
+	Delimiter string          `json:"delimiter"`
+	HasHeader bool            `json:"has_header"`
+	Columns   []schemaColJSON `json:"columns"`
+}
+
+type schemaColJSON struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("table")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing table parameter")
+		return
+	}
+	sch, err := s.db.Schema(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	out := schemaJSON{
+		Delimiter: string(sch.Delimiter),
+		HasHeader: sch.HasHeader,
+		Columns:   make([]schemaColJSON, 0, len(sch.Columns)),
+	}
+	for _, c := range sch.Columns {
+		out.Columns = append(out.Columns, schemaColJSON{Name: c.Name, Type: c.Type.String()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Policy:        s.db.Policy().String(),
+		MemBytes:      s.db.MemSize(),
+		Work:          s.db.Work(),
+		Server: serverStatsJSON{
+			InFlight:    s.inFlight.Load(),
+			MaxInFlight: cap(s.sem),
+			Served:      s.served.Load(),
+			Rejected:    s.rejected.Load(),
+			Cancelled:   s.cancelled.Load(),
+			Failed:      s.failed.Load(),
+		},
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// encodeRows converts typed values to JSON-friendly scalars.
+func encodeRows(rows [][]storage.Value) [][]any {
+	out := make([][]any, len(rows))
+	for i, row := range rows {
+		r := make([]any, len(row))
+		for j, v := range row {
+			switch v.Typ {
+			case schema.Int64:
+				r[j] = v.I
+			case schema.Float64:
+				r[j] = v.F
+			default:
+				r[j] = v.S
+			}
+		}
+		out[i] = r
+	}
+	return out
+}

@@ -21,6 +21,8 @@
 package nodb
 
 import (
+	"context"
+
 	"nodb/internal/core"
 	"nodb/internal/metrics"
 	"nodb/internal/plan"
@@ -194,9 +196,21 @@ func (db *DB) Schema(name string) (*schema.Schema, error) { return db.e.TableSch
 // (comparisons and BETWEEN), GROUP BY, ORDER BY, LIMIT.
 func (db *DB) Query(query string) (*Result, error) { return db.e.Query(query) }
 
+// QueryContext is Query under a context: cancellation or timeout aborts
+// the query cooperatively, stopping a raw-file scan between chunks instead
+// of letting it finish the pass. The context's error is returned.
+func (db *DB) QueryContext(ctx context.Context, query string) (*Result, error) {
+	return db.e.QueryContext(ctx, query)
+}
+
 // Explain returns the physical plan — including the adaptive load
 // operators chosen for the current store state — without executing.
 func (db *DB) Explain(query string) (string, error) { return db.e.Explain(query) }
+
+// ExplainContext is Explain under a context.
+func (db *DB) ExplainContext(ctx context.Context, query string) (string, error) {
+	return db.e.ExplainContext(ctx, query)
+}
 
 // Policy returns the current loading policy.
 func (db *DB) Policy() Policy { return fromInternal(db.e.Policy()) }
