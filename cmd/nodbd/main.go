@@ -13,6 +13,10 @@
 //	nodbd -addr :8080 -policy partial-v2 events=events.csv
 //	curl -s localhost:8080/query -d '{"query": "select count(*) from events"}'
 //
+//	# Stream a large result as NDJSON: rows arrive while the scan runs,
+//	# and hanging up stops the scan mid-file.
+//	curl -sN localhost:8080/query/stream -d '{"query": "select a1, a2 from events where a1 > 10"}'
+//
 // The server enforces admission control (-max-inflight; excess requests
 // get 429), applies a per-query timeout (-timeout, overridable per request
 // up to -max-timeout), and shuts down gracefully on SIGINT/SIGTERM:

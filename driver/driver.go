@@ -1,0 +1,332 @@
+// Package driver registers nodb as a database/sql driver named "nodb",
+// opening the whole database/sql ecosystem to the adaptive engine:
+//
+//	import _ "nodb/driver"
+//
+//	db, err := sql.Open("nodb", "link=events=./events.csv&policy=partial-v2")
+//	stmt, err := db.Prepare("select a1, a2 from events where a1 between ? and ?")
+//	rows, err := stmt.Query(10, 1000)
+//
+// The DSN is a URL query string. Keys:
+//
+//	link=NAME=PATH        link a raw file as table NAME (repeatable)
+//	policy=NAME           loading policy (columns, full, partial-v1,
+//	                      partial-v2, splitfiles, external, auto)
+//	cracking=BOOL         enable adaptive indexing
+//	splitdir=DIR          split-file directory (required for splitfiles)
+//	mem=BYTES             memory budget (0 = unlimited)
+//	workers=N             tokenization parallelism
+//	chunk=BYTES           raw-file read chunk size
+//
+// Values follow URL escaping rules; paths containing '&' or '%' must be
+// percent-encoded.
+//
+// One sql.DB shares one engine: every connection database/sql hands out is
+// a lightweight handle onto the same adaptive store, so what one query
+// loads, the next one reuses — exactly like the embedded API. Query
+// results stream through the engine's cursor, so iterating a *sql.Rows
+// pulls rows incrementally and closing it early stops the raw-file scan
+// mid-pass. The engine is read-only from SQL: Exec and transactions return
+// errors.
+package driver
+
+import (
+	"context"
+	"database/sql"
+	sqldriver "database/sql/driver"
+	"errors"
+	"fmt"
+	"io"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"nodb"
+)
+
+func init() {
+	sql.Register("nodb", &Driver{})
+}
+
+// Driver is the database/sql driver for nodb.
+type Driver struct{}
+
+// Open opens a one-off connection that owns its engine (legacy path; the
+// pooling path is OpenConnector, which database/sql prefers).
+func (d *Driver) Open(dsn string) (sqldriver.Conn, error) {
+	c, err := d.OpenConnector(dsn)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := c.Connect(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	conn.(*nodbConn).ownsDB = true
+	return conn, nil
+}
+
+// OpenConnector parses the DSN, opens the shared engine and links the
+// tables. DSN errors surface here — at sql.Open time.
+func (d *Driver) OpenConnector(dsn string) (sqldriver.Connector, error) {
+	opts, links, err := ParseDSN(dsn)
+	if err != nil {
+		return nil, err
+	}
+	db := nodb.Open(opts)
+	for _, l := range links {
+		if err := db.Link(l.Name, l.Path); err != nil {
+			_ = db.Close()
+			return nil, err
+		}
+	}
+	return &Connector{drv: d, dsn: dsn, db: db}, nil
+}
+
+// Link is one table registration from a DSN.
+type Link struct {
+	Name, Path string
+}
+
+// ParseDSN decodes a DSN into engine options and table links.
+func ParseDSN(dsn string) (nodb.Options, []Link, error) {
+	var opts nodb.Options
+	var links []Link
+	vals, err := url.ParseQuery(dsn)
+	if err != nil {
+		return opts, nil, fmt.Errorf("nodb driver: invalid DSN: %w", err)
+	}
+	for key, vv := range vals {
+		for _, v := range vv {
+			switch key {
+			case "link":
+				name, path, ok := strings.Cut(v, "=")
+				if !ok || name == "" || path == "" {
+					return opts, nil, fmt.Errorf("nodb driver: link %q is not NAME=PATH", v)
+				}
+				links = append(links, Link{Name: name, Path: path})
+			case "policy":
+				p, err := nodb.ParsePolicy(v)
+				if err != nil {
+					return opts, nil, fmt.Errorf("nodb driver: %w", err)
+				}
+				opts.Policy = p
+			case "cracking":
+				b, err := strconv.ParseBool(v)
+				if err != nil {
+					return opts, nil, fmt.Errorf("nodb driver: invalid cracking %q", v)
+				}
+				opts.Cracking = b
+			case "splitdir":
+				opts.SplitDir = v
+			case "mem":
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil || n < 0 {
+					return opts, nil, fmt.Errorf("nodb driver: invalid mem %q", v)
+				}
+				opts.MemoryBudget = n
+			case "workers":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					return opts, nil, fmt.Errorf("nodb driver: invalid workers %q", v)
+				}
+				opts.Workers = n
+			case "chunk":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					return opts, nil, fmt.Errorf("nodb driver: invalid chunk %q", v)
+				}
+				opts.ChunkSize = n
+			default:
+				return opts, nil, fmt.Errorf("nodb driver: unknown DSN key %q", key)
+			}
+		}
+	}
+	return opts, links, nil
+}
+
+// Connector owns the shared engine for one sql.DB. database/sql calls
+// Connect for every pooled connection; each gets a handle onto the same
+// engine so adaptive state is shared across the pool. sql.DB.Close closes
+// the connector, which closes the engine.
+type Connector struct {
+	drv *Driver
+	dsn string
+	db  *nodb.DB
+}
+
+// Connect hands out a connection sharing the engine.
+func (c *Connector) Connect(context.Context) (sqldriver.Conn, error) {
+	return &nodbConn{db: c.db}, nil
+}
+
+// Driver returns the parent driver.
+func (c *Connector) Driver() sqldriver.Driver { return c.drv }
+
+// Close shuts the shared engine down (called by sql.DB.Close).
+func (c *Connector) Close() error { return c.db.Close() }
+
+// DB exposes the underlying engine, for hybrid applications that want the
+// native API (streaming cursor, work counters, policy switches) alongside
+// database/sql.
+func (c *Connector) DB() *nodb.DB { return c.db }
+
+// errReadOnly rejects DML/DDL: the engine queries raw files in place.
+var errReadOnly = errors.New("nodb: the engine is read-only; only SELECT is supported")
+
+type nodbConn struct {
+	db     *nodb.DB
+	ownsDB bool // legacy Driver.Open path: the conn owns the engine
+	closed bool
+}
+
+// Prepare implements driver.Conn.
+func (c *nodbConn) Prepare(query string) (sqldriver.Stmt, error) {
+	return c.PrepareContext(context.Background(), query)
+}
+
+// PrepareContext implements driver.ConnPrepareContext.
+func (c *nodbConn) PrepareContext(ctx context.Context, query string) (sqldriver.Stmt, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s, err := c.db.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return &nodbStmt{s: s}, nil
+}
+
+// Close implements driver.Conn. Connections are handles; only the legacy
+// one-off path owns (and closes) the engine.
+func (c *nodbConn) Close() error {
+	c.closed = true
+	if c.ownsDB {
+		return c.db.Close()
+	}
+	return nil
+}
+
+// Begin implements driver.Conn; nodb has no transactions.
+func (c *nodbConn) Begin() (sqldriver.Tx, error) {
+	return nil, errors.New("nodb: transactions are not supported")
+}
+
+// Ping implements driver.Pinger.
+func (c *nodbConn) Ping(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if c.closed {
+		return sqldriver.ErrBadConn
+	}
+	return c.db.Ping()
+}
+
+// IsValid implements driver.Validator.
+func (c *nodbConn) IsValid() bool { return !c.closed && c.db.Ping() == nil }
+
+// QueryContext implements driver.QueryerContext: ad-hoc queries skip the
+// Prepare round-trip and go straight to the engine's cursor (still through
+// its plan cache).
+func (c *nodbConn) QueryContext(ctx context.Context, query string, args []sqldriver.NamedValue) (sqldriver.Rows, error) {
+	vals, err := namedValues(args)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.db.QueryRows(ctx, query, vals...)
+	if err != nil {
+		return nil, err
+	}
+	return &nodbRows{r: r}, nil
+}
+
+// ExecContext implements driver.ExecerContext; it always fails (read-only).
+func (c *nodbConn) ExecContext(context.Context, string, []sqldriver.NamedValue) (sqldriver.Result, error) {
+	return nil, errReadOnly
+}
+
+// namedValues converts driver arguments, rejecting named parameters (the
+// SQL dialect has only ordinal `?` placeholders).
+func namedValues(args []sqldriver.NamedValue) ([]any, error) {
+	vals := make([]any, len(args))
+	for i, a := range args {
+		if a.Name != "" {
+			return nil, fmt.Errorf("nodb: named parameter %q is not supported; use ordinal ?", a.Name)
+		}
+		vals[i] = a.Value
+	}
+	return vals, nil
+}
+
+type nodbStmt struct {
+	s *nodb.Stmt
+}
+
+// Close implements driver.Stmt.
+func (s *nodbStmt) Close() error { return s.s.Close() }
+
+// NumInput implements driver.Stmt; database/sql enforces the arity.
+func (s *nodbStmt) NumInput() int { return s.s.NumParams() }
+
+// Exec implements driver.Stmt; it always fails (read-only).
+func (s *nodbStmt) Exec([]sqldriver.Value) (sqldriver.Result, error) {
+	return nil, errReadOnly
+}
+
+// Query implements driver.Stmt.
+func (s *nodbStmt) Query(args []sqldriver.Value) (sqldriver.Rows, error) {
+	named := make([]sqldriver.NamedValue, len(args))
+	for i, a := range args {
+		named[i] = sqldriver.NamedValue{Ordinal: i + 1, Value: a}
+	}
+	return s.QueryContext(context.Background(), named)
+}
+
+// QueryContext implements driver.StmtQueryContext.
+func (s *nodbStmt) QueryContext(ctx context.Context, args []sqldriver.NamedValue) (sqldriver.Rows, error) {
+	vals, err := namedValues(args)
+	if err != nil {
+		return nil, err
+	}
+	r, err := s.s.QueryRows(ctx, vals...)
+	if err != nil {
+		return nil, err
+	}
+	return &nodbRows{r: r}, nil
+}
+
+// nodbRows adapts the engine's streaming cursor to driver.Rows. Rows flow
+// through one at a time; closing early propagates to the cursor, which
+// stops the raw-file scan mid-pass.
+type nodbRows struct {
+	r *nodb.Rows
+}
+
+// Columns implements driver.Rows.
+func (r *nodbRows) Columns() []string { return r.r.Columns() }
+
+// Close implements driver.Rows.
+func (r *nodbRows) Close() error { return r.r.Close() }
+
+// Next implements driver.Rows.
+func (r *nodbRows) Next(dest []sqldriver.Value) error {
+	if !r.r.Next() {
+		if err := r.r.Err(); err != nil {
+			return err
+		}
+		return io.EOF
+	}
+	row := r.r.Row()
+	for i, v := range row {
+		switch v.Typ {
+		case nodb.Int64:
+			dest[i] = v.I
+		case nodb.Float64:
+			dest[i] = v.F
+		default:
+			dest[i] = v.S
+		}
+	}
+	return nil
+}

@@ -484,6 +484,17 @@ func (c *Catalog) Tables() []string {
 	return out
 }
 
+// DropAll unlinks every table and drops all derived state. Engine close
+// uses it to release the adaptive store in one step.
+func (c *Catalog) DropAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name, t := range c.tables {
+		t.DropDerived()
+		delete(c.tables, name)
+	}
+}
+
 // MemSize returns the total bytes of loaded state.
 func (c *Catalog) MemSize() int64 {
 	c.mu.RLock()

@@ -13,6 +13,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -58,6 +59,10 @@ type Options struct {
 	DisableRevalidation bool
 }
 
+// ErrClosed is returned by every query or preparation attempt after the
+// engine was closed.
+var ErrClosed = errors.New("nodb: database is closed")
+
 // Engine is a NoDB instance. It is safe for concurrent queries against
 // distinct tables; concurrent queries on the same table serialize on the
 // table's internal locks.
@@ -68,11 +73,17 @@ type Engine struct {
 	counters metrics.Counters
 	ld       *loader.Loader
 	extLd    *loader.Loader // external baseline: never learns anything
+
+	closed      atomic.Bool
+	closeCtx    context.Context // cancelled by Close; aborts in-flight cursors
+	closeCancel context.CancelFunc
+	stmts       *stmtCache
 }
 
 // NewEngine creates an engine with the given options.
 func NewEngine(opts Options) *Engine {
-	e := &Engine{opts: opts}
+	e := &Engine{opts: opts, stmts: newStmtCache(stmtCacheSize)}
+	e.closeCtx, e.closeCancel = context.WithCancel(context.Background())
 	e.policy.Store(int32(opts.Policy))
 	e.cat = catalog.New(catalog.Options{
 		SplitDir:     opts.SplitDir,
@@ -90,6 +101,31 @@ func NewEngine(opts Options) *Engine {
 	e.extLd = &loader.Loader{Counters: &e.counters, Workers: opts.Workers, ChunkSize: opts.ChunkSize}
 	return e
 }
+
+// checkOpen fails with ErrClosed after Close.
+func (e *Engine) checkOpen() error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Close shuts the engine down: subsequent queries, preparations and links
+// return ErrClosed, in-flight cursors are cancelled (their scans stop
+// between chunks), and the catalog's derived state is released. Loaded
+// state is in-memory and split files are disposable, so nothing needs to
+// be flushed. Close is idempotent.
+func (e *Engine) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	e.closeCancel()
+	e.cat.DropAll()
+	return nil
+}
+
+// Ping reports whether the engine is usable (ErrClosed after Close).
+func (e *Engine) Ping() error { return e.checkOpen() }
 
 // Counters exposes the engine's work accounting.
 func (e *Engine) Counters() *metrics.Counters { return &e.counters }
@@ -109,6 +145,9 @@ func (e *Engine) SetPolicy(p plan.Policy) { e.policy.Store(int32(p)) }
 // Link registers a raw file under a table name. This is the only
 // initialization step NoDB requires.
 func (e *Engine) Link(name, path string) error {
+	if err := e.checkOpen(); err != nil {
+		return err
+	}
 	_, err := e.cat.Link(name, path)
 	return err
 }
@@ -199,13 +238,14 @@ func (e *Engine) Query(query string) (*Result, error) {
 // QueryContext parses and executes one SELECT statement under ctx. When
 // ctx is cancelled or times out, execution stops cooperatively — a scan in
 // progress aborts between chunks rather than finishing the raw-file pass —
-// and the context's error is returned.
-func (e *Engine) QueryContext(ctx context.Context, query string) (*Result, error) {
-	stmt, err := sql.Parse(query)
+// and the context's error is returned. Optional args bind the statement's
+// `?` placeholders.
+func (e *Engine) QueryContext(ctx context.Context, query string, args ...any) (*Result, error) {
+	rows, err := e.QueryRows(ctx, query, args...)
 	if err != nil {
 		return nil, err
 	}
-	return e.QueryStmtContext(ctx, stmt)
+	return rows.Result()
 }
 
 // Explain returns the physical plan for a query without executing it.
@@ -216,7 +256,10 @@ func (e *Engine) Explain(query string) (string, error) {
 // ExplainContext is Explain under a context (revalidation may touch the
 // filesystem, so even planning honors cancellation).
 func (e *Engine) ExplainContext(ctx context.Context, query string) (string, error) {
-	stmt, err := sql.Parse(query)
+	if err := e.checkOpen(); err != nil {
+		return "", err
+	}
+	stmt, err := e.parseCached(query)
 	if err != nil {
 		return "", err
 	}
@@ -261,87 +304,16 @@ func (e *Engine) QueryStmt(stmt *sql.SelectStmt) (*Result, error) {
 	return e.QueryStmtContext(context.Background(), stmt)
 }
 
-// QueryStmtContext executes a parsed statement under ctx. Cancellation is
-// cooperative: it is checked before planning, before each table's load
-// operator runs, and inside the scan/load chunk loops.
+// QueryStmtContext executes a parsed statement under ctx by draining a
+// streaming cursor into a buffered Result. Cancellation is cooperative: it
+// is checked before planning, before each table's load operator runs, and
+// inside the scan/load chunk loops.
 func (e *Engine) QueryStmtContext(ctx context.Context, stmt *sql.SelectStmt) (*Result, error) {
-	timer := metrics.StartTimer()
-	before := e.counters.Snapshot()
-
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	// The user may have edited the flat files; the paper's policy is to
-	// notice and drop derived state (§5.4).
-	if err := e.revalidate(stmt); err != nil {
-		return nil, err
-	}
-
-	p, err := plan.Build(stmt, e, e.Policy())
+	rows, err := e.QueryRowsStmt(ctx, stmt)
 	if err != nil {
 		return nil, err
 	}
-
-	// Hybrid operator fast path (paper §5.2.2): single-table pure
-	// aggregation over dense data fuses selection and aggregation into
-	// one pass with no intermediate materialization.
-	if row, ok, err := e.tryFusedAggregate(ctx, p); err != nil {
-		return nil, err
-	} else if ok {
-		e.cat.EnforceBudget()
-		return &Result{
-			Columns: p.Output,
-			Rows:    [][]storage.Value{row},
-			Stats: QueryStats{
-				Work: e.counters.Snapshot().Sub(before),
-				Wall: timer.Elapsed(),
-				Plan: p.String() + "fused select+aggregate\n",
-			},
-		}, nil
-	}
-
-	// One view per table, produced by that table's adaptive load operator
-	// plus a selection.
-	views := make([]*exec.View, len(p.Tables))
-	for i := range p.Tables {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		v, err := e.tableView(ctx, &p.Tables[i])
-		if err != nil {
-			return nil, err
-		}
-		views[i] = v
-	}
-
-	combined := views[0]
-	for i, edge := range p.Joins {
-		combined, err = exec.HashJoin(combined, views[i+1], edge.Left, edge.Right)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	rows, err := e.assemble(p, combined)
-	if err != nil {
-		return nil, err
-	}
-
-	exec.SortRows(rows, p.OrderBy)
-	rows = exec.LimitRows(rows, p.Limit)
-
-	e.cat.EnforceBudget()
-
-	return &Result{
-		Columns: p.Output,
-		Rows:    rows,
-		Stats: QueryStats{
-			Work: e.counters.Snapshot().Sub(before),
-			Wall: timer.Elapsed(),
-			Plan: p.String(),
-		},
-	}, nil
+	return rows.Result()
 }
 
 // tryFusedAggregate applies the fused select+aggregate operator when the
@@ -355,22 +327,13 @@ func (e *Engine) tryFusedAggregate(ctx context.Context, p *plan.Plan) ([]storage
 	}
 	tp := &p.Tables[0]
 	switch tp.LoadOp {
-	case plan.LoadNone:
-	case plan.LoadFull, plan.LoadColumns, plan.LoadSplit:
+	case plan.LoadNone, plan.LoadFull, plan.LoadColumns, plan.LoadSplit:
 		// Run the load operator first, then fuse the scan.
 		t, err := e.cat.Get(tp.Name)
 		if err != nil {
 			return nil, false, err
 		}
-		switch tp.LoadOp {
-		case plan.LoadFull:
-			err = e.ld.FullLoadContext(ctx, t)
-		case plan.LoadColumns:
-			err = e.ld.ColumnLoadContext(ctx, t, tp.NeedCols)
-		case plan.LoadSplit:
-			err = e.ld.SplitColumnLoadContext(ctx, t, tp.NeedCols)
-		}
-		if err != nil {
+		if err := e.runLoad(ctx, t, tp); err != nil {
 			return nil, false, err
 		}
 	default:
@@ -397,6 +360,24 @@ func (e *Engine) tryFusedAggregate(ctx context.Context, p *plan.Plan) ([]storage
 	return row, true, nil
 }
 
+// runLoad executes a column-granularity load operator (a full pass over
+// the raw file by design), leaving the needed columns dense. LoadNone is a
+// no-op.
+func (e *Engine) runLoad(ctx context.Context, t *catalog.Table, tp *plan.TablePlan) error {
+	switch tp.LoadOp {
+	case plan.LoadNone:
+		return nil
+	case plan.LoadFull:
+		return e.ld.FullLoadContext(ctx, t)
+	case plan.LoadColumns:
+		return e.ld.ColumnLoadContext(ctx, t, tp.NeedCols)
+	case plan.LoadSplit:
+		return e.ld.SplitColumnLoadContext(ctx, t, tp.NeedCols)
+	default:
+		return fmt.Errorf("core: load op %v is not column-granularity", tp.LoadOp)
+	}
+}
+
 // tableView runs the table's load operator and selection, yielding the
 // qualifying rows with all needed columns.
 func (e *Engine) tableView(ctx context.Context, tp *plan.TablePlan) (*exec.View, error) {
@@ -405,20 +386,8 @@ func (e *Engine) tableView(ctx context.Context, tp *plan.TablePlan) (*exec.View,
 		return nil, err
 	}
 	switch tp.LoadOp {
-	case plan.LoadNone:
-		return e.denseSelect(t, tp)
-	case plan.LoadFull:
-		if err := e.ld.FullLoadContext(ctx, t); err != nil {
-			return nil, err
-		}
-		return e.denseSelect(t, tp)
-	case plan.LoadColumns:
-		if err := e.ld.ColumnLoadContext(ctx, t, tp.NeedCols); err != nil {
-			return nil, err
-		}
-		return e.denseSelect(t, tp)
-	case plan.LoadSplit:
-		if err := e.ld.SplitColumnLoadContext(ctx, t, tp.NeedCols); err != nil {
+	case plan.LoadNone, plan.LoadFull, plan.LoadColumns, plan.LoadSplit:
+		if err := e.runLoad(ctx, t, tp); err != nil {
 			return nil, err
 		}
 		return e.denseSelect(t, tp)

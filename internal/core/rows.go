@@ -1,0 +1,558 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"nodb/internal/exec"
+	"nodb/internal/loader"
+	"nodb/internal/metrics"
+	"nodb/internal/plan"
+	"nodb/internal/schema"
+	"nodb/internal/sql"
+	"nodb/internal/storage"
+)
+
+// rowBatchSize is how many rows the producer accumulates before handing a
+// batch to the cursor — large enough that channel synchronization is off
+// the per-row path of a fast scan. rowFlushInterval bounds how long a
+// partial batch may sit: a background ticker flushes it, so a highly
+// selective scan over a large file delivers each found row within the
+// interval even when no further rows qualify for a long time.
+const (
+	rowBatchSize     = 256
+	rowFlushInterval = 25 * time.Millisecond
+)
+
+// cursorContext is the context a cursor's producer runs under: cancellable
+// by Close (and by Engine.Close), while delegating Err to the caller's
+// context *dynamically*. The engine's cooperative checkpoints poll Err
+// between chunks, so a parent context that reports cancellation through
+// Err alone (without a Done channel) still stops the scan — plain
+// context.WithCancel would hide the parent's Err method.
+type cursorContext struct {
+	parent context.Context
+	done   chan struct{}
+	mu     sync.Mutex
+	err    error
+}
+
+func newCursorContext(parent context.Context) (*cursorContext, context.CancelFunc) {
+	c := &cursorContext{parent: parent, done: make(chan struct{})}
+	cancel := func() { c.cancel(context.Canceled) }
+	stop := context.AfterFunc(parent, func() { c.cancel(parent.Err()) })
+	return c, func() { stop(); cancel() }
+}
+
+func (c *cursorContext) cancel(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return
+	}
+	c.err = err
+	close(c.done)
+}
+
+func (c *cursorContext) Done() <-chan struct{} { return c.done }
+
+func (c *cursorContext) Err() error {
+	c.mu.Lock()
+	err := c.err
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return c.parent.Err()
+}
+
+func (c *cursorContext) Deadline() (deadline time.Time, ok bool) { return c.parent.Deadline() }
+
+func (c *cursorContext) Value(key any) any { return c.parent.Value(key) }
+
+// errLimitReached aborts a streaming scan once LIMIT rows were emitted. It
+// is internal: the cursor reports it as clean end-of-rows.
+var errLimitReached = errors.New("core: row limit reached")
+
+// Rows is a streaming query cursor. Rows are produced by a pull-based
+// pipeline with early termination: for streamable plans (see the
+// streamable method) a LIMIT — or closing the cursor — stops a raw-file
+// scan mid-pass (between chunks, via the per-chunk cancellation hooks)
+// instead of letting it finish; non-streamable plans materialize first,
+// and closing their cursor cancels whatever scan is still running.
+//
+// The iteration protocol matches database/sql: Next advances and reports
+// whether a row is available, Scan copies the current row into Go values,
+// Err reports the error that ended iteration, and Close releases the
+// cursor (stopping any in-flight scan). A Rows must be closed; Close is
+// idempotent and a fully drained cursor closes cheaply.
+//
+// Rows is not safe for concurrent use by multiple goroutines.
+type Rows struct {
+	cols []string
+
+	cancel context.CancelFunc
+	unhook func() // releases the engine-close hook
+	ch     chan [][]storage.Value
+
+	// Written by the producer before it closes ch; the channel close is
+	// the synchronization point making them visible to the consumer.
+	finalErr   error
+	finalStats QueryStats
+
+	// Consumer-side state.
+	cur         [][]storage.Value
+	idx         int
+	row         []storage.Value
+	done        bool
+	closed      bool
+	closedEarly bool
+	err         error
+	stats       QueryStats
+}
+
+// Columns returns the output column names.
+func (r *Rows) Columns() []string { return append([]string(nil), r.cols...) }
+
+// Next advances to the next row, blocking until one is available or the
+// query ends. It returns false at end-of-rows or on error; consult Err to
+// tell the two apart.
+func (r *Rows) Next() bool {
+	if r.closed || r.done {
+		return false
+	}
+	if r.idx < len(r.cur) {
+		r.row = r.cur[r.idx]
+		r.idx++
+		return true
+	}
+	batch, ok := <-r.ch
+	if !ok {
+		r.finish()
+		return false
+	}
+	r.cur, r.idx = batch, 1
+	r.row = batch[0]
+	return true
+}
+
+// finish records the producer's final error and stats (visible once the
+// channel is closed) and releases the cursor's contexts.
+func (r *Rows) finish() {
+	r.done = true
+	r.err = r.finalErr
+	r.stats = r.finalStats
+	r.release()
+}
+
+func (r *Rows) release() {
+	if r.cancel != nil {
+		r.cancel()
+		r.cancel = nil
+	}
+	if r.unhook != nil {
+		r.unhook()
+		r.unhook = nil
+	}
+}
+
+// Row returns the current row's values. The slice is owned by the caller
+// and remains valid after further Next calls.
+func (r *Rows) Row() []storage.Value {
+	return r.row
+}
+
+// Scan copies the current row into dest. Supported destinations: *int64,
+// *int, *float64, *string, *bool, *any and *storage.Value. Numeric values
+// widen (int64 → float64); *string accepts any value via its text
+// rendering.
+func (r *Rows) Scan(dest ...any) error {
+	if r.row == nil || r.done || r.closed {
+		return errors.New("core: Scan called without a row; call Next first")
+	}
+	if len(dest) != len(r.row) {
+		return fmt.Errorf("core: Scan expected %d destinations, got %d", len(r.row), len(dest))
+	}
+	for i, d := range dest {
+		if err := scanValue(r.row[i], d); err != nil {
+			return fmt.Errorf("core: Scan column %d (%s): %w", i, r.cols[i], err)
+		}
+	}
+	return nil
+}
+
+func scanValue(v storage.Value, dest any) error {
+	switch d := dest.(type) {
+	case *int64:
+		if v.Typ != schema.Int64 {
+			return fmt.Errorf("cannot scan %s into *int64", v.Typ)
+		}
+		*d = v.I
+	case *int:
+		if v.Typ != schema.Int64 {
+			return fmt.Errorf("cannot scan %s into *int", v.Typ)
+		}
+		if int64(int(v.I)) != v.I {
+			return fmt.Errorf("value %d overflows *int", v.I)
+		}
+		*d = int(v.I)
+	case *float64:
+		switch v.Typ {
+		case schema.Int64:
+			*d = float64(v.I)
+		case schema.Float64:
+			*d = v.F
+		default:
+			return fmt.Errorf("cannot scan %s into *float64", v.Typ)
+		}
+	case *bool:
+		if v.Typ != schema.Int64 {
+			return fmt.Errorf("cannot scan %s into *bool", v.Typ)
+		}
+		*d = v.I != 0
+	case *string:
+		*d = v.String()
+	case *any:
+		switch v.Typ {
+		case schema.Int64:
+			*d = v.I
+		case schema.Float64:
+			*d = v.F
+		default:
+			*d = v.S
+		}
+	case *storage.Value:
+		*d = v
+	default:
+		return fmt.Errorf("unsupported destination type %T", dest)
+	}
+	return nil
+}
+
+// Err returns the error that ended iteration, if any. It is nil while rows
+// are still flowing, after a clean end-of-rows, and after an early Close
+// (stopping early is not an error).
+func (r *Rows) Err() error { return r.err }
+
+// Stats returns the query's work accounting. It is complete once Next has
+// returned false or Close was called; before that it is zero. After an
+// early termination it covers the work actually done, not a full pass.
+func (r *Rows) Stats() QueryStats { return r.stats }
+
+// Close releases the cursor. Closing mid-iteration cancels the producer,
+// which stops a raw-file scan between chunks; the partial work is still
+// accounted in Stats. Close is idempotent and returns any genuine query
+// error (cancellation caused by Close itself is not reported).
+func (r *Rows) Close() error {
+	if r.closed {
+		return r.err
+	}
+	r.closed = true
+	if !r.done {
+		r.closedEarly = true
+		if r.cancel != nil {
+			r.cancel()
+		}
+		for range r.ch { // discard; producer exits promptly once cancelled
+		}
+		r.finish()
+		if r.closedEarly && errors.Is(r.err, context.Canceled) {
+			// The cancellation we just caused, not a query failure.
+			r.err = nil
+		}
+	}
+	r.release()
+	return r.err
+}
+
+// Result drains the cursor into a fully buffered Result and closes it.
+// The buffered Query API is this convenience over the streaming one.
+func (r *Rows) Result() (*Result, error) {
+	defer r.Close()
+	var rows [][]storage.Value
+	for r.Next() {
+		rows = append(rows, r.Row())
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return &Result{Columns: r.Columns(), Rows: rows, Stats: r.Stats()}, nil
+}
+
+// rowWriter batches produced rows onto the cursor channel, enforcing LIMIT.
+// Streaming scans may emit from multiple tokenizer goroutines, so emission
+// is serialized here.
+type rowWriter struct {
+	ctx   context.Context
+	ch    chan<- [][]storage.Value
+	limit int // -1 = unlimited
+
+	mu    sync.Mutex
+	count int
+	batch [][]storage.Value
+}
+
+// emit appends one row, taking ownership of it. It returns errLimitReached
+// once LIMIT rows have been emitted (aborting the producing scan) and the
+// context's error when the cursor was closed or cancelled.
+func (w *rowWriter) emit(row []storage.Value) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.limit >= 0 && w.count >= w.limit {
+		return errLimitReached
+	}
+	w.batch = append(w.batch, row)
+	w.count++
+	if w.limit >= 0 && w.count >= w.limit {
+		if err := w.flushLocked(); err != nil {
+			return err
+		}
+		return errLimitReached
+	}
+	if len(w.batch) >= rowBatchSize {
+		return w.flushLocked()
+	}
+	return nil
+}
+
+// emitAll streams pre-materialized rows (already limited by the caller)
+// through the batching path under one lock acquisition.
+func (w *rowWriter) emitAll(rows [][]storage.Value) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, row := range rows {
+		if w.limit >= 0 && w.count >= w.limit {
+			return errLimitReached
+		}
+		w.batch = append(w.batch, row)
+		w.count++
+		if len(w.batch) >= rowBatchSize {
+			if err := w.flushLocked(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (w *rowWriter) flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flushLocked()
+}
+
+func (w *rowWriter) flushLocked() error {
+	if len(w.batch) == 0 {
+		return nil
+	}
+	batch := w.batch
+	w.batch = nil
+	select {
+	case w.ch <- batch:
+		return nil
+	case <-w.ctx.Done():
+		return w.ctx.Err()
+	}
+}
+
+// QueryRows opens a streaming cursor for one SELECT statement with
+// optional `?` placeholder arguments. Planning errors surface here;
+// execution errors surface through the cursor's Err.
+func (e *Engine) QueryRows(ctx context.Context, query string, args ...any) (*Rows, error) {
+	stmt, err := e.parseCached(query)
+	if err != nil {
+		return nil, err
+	}
+	bound, err := stmt.Bind(args...)
+	if err != nil {
+		return nil, err
+	}
+	return e.QueryRowsStmt(ctx, bound)
+}
+
+// QueryRowsStmt opens a streaming cursor over a parsed (and fully bound)
+// statement. The returned cursor must be closed.
+func (e *Engine) QueryRowsStmt(ctx context.Context, stmt *sql.SelectStmt) (*Rows, error) {
+	timer := metrics.StartTimer()
+	before := e.counters.Snapshot()
+
+	if err := e.checkOpen(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := e.revalidate(stmt); err != nil {
+		return nil, err
+	}
+	p, err := plan.Build(stmt, e, e.Policy())
+	if err != nil {
+		return nil, err
+	}
+
+	cctx, cancel := newCursorContext(ctx)
+	// Engine.Close aborts in-flight cursors: closing the engine cancels
+	// closeCtx, which cancels this cursor's context.
+	unhook := context.AfterFunc(e.closeCtx, cancel)
+
+	r := &Rows{
+		cols:   p.Output,
+		cancel: cancel,
+		unhook: func() { unhook() },
+		ch:     make(chan [][]storage.Value, 4),
+	}
+	go e.produce(cctx, p, r, before, timer)
+	return r, nil
+}
+
+// produce runs the query and feeds the cursor. It always closes the
+// channel last, after recording the final error and stats.
+func (e *Engine) produce(ctx context.Context, p *plan.Plan, r *Rows, before metrics.Snapshot, timer metrics.Timer) {
+	defer close(r.ch)
+	w := &rowWriter{ctx: ctx, ch: r.ch, limit: p.Limit}
+
+	// Background flusher: bounds how long a partial batch sits when the
+	// scan finds rows rarely. It must stop before the channel closes.
+	stopFlush := make(chan struct{})
+	flushDone := make(chan struct{})
+	go func() {
+		defer close(flushDone)
+		tick := time.NewTicker(rowFlushInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				_ = w.flush() // a cancelled cursor surfaces through execute
+			case <-stopFlush:
+				return
+			}
+		}
+	}()
+
+	note, err := e.execute(ctx, p, w)
+	close(stopFlush)
+	<-flushDone
+	if err == nil {
+		err = w.flush()
+	}
+	if errors.Is(err, errLimitReached) {
+		err = nil // LIMIT satisfied: a clean early stop, not a failure
+	}
+	e.cat.EnforceBudget()
+	r.finalErr = err
+	r.finalStats = QueryStats{
+		Work: e.counters.Snapshot().Sub(before),
+		Wall: timer.Elapsed(),
+		Plan: p.String() + note,
+	}
+}
+
+// execute dispatches the plan to the best execution path: the fused
+// select+aggregate operator, the streaming row pipeline, or the general
+// materializing path. It returns an EXPLAIN note for the stats plan.
+func (e *Engine) execute(ctx context.Context, p *plan.Plan, w *rowWriter) (string, error) {
+	if p.Limit == 0 {
+		return "", nil
+	}
+	if row, ok, err := e.tryFusedAggregate(ctx, p); err != nil {
+		return "", err
+	} else if ok {
+		return "fused select+aggregate\n", w.emit(row)
+	}
+	if e.streamable(p) {
+		return "streaming cursor\n", e.executeStream(ctx, p, w)
+	}
+	rows, err := e.executeMaterialized(ctx, p)
+	if err != nil {
+		return "", err
+	}
+	return "", w.emitAll(rows)
+}
+
+// streamable reports whether the plan can produce rows incrementally with
+// early termination: a single-table plain selection whose load operator
+// either scans the raw file row-by-row or reads already-dense columns.
+// Aggregation, grouping, ordering and joins need the full input before the
+// first output row; the retaining partial loaders merge scan results into
+// the adaptive store post-pass, so they keep the materializing path.
+func (e *Engine) streamable(p *plan.Plan) bool {
+	if len(p.Tables) != 1 || len(p.Joins) != 0 || p.HasAggregates() ||
+		len(p.GroupBy) != 0 || len(p.OrderBy) != 0 || e.opts.Cracking {
+		return false
+	}
+	switch p.Tables[0].LoadOp {
+	case plan.LoadNone, plan.LoadFull, plan.LoadColumns, plan.LoadSplit,
+		plan.LoadPartialEphemeral, plan.LoadExternal:
+		return true
+	default: // LoadPartialRetained, LoadAuto
+		return false
+	}
+}
+
+// executeStream runs the streaming row pipeline for a qualifying plan.
+func (e *Engine) executeStream(ctx context.Context, p *plan.Plan, w *rowWriter) error {
+	tp := &p.Tables[0]
+	t, err := e.cat.Get(tp.Name)
+	if err != nil {
+		return err
+	}
+	outCols := make([]int, len(p.Project))
+	for i, k := range p.Project {
+		outCols[i] = k.Col
+	}
+	emit := func(rowID int64, vals []storage.Value) error { return w.emit(vals) }
+
+	switch tp.LoadOp {
+	case plan.LoadPartialEphemeral:
+		return e.ld.ScanRowsContext(ctx, t, outCols, tp.Conj, emit)
+	case plan.LoadExternal:
+		return e.extLd.ScanRowsContext(ctx, t, outCols, tp.Conj, emit)
+	default:
+		// Column-granularity policies load first (a full pass by design),
+		// then stream the selection over the dense columns. NeedCols
+		// already includes every predicate column (plan.Build marks them).
+		if err := e.runLoad(ctx, t, tp); err != nil {
+			return err
+		}
+		src, err := loader.DenseSourceFor(t, tp.NeedCols, &e.counters)
+		if err != nil {
+			return err
+		}
+		return exec.SelectDenseRows(src, tp.Conj, outCols, emit)
+	}
+}
+
+// executeMaterialized is the general path: per-table views, joins,
+// aggregation/grouping, sort and limit — fully materialized.
+func (e *Engine) executeMaterialized(ctx context.Context, p *plan.Plan) ([][]storage.Value, error) {
+	views := make([]*exec.View, len(p.Tables))
+	for i := range p.Tables {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		v, err := e.tableView(ctx, &p.Tables[i])
+		if err != nil {
+			return nil, err
+		}
+		views[i] = v
+	}
+
+	combined := views[0]
+	var err error
+	for i, edge := range p.Joins {
+		combined, err = exec.HashJoin(combined, views[i+1], edge.Left, edge.Right)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	rows, err := e.assemble(p, combined)
+	if err != nil {
+		return nil, err
+	}
+	exec.SortRows(rows, p.OrderBy)
+	return exec.LimitRows(rows, p.Limit), nil
+}

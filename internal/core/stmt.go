@@ -1,0 +1,174 @@
+package core
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"nodb/internal/plan"
+	"nodb/internal/sql"
+	"nodb/internal/storage"
+)
+
+// stmtCacheSize bounds the engine's statement cache. Each entry is a
+// parsed AST (a few hundred bytes), so the bound is about predictability,
+// not memory pressure.
+const stmtCacheSize = 256
+
+// stmtCache is a bounded LRU of parsed statements keyed by normalized SQL.
+// Cached templates are shared and must be treated as immutable; Bind
+// copies before substituting placeholders.
+//
+// Only parsing is cacheable: the physical plan is deliberately rebuilt per
+// execution, because the adaptive-load rewrite depends on what the store
+// holds *now* (a column loaded by the previous query changes this query's
+// load operator).
+type stmtCache struct {
+	mu     sync.Mutex
+	max    int
+	order  *list.List // front = most recently used
+	byKey  map[string]*list.Element
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type stmtCacheEntry struct {
+	key  string
+	stmt *sql.SelectStmt
+}
+
+func newStmtCache(max int) *stmtCache {
+	return &stmtCache{max: max, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+func (c *stmtCache) get(key string) (*sql.SelectStmt, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	c.order.MoveToFront(el)
+	return el.Value.(*stmtCacheEntry).stmt, true
+}
+
+func (c *stmtCache) put(key string, stmt *sql.SelectStmt) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*stmtCacheEntry).stmt = stmt
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&stmtCacheEntry{key: key, stmt: stmt})
+	for c.order.Len() > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*stmtCacheEntry).key)
+	}
+}
+
+func (c *stmtCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// parseCached parses a query through the bounded statement cache.
+func (e *Engine) parseCached(query string) (*sql.SelectStmt, error) {
+	key := sql.Normalize(query)
+	if stmt, ok := e.stmts.get(key); ok {
+		return stmt, nil
+	}
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	e.stmts.put(key, stmt)
+	return stmt, nil
+}
+
+// PlanCacheStats reports the statement cache's hits, misses and current
+// size (for tests and introspection).
+func (e *Engine) PlanCacheStats() (hits, misses int64, size int) {
+	return e.stmts.hits.Load(), e.stmts.misses.Load(), e.stmts.len()
+}
+
+// Stmt is a prepared statement: parsed and name-checked once, executed
+// many times with different `?` arguments. It is safe for concurrent use;
+// each execution binds its arguments into a private copy of the template.
+type Stmt struct {
+	e      *Engine
+	query  string
+	stmt   *sql.SelectStmt // immutable template, possibly with placeholders
+	closed atomic.Bool
+}
+
+// Prepare parses and validates one SELECT statement with optional `?`
+// placeholders. Validation binds the referenced tables and columns against
+// the catalog, so unknown names fail here rather than at execution; the
+// physical plan is still chosen per execution (it adapts to the store).
+func (e *Engine) Prepare(query string) (*Stmt, error) {
+	if err := e.checkOpen(); err != nil {
+		return nil, err
+	}
+	stmt, err := e.parseCached(query)
+	if err != nil {
+		return nil, err
+	}
+	// Validate names and shapes by building a throw-away plan with dummy
+	// arguments. Placeholder values do not influence name binding.
+	dummy := make([]any, stmt.NumParams)
+	for i := range dummy {
+		dummy[i] = storage.IntValue(0)
+	}
+	bound, err := stmt.Bind(dummy...)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := plan.Build(bound, e, e.Policy()); err != nil {
+		return nil, err
+	}
+	return &Stmt{e: e, query: query, stmt: stmt}, nil
+}
+
+// NumParams returns the number of `?` placeholders.
+func (s *Stmt) NumParams() int { return s.stmt.NumParams }
+
+// Query executes the statement with the given arguments, fully buffered.
+func (s *Stmt) Query(args ...any) (*Result, error) {
+	return s.QueryContext(context.Background(), args...)
+}
+
+// QueryContext executes the statement with the given arguments under ctx,
+// fully buffered.
+func (s *Stmt) QueryContext(ctx context.Context, args ...any) (*Result, error) {
+	rows, err := s.QueryRows(ctx, args...)
+	if err != nil {
+		return nil, err
+	}
+	return rows.Result()
+}
+
+// QueryRows executes the statement with the given arguments and returns a
+// streaming cursor. The cursor must be closed.
+func (s *Stmt) QueryRows(ctx context.Context, args ...any) (*Rows, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	bound, err := s.stmt.Bind(args...)
+	if err != nil {
+		return nil, err
+	}
+	return s.e.QueryRowsStmt(ctx, bound)
+}
+
+// Close marks the statement unusable. The underlying cache entry stays
+// shared, so Close is cheap and idempotent.
+func (s *Stmt) Close() error {
+	s.closed.Store(true)
+	return nil
+}

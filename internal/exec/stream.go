@@ -1,0 +1,59 @@
+package exec
+
+import (
+	"fmt"
+
+	"nodb/internal/expr"
+	"nodb/internal/storage"
+)
+
+// SelectDenseRows is the streaming counterpart of SelectDense: it scans the
+// dense predicate columns in row order and, for every qualifying row, emits
+// the values of outCols (in outCols order) without materializing a View.
+// The emitted slice is freshly allocated per row; emit takes ownership.
+//
+// An error from emit aborts the scan and is returned as-is, which is how a
+// cursor's LIMIT or early Close stops the pass mid-way.
+func SelectDenseRows(src DenseSource, conj expr.Conjunction, outCols []int, emit func(rowID int64, vals []storage.Value) error) error {
+	for _, p := range conj.Preds {
+		if src.Columns[p.Col] == nil {
+			return fmt.Errorf("exec: predicate column %d not loaded", p.Col)
+		}
+	}
+	for _, c := range outCols {
+		if src.Columns[c] == nil {
+			return fmt.Errorf("exec: needed column %d not loaded", c)
+		}
+	}
+
+	n := int(src.NumRows)
+	scanned := 0
+	defer func() {
+		// Charge the bytes the predicate scan actually touched (the scan
+		// may stop early), plus the gathered output values.
+		src.countScanBytes(conj.Columns(), int64(scanned))
+	}()
+
+	fast, fastOK := intOnlyPreds(conj, src)
+	for i := 0; i < n; i++ {
+		scanned = i + 1
+		var ok bool
+		if fastOK {
+			ok = fast.eval(i)
+		} else {
+			ok = conj.EvalRow(func(col int) storage.Value { return src.Columns[col].Value(i) })
+		}
+		if !ok {
+			continue
+		}
+		vals := make([]storage.Value, len(outCols))
+		for j, c := range outCols {
+			vals[j] = src.Columns[c].Value(i)
+		}
+		src.countScanBytes(outCols, 1)
+		if err := emit(int64(i), vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}

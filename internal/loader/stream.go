@@ -1,0 +1,105 @@
+package loader
+
+import (
+	"context"
+	"fmt"
+
+	"nodb/internal/catalog"
+	"nodb/internal/expr"
+	"nodb/internal/scan"
+	"nodb/internal/storage"
+)
+
+// ScanRowsContext is the streaming form of PartialScanContext: it pushes
+// the conjunction into tokenization and emits each qualifying row's outCols
+// values (in outCols order) as soon as the row is parsed, instead of
+// batching the whole pass into a View. Nothing is retained in the adaptive
+// store.
+//
+// An error returned by emit aborts the scan mid-pass — after at most one
+// more chunk of raw-file reads — and is returned as-is; that is the
+// cursor's LIMIT/Close early-termination hook. The emitted value slice is
+// freshly allocated per row; emit takes ownership. With Workers > 1, emit
+// is called concurrently from multiple goroutines and must synchronize
+// itself, and rows arrive out of file order.
+//
+// The table's row count is recorded only when the scan runs to completion;
+// an aborted pass has not seen every row.
+func (l *Loader) ScanRowsContext(ctx context.Context, t *catalog.Table, outCols []int, conj expr.Conjunction, emit func(rowID int64, vals []storage.Value) error) error {
+	loadCols := neededWithPreds(outCols, conj)
+	sch := t.Schema()
+	for _, c := range loadCols {
+		if c < 0 || c >= sch.NumCols() {
+			return fmt.Errorf("loader: column %d out of range", c)
+		}
+	}
+	// Position of each output column within the scanned columns.
+	outAt := make([]int, len(outCols))
+	for i, oc := range outCols {
+		for j, lc := range loadCols {
+			if lc == oc {
+				outAt[i] = j
+				break
+			}
+		}
+	}
+
+	predsAt := make([][]expr.Pred, len(loadCols))
+	for i, c := range loadCols {
+		predsAt[i] = conj.OnColumn(c)
+	}
+
+	sc, err := scan.Open(t.Path(), l.scanOpts(ctx, t))
+	if err != nil {
+		return err
+	}
+
+	record := l.RecordPositions && t.PosMap != nil
+	abandon := func(idx int, f scan.FieldRef) bool {
+		if len(predsAt[idx]) == 0 {
+			return false
+		}
+		v, err := parseField(f.Bytes, sch.Columns[loadCols[idx]].Type)
+		if err != nil {
+			return true // unparseable under predicate: treat as non-qualifying
+		}
+		for _, p := range predsAt[idx] {
+			if !p.Eval(v) {
+				return true
+			}
+		}
+		return false
+	}
+
+	handler := func(rowID int64, fields []scan.FieldRef) error {
+		parsed := make([]storage.Value, len(loadCols))
+		for i, f := range fields {
+			v, err := parseField(f.Bytes, sch.Columns[loadCols[i]].Type)
+			if err != nil {
+				return fmt.Errorf("loader: row %d col %d: %w", rowID, loadCols[i], err)
+			}
+			parsed[i] = v
+		}
+		if l.Counters != nil {
+			l.Counters.AddValuesParsed(int64(len(fields)))
+		}
+		if record {
+			for i, f := range fields {
+				t.PosMap.Record(loadCols[i], rowID, f.Offset)
+			}
+		}
+		vals := make([]storage.Value, len(outCols))
+		for i, at := range outAt {
+			vals[i] = parsed[at]
+		}
+		return emit(rowID, vals)
+	}
+
+	if err := sc.ScanColumns(loadCols, handler, abandon); err != nil {
+		return err
+	}
+	// The pass completed: every row was tokenized exactly once, so the scan
+	// doubles as row-count discovery (like PartialScan).
+	t.SetNumRows(sc.RowsScanned())
+	return nil
+}

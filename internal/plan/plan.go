@@ -269,6 +269,9 @@ func Build(stmt *sql.SelectStmt, cat CatalogInfo, policy Policy) (*Plan, error) 
 	}
 
 	// Bind WHERE predicates (single-table by construction).
+	if stmt.NumParams > 0 {
+		return nil, fmt.Errorf("plan: statement has %d unbound parameters; bind arguments first", stmt.NumParams)
+	}
 	for _, pred := range stmt.Where {
 		k, err := b.resolve(pred.Col)
 		if err != nil {

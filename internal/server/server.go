@@ -13,13 +13,19 @@
 //
 // Endpoints:
 //
-//	POST /query    {"query": "...", "timeout_ms": 0}  -> columns, rows, stats
-//	GET  /query?q=...                                 -> same
-//	POST /explain  {"query": "..."} (or GET ?q=...)   -> physical plan text
-//	GET  /tables                                      -> linked table names
-//	GET  /schema?table=name                           -> detected schema
-//	GET  /stats                                       -> engine counters + server counters
-//	GET  /healthz                                     -> liveness
+//	POST /query         {"query": "...", "timeout_ms": 0}  -> columns, rows, stats
+//	GET  /query?q=...                                      -> same
+//	POST /query/stream  (same request shape)               -> NDJSON row stream
+//	POST /explain       {"query": "..."} (or GET ?q=...)   -> physical plan text
+//	GET  /tables                                           -> linked table names
+//	GET  /schema?table=name                                -> detected schema
+//	GET  /stats                                            -> engine counters + server counters
+//	GET  /healthz                                          -> liveness
+//
+// /query buffers the whole result; /query/stream writes one NDJSON line
+// per row through the engine's streaming cursor, flushing incrementally —
+// the first rows arrive while the raw-file scan is still running, and a
+// client that disconnects mid-stream stops the scan between chunks.
 package server
 
 import (
@@ -30,6 +36,7 @@ import (
 	"io/fs"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -96,6 +103,7 @@ func New(cfg Config) *Server {
 		started: time.Now(),
 	}
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/query/stream", s.handleQueryStream)
 	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/tables", s.handleTables)
 	s.mux.HandleFunc("/schema", s.handleSchema)
@@ -296,6 +304,163 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// streamFlushEvery bounds how many rows accumulate before the NDJSON
+// stream is flushed to the client, and streamFlushInterval bounds how long
+// written rows may sit in the response buffer when qualifying rows trickle
+// out of a selective scan (a background ticker flushes while the handler
+// is blocked waiting for the next row). Together they keep a fast scan
+// from being syscall-bound while a slow one delivers rows promptly.
+const (
+	streamFlushEvery    = 64
+	streamFlushInterval = 50 * time.Millisecond
+)
+
+// handleQueryStream streams a result as NDJSON through the engine's
+// cursor: a header line {"columns": [...]}, one JSON array per row, and a
+// trailer line — {"stats": {...}} on success, {"error": "..."} if the
+// query dies mid-stream. Rows are flushed incrementally, so the client
+// sees data while the raw-file scan is still running; a disconnect
+// cancels the request context, which stops the scan between chunks.
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.readQueryRequest(w, r)
+	if !ok {
+		return
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	ctx, cancel := s.queryContext(r, req)
+	defer cancel()
+
+	rows, err := s.db.QueryRows(ctx, req.Query)
+	s.served.Add(1)
+	if err != nil {
+		// Nothing streamed yet: a plain error response is still possible.
+		code := errStatus(err)
+		if code == http.StatusGatewayTimeout || code == http.StatusServiceUnavailable {
+			s.cancelled.Add(1)
+		} else {
+			s.failed.Add(1)
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	defer rows.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+
+	// The ResponseWriter is not safe for concurrent use; wmu serializes
+	// row writes against the background ticker that flushes pending bytes
+	// while the handler is blocked in rows.Next.
+	var wmu sync.Mutex
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	// The writer must not be touched after the handler returns, so stop
+	// the ticker and wait for it before unwinding.
+	stopFlush := make(chan struct{})
+	flushDone := make(chan struct{})
+	defer func() { close(stopFlush); <-flushDone }()
+	go func() {
+		defer close(flushDone)
+		tick := time.NewTicker(streamFlushInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				wmu.Lock()
+				flush()
+				wmu.Unlock()
+			case <-stopFlush:
+				return
+			}
+		}
+	}()
+
+	wmu.Lock()
+	err = enc.Encode(map[string][]string{"columns": rows.Columns()})
+	flush()
+	wmu.Unlock()
+	if err != nil {
+		s.cancelled.Add(1)
+		return
+	}
+
+	n := 0
+	for rows.Next() {
+		wmu.Lock()
+		err := enc.Encode(encodeRow(rows.Row()))
+		if err == nil && n%streamFlushEvery == 0 {
+			flush()
+		}
+		wmu.Unlock()
+		n++
+		if err != nil {
+			var uve *json.UnsupportedValueError
+			if errors.As(err, &uve) {
+				// A value JSON cannot represent (NaN/Inf float). The
+				// client is still connected — the failed Encode wrote
+				// nothing — so report the failure in-band as the trailer.
+				s.failed.Add(1)
+				wmu.Lock()
+				_ = enc.Encode(errorResponse{Error: err.Error()})
+				flush()
+				wmu.Unlock()
+				return
+			}
+			// Client went away; rows.Close (deferred) stops the scan.
+			s.cancelled.Add(1)
+			return
+		}
+	}
+	wmu.Lock()
+	defer wmu.Unlock()
+	if err := rows.Err(); err != nil {
+		// Headers are gone; report the failure in-band as the trailer.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.cancelled.Add(1)
+		} else {
+			s.failed.Add(1)
+		}
+		_ = enc.Encode(errorResponse{Error: err.Error()})
+		flush()
+		return
+	}
+	st := rows.Stats()
+	_ = enc.Encode(map[string]queryStatsJSON{"stats": {
+		WallMicros: st.Wall.Microseconds(),
+		Work:       st.Work,
+		Plan:       st.Plan,
+	}})
+	flush()
+}
+
+// encodeRow converts one typed row to JSON-friendly scalars.
+func encodeRow(row []storage.Value) []any {
+	out := make([]any, len(row))
+	for j, v := range row {
+		switch v.Typ {
+		case schema.Int64:
+			out[j] = v.I
+		case schema.Float64:
+			out[j] = v.F
+		default:
+			out[j] = v.S
+		}
+	}
+	return out
+}
+
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	req, ok := s.readQueryRequest(w, r)
 	if !ok {
@@ -378,18 +543,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func encodeRows(rows [][]storage.Value) [][]any {
 	out := make([][]any, len(rows))
 	for i, row := range rows {
-		r := make([]any, len(row))
-		for j, v := range row {
-			switch v.Typ {
-			case schema.Int64:
-				r[j] = v.I
-			case schema.Float64:
-				r[j] = v.F
-			default:
-				r[j] = v.S
-			}
-		}
-		out[i] = r
+		out[i] = encodeRow(row)
 	}
 	return out
 }

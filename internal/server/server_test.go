@@ -1,12 +1,14 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -334,4 +336,152 @@ func postQueryE(url, query string) (*http.Response, queryResponse) {
 		io.Copy(io.Discard, resp.Body)
 	}
 	return resp, out
+}
+
+// TestServerQueryStream: the NDJSON endpoint emits a columns header, one
+// JSON array per row, and a stats trailer.
+func TestServerQueryStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	body, _ := json.Marshal(queryRequest{Query: "select a1 from events where a1 < 10 order by a1"})
+	resp, err := http.Post(ts.URL+"/query/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content-type = %q", ct)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatal("missing header line")
+	}
+	var header struct {
+		Columns []string `json:"columns"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &header); err != nil {
+		t.Fatal(err)
+	}
+	if len(header.Columns) != 1 || header.Columns[0] != "a1" {
+		t.Fatalf("columns = %v", header.Columns)
+	}
+
+	var got []float64
+	var sawStats bool
+	for sc.Scan() {
+		line := sc.Bytes()
+		if bytes.HasPrefix(bytes.TrimSpace(line), []byte("[")) {
+			var row []float64
+			if err := json.Unmarshal(line, &row); err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, row[0])
+			continue
+		}
+		var trailer struct {
+			Stats *queryStatsJSON `json:"stats"`
+			Error string          `json:"error"`
+		}
+		if err := json.Unmarshal(line, &trailer); err != nil {
+			t.Fatal(err)
+		}
+		if trailer.Error != "" {
+			t.Fatalf("stream error: %s", trailer.Error)
+		}
+		if trailer.Stats == nil || trailer.Stats.Plan == "" {
+			t.Fatalf("trailer missing stats: %s", line)
+		}
+		sawStats = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawStats {
+		t.Fatal("stream ended without a stats trailer")
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d rows, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != float64(i) {
+			t.Fatalf("row %d = %v", i, v)
+		}
+	}
+}
+
+// TestServerQueryStreamErrors: parse errors arrive as a plain error
+// response before anything streams.
+func TestServerQueryStreamErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body, _ := json.Marshal(queryRequest{Query: "select bogus from nowhere"})
+	resp, err := http.Post(ts.URL+"/query/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServerQueryStreamDisconnect: a client that walks away mid-stream
+// stops the scan — the engine reads fewer raw bytes than the file holds.
+func TestServerQueryStreamDisconnect(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "big.csv")
+	// Big enough that the scan outlives disconnect propagation by a wide
+	// margin; the assertion is only that the pass did not run to the end.
+	const rows = 400000
+	if err := csvgen.WriteFile(path, csvgen.Spec{Rows: rows, Cols: 4, Seed: 23}); err != nil {
+		t.Fatal(err)
+	}
+	db := nodb.Open(nodb.Options{Policy: nodb.PartialLoadsV1, ChunkSize: 4096})
+	t.Cleanup(func() { db.Close() })
+	if err := db.Link("big", path); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{DB: db})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body, _ := json.Marshal(queryRequest{Query: "select a1 from big where a1 >= 0"})
+	resp, err := http.Post(ts.URL+"/query/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	// Read the header line only, then hang up.
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// The scan must stop well short of a full pass once the disconnect
+	// propagates; poll briefly to let cancellation land.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		read := db.Work().RawBytesRead
+		if srv.inFlight.Load() == 0 {
+			if read >= st.Size() {
+				t.Fatalf("disconnected stream read %d raw bytes of a %d byte file; want an early stop", read, st.Size())
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("query still in flight after disconnect (read %d bytes)", read)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }

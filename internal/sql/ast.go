@@ -95,19 +95,31 @@ type Join struct {
 }
 
 // Predicate is a WHERE conjunct: Col <Op> Value, or Col BETWEEN Lo AND Hi.
+// Any of the literals may instead be a `?` placeholder, marked by a
+// positive 1-based parameter ordinal in the matching *Param field; the
+// corresponding Value is unset until Bind substitutes the argument.
 type Predicate struct {
 	Col     ColRef
 	Op      string // "<", "<=", ">", ">=", "=", "<>"
 	Val     storage.Value
 	Lo, Hi  storage.Value
 	Between bool
+	// Placeholder ordinals (1-based; 0 = the literal is real).
+	ValParam, LoParam, HiParam int
+}
+
+func lit(v storage.Value, param int) string {
+	if param > 0 {
+		return "?"
+	}
+	return v.String()
 }
 
 func (p Predicate) String() string {
 	if p.Between {
-		return fmt.Sprintf("%s BETWEEN %s AND %s", p.Col, p.Lo, p.Hi)
+		return fmt.Sprintf("%s BETWEEN %s AND %s", p.Col, lit(p.Lo, p.LoParam), lit(p.Hi, p.HiParam))
 	}
-	return fmt.Sprintf("%s %s %s", p.Col, p.Op, p.Val)
+	return fmt.Sprintf("%s %s %s", p.Col, p.Op, lit(p.Val, p.ValParam))
 }
 
 // OrderItem is one ORDER BY entry.
@@ -125,6 +137,9 @@ type SelectStmt struct {
 	GroupBy []ColRef
 	OrderBy []OrderItem
 	Limit   int // -1 when absent
+	// NumParams counts the `?` placeholders in the statement. A statement
+	// with placeholders must be Bind-ed before planning.
+	NumParams int
 }
 
 // HasAggregates reports whether any select item is an aggregate.

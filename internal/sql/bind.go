@@ -1,0 +1,138 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"nodb/internal/storage"
+)
+
+// BindValue converts a Go value to a typed engine value. Integers (signed
+// and unsigned), floats, strings, bools and []byte are accepted; binding is
+// by value, never by SQL-text substitution, so arguments cannot alter the
+// statement's structure (injection-safe by construction).
+func BindValue(arg any) (storage.Value, error) {
+	switch v := arg.(type) {
+	case int64:
+		return storage.IntValue(v), nil
+	case int:
+		return storage.IntValue(int64(v)), nil
+	case int32:
+		return storage.IntValue(int64(v)), nil
+	case int16:
+		return storage.IntValue(int64(v)), nil
+	case int8:
+		return storage.IntValue(int64(v)), nil
+	case uint64:
+		if v > 1<<63-1 {
+			return storage.Value{}, fmt.Errorf("sql: uint64 argument %d overflows int64", v)
+		}
+		return storage.IntValue(int64(v)), nil
+	case uint:
+		return BindValue(uint64(v))
+	case uint32:
+		return storage.IntValue(int64(v)), nil
+	case uint16:
+		return storage.IntValue(int64(v)), nil
+	case uint8:
+		return storage.IntValue(int64(v)), nil
+	case float64:
+		return storage.FloatValue(v), nil
+	case float32:
+		return storage.FloatValue(float64(v)), nil
+	case string:
+		return storage.StringValue(v), nil
+	case []byte:
+		return storage.StringValue(string(v)), nil
+	case bool:
+		if v {
+			return storage.IntValue(1), nil
+		}
+		return storage.IntValue(0), nil
+	case storage.Value:
+		return v, nil
+	default:
+		return storage.Value{}, fmt.Errorf("sql: unsupported argument type %T", arg)
+	}
+}
+
+// Bind substitutes the statement's `?` placeholders with the given
+// arguments (in order) and returns the bound statement. The receiver is
+// not modified: prepared-statement templates are shared across goroutines,
+// so binding deep-copies the WHERE clause it rewrites. A statement without
+// placeholders binds to itself when no arguments are given.
+func (s *SelectStmt) Bind(args ...any) (*SelectStmt, error) {
+	if len(args) != s.NumParams {
+		return nil, fmt.Errorf("sql: statement has %d parameters, got %d arguments", s.NumParams, len(args))
+	}
+	if s.NumParams == 0 {
+		return s, nil
+	}
+	vals := make([]storage.Value, len(args))
+	for i, a := range args {
+		v, err := BindValue(a)
+		if err != nil {
+			return nil, fmt.Errorf("sql: argument %d: %w", i+1, err)
+		}
+		vals[i] = v
+	}
+	out := *s
+	out.Where = make([]Predicate, len(s.Where))
+	for i, pred := range s.Where {
+		if pred.ValParam > 0 {
+			pred.Val = vals[pred.ValParam-1]
+			pred.ValParam = 0
+		}
+		if pred.LoParam > 0 {
+			pred.Lo = vals[pred.LoParam-1]
+			pred.LoParam = 0
+		}
+		if pred.HiParam > 0 {
+			pred.Hi = vals[pred.HiParam-1]
+			pred.HiParam = 0
+		}
+		out.Where[i] = pred
+	}
+	out.NumParams = 0
+	return &out, nil
+}
+
+// Normalize canonicalizes a query string for use as a cache key: ASCII
+// letters outside single-quoted string literals are lowercased, runs of
+// whitespace collapse to one space, and leading/trailing space (including
+// trailing semicolons) is trimmed. Two spellings of the same statement
+// normalize to the same key; string literals are preserved byte-for-byte.
+func Normalize(query string) string {
+	var sb strings.Builder
+	sb.Grow(len(query))
+	inStr := false
+	pendingSpace := false
+	for i := 0; i < len(query); i++ {
+		c := query[i]
+		if inStr {
+			sb.WriteByte(c)
+			if c == '\'' {
+				inStr = false
+			}
+			continue
+		}
+		if isSpace(c) {
+			pendingSpace = sb.Len() > 0
+			continue
+		}
+		if pendingSpace {
+			sb.WriteByte(' ')
+			pendingSpace = false
+		}
+		switch {
+		case c == '\'':
+			inStr = true
+			sb.WriteByte(c)
+		case c >= 'A' && c <= 'Z':
+			sb.WriteByte(c + ('a' - 'A'))
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
+}

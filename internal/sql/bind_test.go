@@ -1,0 +1,119 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"nodb/internal/schema"
+	"nodb/internal/storage"
+)
+
+func TestParsePlaceholders(t *testing.T) {
+	stmt, err := Parse("select a1 from t where a1 > ? and a2 between ? and ? and a3 = 'lit'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.NumParams != 3 {
+		t.Fatalf("NumParams = %d, want 3", stmt.NumParams)
+	}
+	if stmt.Where[0].ValParam != 1 {
+		t.Fatalf("first placeholder ordinal = %d, want 1", stmt.Where[0].ValParam)
+	}
+	if stmt.Where[1].LoParam != 2 || stmt.Where[1].HiParam != 3 {
+		t.Fatalf("between ordinals = %d,%d, want 2,3", stmt.Where[1].LoParam, stmt.Where[1].HiParam)
+	}
+	if stmt.Where[2].ValParam != 0 || stmt.Where[2].Val.S != "lit" {
+		t.Fatalf("literal predicate parsed as %+v", stmt.Where[2])
+	}
+	if got := stmt.String(); !strings.Contains(got, "a1 > ?") || !strings.Contains(got, "BETWEEN ? AND ?") {
+		t.Fatalf("String() = %q; placeholders not rendered", got)
+	}
+}
+
+func TestParsePlaceholderFlipped(t *testing.T) {
+	stmt, err := Parse("select a1 from t where ? < a1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.NumParams != 1 || stmt.Where[0].Op != ">" || stmt.Where[0].ValParam != 1 {
+		t.Fatalf("flipped placeholder parsed as %+v", stmt.Where[0])
+	}
+}
+
+func TestBind(t *testing.T) {
+	stmt, err := Parse("select a1 from t where a1 > ? and a2 between ? and ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := stmt.Bind(int64(5), 10, 20.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound.NumParams != 0 {
+		t.Fatalf("bound NumParams = %d", bound.NumParams)
+	}
+	if v := bound.Where[0].Val; v.Typ != schema.Int64 || v.I != 5 {
+		t.Fatalf("bound[0] = %+v", v)
+	}
+	if v := bound.Where[1].Lo; v.Typ != schema.Int64 || v.I != 10 {
+		t.Fatalf("bound lo = %+v", v)
+	}
+	if v := bound.Where[1].Hi; v.Typ != schema.Float64 || v.F != 20.5 {
+		t.Fatalf("bound hi = %+v", v)
+	}
+	// The template is untouched (it is shared across goroutines).
+	if stmt.NumParams != 3 || stmt.Where[0].ValParam != 1 || stmt.Where[0].Val.Typ != schema.Int64 || stmt.Where[0].Val.I != 0 {
+		t.Fatalf("Bind mutated the template: %+v", stmt.Where[0])
+	}
+
+	if _, err := stmt.Bind(1, 2); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if _, err := stmt.Bind(1, 2, struct{}{}); err == nil {
+		t.Fatal("unsupported type accepted")
+	}
+}
+
+func TestBindValueKinds(t *testing.T) {
+	cases := []struct {
+		in   any
+		want storage.Value
+	}{
+		{int8(7), storage.IntValue(7)},
+		{uint16(9), storage.IntValue(9)},
+		{uint64(12), storage.IntValue(12)},
+		{float32(1.5), storage.FloatValue(1.5)},
+		{"s", storage.StringValue("s")},
+		{[]byte("b"), storage.StringValue("b")},
+		{true, storage.IntValue(1)},
+		{false, storage.IntValue(0)},
+	}
+	for _, c := range cases {
+		got, err := BindValue(c.in)
+		if err != nil {
+			t.Fatalf("BindValue(%v): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("BindValue(%v) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	if _, err := BindValue(uint64(1) << 63); err == nil {
+		t.Fatal("uint64 overflow accepted")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	a := Normalize("SELECT  a1\tFROM t\n WHERE a1 < ? ;")
+	b := Normalize("select a1 from t where a1 < ?")
+	if a != b {
+		t.Fatalf("normalize mismatch: %q vs %q", a, b)
+	}
+	// String literals keep their case and spacing.
+	c := Normalize("select a1 from t where a2 = 'Mixed  Case'")
+	if !strings.Contains(c, "'Mixed  Case'") {
+		t.Fatalf("normalize damaged the string literal: %q", c)
+	}
+	if Normalize("select a1 from t where a2 = 'x'") == Normalize("select a1 from t where a2 = 'X'") {
+		t.Fatal("normalize conflated distinct string literals")
+	}
+}

@@ -23,7 +23,8 @@ const (
 	tokLParen
 	tokRParen
 	tokStar
-	tokOp // < <= > >= = <> !=
+	tokOp    // < <= > >= = <> !=
+	tokQMark // ? placeholder
 )
 
 type token struct {
@@ -75,6 +76,9 @@ func (l *lexer) next() (token, error) {
 	case c == '*':
 		l.pos++
 		return token{tokStar, "*", start}, nil
+	case c == '?':
+		l.pos++
+		return token{tokQMark, "?", start}, nil
 	case c == '<':
 		l.pos++
 		if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {

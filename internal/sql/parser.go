@@ -21,12 +21,14 @@ func Parse(query string) (*SelectStmt, error) {
 	if p.tok.kind != tokEOF {
 		return nil, p.errf("unexpected %s after statement", p.tok)
 	}
+	stmt.NumParams = p.params
 	return stmt, nil
 }
 
 type parser struct {
-	lex lexer
-	tok token
+	lex    lexer
+	tok    token
+	params int // `?` placeholders seen so far
 }
 
 func (p *parser) errf(format string, args ...any) error {
@@ -335,30 +337,35 @@ func (p *parser) colRef() (ColRef, error) {
 	return ColRef{Column: first}, nil
 }
 
-func (p *parser) literal() (storage.Value, error) {
+// literal parses a literal or a `?` placeholder. The returned param is the
+// placeholder's 1-based ordinal, or 0 when a real literal was parsed.
+func (p *parser) literal() (storage.Value, int, error) {
 	switch p.tok.kind {
+	case tokQMark:
+		p.params++
+		return storage.Value{}, p.params, p.advance()
 	case tokNumber:
 		text := p.tok.text
 		if err := p.advance(); err != nil {
-			return storage.Value{}, err
+			return storage.Value{}, 0, err
 		}
 		if strings.ContainsRune(text, '.') {
 			f, err := strconv.ParseFloat(text, 64)
 			if err != nil {
-				return storage.Value{}, p.errf("invalid number %q", text)
+				return storage.Value{}, 0, p.errf("invalid number %q", text)
 			}
-			return storage.FloatValue(f), nil
+			return storage.FloatValue(f), 0, nil
 		}
 		i, err := strconv.ParseInt(text, 10, 64)
 		if err != nil {
-			return storage.Value{}, p.errf("invalid integer %q", text)
+			return storage.Value{}, 0, p.errf("invalid integer %q", text)
 		}
-		return storage.IntValue(i), nil
+		return storage.IntValue(i), 0, nil
 	case tokString:
 		v := storage.StringValue(p.tok.text)
-		return v, p.advance()
+		return v, 0, p.advance()
 	default:
-		return storage.Value{}, p.errf("expected literal, got %s", p.tok)
+		return storage.Value{}, 0, p.errf("expected literal, got %s", p.tok)
 	}
 }
 
@@ -366,8 +373,8 @@ var flipOp = map[string]string{"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": 
 
 func (p *parser) predicate() (Predicate, error) {
 	// literal op col form: flip into col op literal.
-	if p.tok.kind == tokNumber || p.tok.kind == tokString {
-		val, err := p.literal()
+	if p.tok.kind == tokNumber || p.tok.kind == tokString || p.tok.kind == tokQMark {
+		val, param, err := p.literal()
 		if err != nil {
 			return Predicate{}, err
 		}
@@ -382,7 +389,7 @@ func (p *parser) predicate() (Predicate, error) {
 		if err != nil {
 			return Predicate{}, err
 		}
-		return Predicate{Col: col, Op: flipOp[op], Val: val}, nil
+		return Predicate{Col: col, Op: flipOp[op], Val: val, ValParam: param}, nil
 	}
 
 	col, err := p.colRef()
@@ -393,18 +400,18 @@ func (p *parser) predicate() (Predicate, error) {
 		if err := p.advance(); err != nil {
 			return Predicate{}, err
 		}
-		lo, err := p.literal()
+		lo, loParam, err := p.literal()
 		if err != nil {
 			return Predicate{}, err
 		}
 		if err := p.expectKeyword("and"); err != nil {
 			return Predicate{}, err
 		}
-		hi, err := p.literal()
+		hi, hiParam, err := p.literal()
 		if err != nil {
 			return Predicate{}, err
 		}
-		return Predicate{Col: col, Between: true, Lo: lo, Hi: hi}, nil
+		return Predicate{Col: col, Between: true, Lo: lo, Hi: hi, LoParam: loParam, HiParam: hiParam}, nil
 	}
 	if p.tok.kind != tokOp {
 		return Predicate{}, p.errf("expected comparison operator, got %s", p.tok)
@@ -413,9 +420,9 @@ func (p *parser) predicate() (Predicate, error) {
 	if err := p.advance(); err != nil {
 		return Predicate{}, err
 	}
-	val, err := p.literal()
+	val, param, err := p.literal()
 	if err != nil {
 		return Predicate{}, err
 	}
-	return Predicate{Col: col, Op: op, Val: val}, nil
+	return Predicate{Col: col, Op: op, Val: val, ValParam: param}, nil
 }

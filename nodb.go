@@ -99,7 +99,7 @@ func fromInternal(p plan.Policy) Policy {
 func (p Policy) String() string { return p.internal().String() }
 
 // ParsePolicy converts a policy name ("columns", "full", "partial-v1",
-// "partial-v2", "splitfiles", "external") to a Policy.
+// "partial-v2", "splitfiles", "external", "auto") to a Policy.
 func ParsePolicy(s string) (Policy, error) {
 	ip, err := plan.ParsePolicy(s)
 	if err != nil {
@@ -124,6 +124,10 @@ type Options struct {
 	MemoryBudget int64
 	// Workers is tokenization parallelism (default 1).
 	Workers int
+	// ChunkSize overrides the raw-file streaming read size (default 1 MiB).
+	// Smaller chunks tighten the granularity of cancellation and of cursor
+	// early termination at the cost of more read calls.
+	ChunkSize int
 	// DisablePositionalMap turns the positional map off.
 	DisablePositionalMap bool
 	// DisableRevalidation skips per-query file-change detection.
@@ -135,6 +139,19 @@ type Value = storage.Value
 
 // Result is a query result: column names, rows, and per-query work stats.
 type Result = core.Result
+
+// Rows is a streaming query cursor with database/sql-style iteration:
+// Next, Scan, Columns, Stats, Err, Close. A LIMIT — or closing the cursor
+// mid-iteration — stops the underlying raw-file scan between chunks
+// instead of finishing the pass. Every Rows must be closed.
+type Rows = core.Rows
+
+// Stmt is a prepared statement: parsed and validated once, executed many
+// times with `?` placeholder arguments. Safe for concurrent use.
+type Stmt = core.Stmt
+
+// ErrClosed is returned by queries, preparations and links after Close.
+var ErrClosed = core.ErrClosed
 
 // QueryStats is the per-query work accounting attached to results.
 type QueryStats = core.QueryStats
@@ -167,15 +184,20 @@ func Open(opts Options) *DB {
 		SplitDir:             opts.SplitDir,
 		MemoryBudget:         opts.MemoryBudget,
 		Workers:              opts.Workers,
+		ChunkSize:            opts.ChunkSize,
 		DisablePositionalMap: opts.DisablePositionalMap,
 		DisableRevalidation:  opts.DisableRevalidation,
 	})}
 }
 
-// Close releases the DB. Loaded state is in-memory and split files are
-// disposable, so Close is currently trivial; it exists so callers can
-// defer it and stay compatible with future resource ownership.
-func (db *DB) Close() error { return nil }
+// Close releases the DB: subsequent queries, preparations and links
+// return ErrClosed, in-flight cursors are cancelled (their raw-file scans
+// stop between chunks), and all adaptively loaded state is dropped. Close
+// is idempotent.
+func (db *DB) Close() error { return db.e.Close() }
+
+// Ping reports whether the DB is usable; it returns ErrClosed after Close.
+func (db *DB) Ping() error { return db.e.Ping() }
 
 // Link registers the flat file at path as a queryable table. The schema
 // (delimiter, header, column names and types) is detected automatically.
@@ -191,17 +213,42 @@ func (db *DB) Tables() []string { return db.e.Tables() }
 // Schema returns the detected schema of a linked table.
 func (db *DB) Schema(name string) (*schema.Schema, error) { return db.e.TableSchema(name) }
 
-// Query executes one SELECT statement. Supported SQL: aggregates
-// (sum/min/max/avg/count), inner equi-joins, conjunctive WHERE clauses
-// (comparisons and BETWEEN), GROUP BY, ORDER BY, LIMIT.
+// Query executes one SELECT statement, fully buffered. Supported SQL:
+// aggregates (sum/min/max/avg/count), inner equi-joins, conjunctive WHERE
+// clauses (comparisons and BETWEEN, with optional `?` placeholders),
+// GROUP BY, ORDER BY, LIMIT.
 func (db *DB) Query(query string) (*Result, error) { return db.e.Query(query) }
 
 // QueryContext is Query under a context: cancellation or timeout aborts
 // the query cooperatively, stopping a raw-file scan between chunks instead
-// of letting it finish the pass. The context's error is returned.
-func (db *DB) QueryContext(ctx context.Context, query string) (*Result, error) {
-	return db.e.QueryContext(ctx, query)
+// of letting it finish the pass. The context's error is returned. Optional
+// args bind `?` placeholders in the statement.
+func (db *DB) QueryContext(ctx context.Context, query string, args ...any) (*Result, error) {
+	return db.e.QueryContext(ctx, query, args...)
 }
+
+// QueryRows executes one SELECT statement and returns a streaming cursor.
+// Optional args bind `?` placeholders. The cursor must be closed; iterate
+// with Next/Scan and check Err afterwards.
+//
+// Plain single-table selections stream incrementally, and under the
+// scanning policies (PartialLoadsV1, External — or any policy once the
+// needed columns are loaded) a LIMIT or an early Close stops the raw-file
+// scan mid-pass. Plans that need their whole input first (aggregates,
+// GROUP BY, ORDER BY, joins) and the retaining loaders (PartialLoadsV2,
+// Auto, cracking), which merge their scan into the adaptive store,
+// materialize before the first row is delivered; closing such a cursor
+// mid-load still cancels the scan between chunks.
+func (db *DB) QueryRows(ctx context.Context, query string, args ...any) (*Rows, error) {
+	return db.e.QueryRows(ctx, query, args...)
+}
+
+// Prepare parses and validates one SELECT statement with optional `?`
+// placeholders for repeated execution. Parsing goes through the engine's
+// bounded plan cache keyed by normalized SQL, so preparing (or ad-hoc
+// querying) the same statement twice parses once; arguments are bound as
+// typed values, never spliced into SQL text.
+func (db *DB) Prepare(query string) (*Stmt, error) { return db.e.Prepare(query) }
 
 // Explain returns the physical plan — including the adaptive load
 // operators chosen for the current store state — without executing.
