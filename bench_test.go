@@ -97,6 +97,10 @@ func BenchmarkAblationTokenizerWorkers(b *testing.B) { runExperiment(b, "abl-par
 // BenchmarkAblationEarlyAbandon measures early row abandonment.
 func BenchmarkAblationEarlyAbandon(b *testing.B) { runExperiment(b, "abl-early") }
 
+// BenchmarkAblationBudget measures the budget-vs-latency tradeoff under
+// cost-aware and LRU eviction.
+func BenchmarkAblationBudget(b *testing.B) { runExperiment(b, "abl-budget") }
+
 // --- End-to-end engine micro-benchmarks over the public API ---
 
 func benchTable(b *testing.B, rows, cols int) string {
@@ -161,6 +165,53 @@ func BenchmarkHotQuery(b *testing.B) {
 		if _, err := db.Query("select sum(a1), avg(a2) from t where a1 > 10000 and a1 < 30000"); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkHotQueryUnderBudget measures the steady-state scan hot path
+// with the memory governor active but never evicting: the pin/account/
+// enforce bookkeeping must stay off the per-row path.
+func BenchmarkHotQueryUnderBudget(b *testing.B) {
+	path := benchTable(b, 200_000, 4)
+	db := Open(Options{Policy: ColumnLoads, MemoryBudget: 1 << 30, DisableRevalidation: true})
+	defer db.Close()
+	if err := db.Link("t", path); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Query("select sum(a1), avg(a2) from t where a1 > 0"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query("select sum(a1), avg(a2) from t where a1 > 10000 and a1 < 30000"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvictReloadCycle measures the eviction hot path: a budget that
+// holds one column while the workload alternates between two, so every
+// query evicts one column and rebuilds the other from the raw file.
+func BenchmarkEvictReloadCycle(b *testing.B) {
+	path := benchTable(b, 50_000, 4)
+	db := Open(Options{Policy: ColumnLoads, MemoryBudget: 600_000, DisableRevalidation: true})
+	defer db.Close()
+	if err := db.Link("t", path); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := "select sum(a1) from t"
+		if i%2 == 1 {
+			q = "select sum(a3) from t"
+		}
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if db.MemStats().Evictions == 0 && b.N > 1 {
+		b.Fatal("budget cycle should evict")
 	}
 }
 

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	nodb [-policy columns|full|partial-v1|partial-v2|splitfiles|external]
-//	     [-cracking] [-mem bytes] [-splitdir dir] [name=path.csv ...]
+//	     [-cracking] [-mem bytes] [-evict cost|lru] [-splitdir dir]
+//	     [name=path.csv ...]
 //
 // Files given as name=path arguments are linked at startup. Commands:
 //
@@ -36,6 +37,7 @@ func main() {
 		policyName = flag.String("policy", "columns", "loading policy")
 		cracking   = flag.Bool("cracking", false, "enable adaptive indexing (database cracking)")
 		mem        = flag.Int64("mem", 0, "memory budget in bytes (0 = unlimited)")
+		evict      = flag.String("evict", "cost", "eviction policy under -mem: cost or lru")
 		splitDir   = flag.String("splitdir", "", "directory for split files (default: $TMPDIR/nodb-splits)")
 		workers    = flag.Int("workers", 0, "tokenizer workers (0 = 1)")
 	)
@@ -46,16 +48,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nodb: %v\n", err)
 		os.Exit(2)
 	}
+	evictName, err := nodb.ParseEvictionPolicy(*evict)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nodb: %v\n", err)
+		os.Exit(2)
+	}
 	sd := *splitDir
 	if sd == "" {
 		sd = os.TempDir() + "/nodb-splits"
 	}
 	db := nodb.Open(nodb.Options{
-		Policy:       pol,
-		Cracking:     *cracking,
-		MemoryBudget: *mem,
-		SplitDir:     sd,
-		Workers:      *workers,
+		Policy:         pol,
+		Cracking:       *cracking,
+		MemoryBudget:   *mem,
+		EvictionPolicy: evictName,
+		SplitDir:       sd,
+		Workers:        *workers,
 	})
 	defer db.Close()
 

@@ -14,7 +14,8 @@
 //	                      partial-v2, splitfiles, external, auto)
 //	cracking=BOOL         enable adaptive indexing
 //	splitdir=DIR          split-file directory (required for splitfiles)
-//	mem=BYTES             memory budget (0 = unlimited)
+//	mem=BYTES             memory budget for adaptive state (0 = unlimited)
+//	evict=NAME            eviction policy under mem: cost (default) or lru
 //	workers=N             tokenization parallelism
 //	chunk=BYTES           raw-file read chunk size
 //
@@ -42,6 +43,7 @@ import (
 	"strings"
 
 	"nodb"
+	"nodb/internal/govern"
 )
 
 func init() {
@@ -125,6 +127,11 @@ func ParseDSN(dsn string) (nodb.Options, []Link, error) {
 					return opts, nil, fmt.Errorf("nodb driver: invalid mem %q", v)
 				}
 				opts.MemoryBudget = n
+			case "evict":
+				if _, err := govern.PolicyByName(v); err != nil {
+					return opts, nil, fmt.Errorf("nodb driver: %w", err)
+				}
+				opts.EvictionPolicy = v
 			case "workers":
 				n, err := strconv.Atoi(v)
 				if err != nil || n < 0 {

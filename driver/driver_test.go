@@ -231,6 +231,7 @@ func TestDSNErrors(t *testing.T) {
 		"link=bad",              // not NAME=PATH
 		"policy=warp",           // unknown policy
 		"mem=-1",                // negative budget
+		"evict=random",          // unknown eviction policy
 		"nope=1",                // unknown key
 		"link=T%3D/no/such.csv", // missing file
 	} {
@@ -263,5 +264,27 @@ func TestCloseReleasesEngine(t *testing.T) {
 	}
 	if err := connector.(*Connector).DB().Ping(); err != nodb.ErrClosed {
 		t.Fatalf("Ping after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestDSNMemoryBudget drives an over-budget workload through database/sql:
+// queries stay correct while the governor keeps adaptive state bounded.
+func TestDSNMemoryBudget(t *testing.T) {
+	db, err := sql.Open("nodb", testDSN(t, 5000, "mem=100000&evict=lru"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for pass := 0; pass < 2; pass++ {
+		for c := 1; c <= 4; c++ {
+			var n int64
+			q := fmt.Sprintf("select count(*) from T where a%d >= 0", c)
+			if err := db.QueryRow(q).Scan(&n); err != nil {
+				t.Fatalf("pass %d a%d: %v", pass, c, err)
+			}
+			if n != 5000 {
+				t.Fatalf("pass %d a%d: count = %d, want 5000", pass, c, n)
+			}
+		}
 	}
 }

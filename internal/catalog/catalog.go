@@ -6,10 +6,13 @@
 // The paper's update policy (§5.4, "one easy solution") is implemented
 // verbatim: derived state is auxiliary data "we are not afraid to lose";
 // when the raw file changes, everything derived from it is dropped and
-// rebuilt on demand. Life-time management (§5.1.3) is a memory budget
-// with least-recently-used eviction of whole tables' loaded state — "the
-// only cost is that of having to reload this data part if it is needed
-// again in the future."
+// rebuilt on demand. Life-time management (§5.1.3) is delegated to the
+// memory governor (internal/govern) when one is configured: every dense
+// column, sparse column, positional map and split-file set registers its
+// byte footprint and rebuild-cost estimate, and the governor evicts at
+// structure granularity — "the only cost is that of having to reload this
+// data part if it is needed again in the future." A governor-less catalog
+// (ablations, baselines) simply grows unbounded.
 package catalog
 
 import (
@@ -21,9 +24,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"nodb/internal/cracking"
+	"nodb/internal/govern"
 	"nodb/internal/intervals"
 	"nodb/internal/metrics"
 	"nodb/internal/posmap"
@@ -140,7 +143,16 @@ type Table struct {
 	PosMap *posmap.Map
 	Splits *splitfile.Registry
 
-	lastUse  atomic.Int64 // catalog clock tick of last touch
+	// Memory-governor accounting: one handle per registered adaptive
+	// structure. denseH/sparseH are aligned with cols; posmapH and splitsH
+	// are persistent (their structures survive eviction, emptied).
+	gov      *govern.Governor
+	denseH   []*govern.Handle
+	sparseH  []*govern.Handle
+	posmapH  *govern.Handle
+	splitsH  *govern.Handle
+	released bool // releaseGoverned ran (table replaced/unlinked): no re-registration
+
 	counters *metrics.Counters
 }
 
@@ -168,11 +180,71 @@ func (t *Table) NumRows() int64 {
 	return t.rows
 }
 
-// SetNumRows records the row count discovered by a scan.
+// SetNumRows records the row count discovered by a scan and refreshes the
+// rebuild-cost estimates that depend on it.
 func (t *Table) SetNumRows(n int64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	known := t.rows > 0
 	t.rows = n
+	if t.gov != nil && !known && n > 0 {
+		t.refreshCostsLocked()
+	}
+}
+
+// fullPassSecLocked estimates the modeled seconds of one full tokenizing
+// pass over the raw file — the unit every rebuild-cost estimate is built
+// from. Row count falls back to a bytes-per-row guess before the first
+// scan discovers it.
+func (t *Table) fullPassSecLocked() float64 {
+	m := metrics.DefaultCostModel()
+	rows := t.rows
+	if rows <= 0 {
+		rows = t.sig.Size / 32
+		if rows < 1 {
+			rows = 1
+		}
+	}
+	ncols := float64(len(t.schema.Columns))
+	return float64(t.sig.Size)/m.RawReadBps +
+		float64(rows)*(m.TokenizeRowSec+ncols*m.TokenizeAttrSec+m.ParseValueSec)
+}
+
+// denseRebuildCostLocked estimates re-loading one evicted dense column: a
+// full tokenizing pass normally, an order of magnitude cheaper when the
+// positional map knows where every value lives (the paper's point — cached
+// columns are cheap to lose precisely because the map survives them).
+func (t *Table) denseRebuildCostLocked(col int) float64 {
+	full := t.fullPassSecLocked()
+	if t.PosMap != nil && t.rows > 0 && t.PosMap.Covers(col, 0, t.rows) {
+		return full / 8
+	}
+	return full
+}
+
+// refreshCostsLocked re-estimates every registered structure's rebuild
+// cost after the row count (or coverage) changed. The positional map is
+// the expensive one: it accumulated over many query passes, and recovering
+// it means re-tokenizing everything those passes touched.
+func (t *Table) refreshCostsLocked() {
+	full := t.fullPassSecLocked()
+	for c, h := range t.denseH {
+		if h != nil {
+			h.SetCost(t.denseRebuildCostLocked(c))
+		}
+	}
+	for _, h := range t.sparseH {
+		if h != nil {
+			h.SetCost(full)
+		}
+	}
+	if t.posmapH != nil {
+		t.posmapH.SetCost(4 * full)
+	}
+	if t.splitsH != nil {
+		// Rebuilding split files is one pass plus writing the data back out.
+		t.splitsH.SetCost(2 * full)
+	}
 }
 
 // Dense returns the dense column for col, or nil.
@@ -188,6 +260,185 @@ func (t *Table) SetDense(col int, c *storage.DenseColumn) {
 	defer t.mu.Unlock()
 	t.cols[col].Dense = c
 	t.cols[col].Sparse = nil // dense supersedes partial state
+	if t.gov == nil || t.released {
+		// A released table (replaced or unlinked mid-query) must not
+		// re-enter the governor registry: the orphan and its data are
+		// garbage once the in-flight query finishes.
+		return
+	}
+	t.sparseH[col].Release()
+	t.sparseH[col] = nil
+	t.denseH[col].Release() // re-load replaces the old registration
+	var h *govern.Handle
+	h = t.gov.Register(govern.KindColumn, fmt.Sprintf("%s.c%d", t.name, col), func() bool { return t.evictDense(col, h) })
+	h.SetBytes(c.MemSize())
+	h.SetCost(t.denseRebuildCostLocked(col))
+	t.denseH[col] = h
+}
+
+// evictDense is the governor's victim callback for a dense column: drop
+// the column (and any cracker built over it) and release its handle. The
+// next query that needs the column re-loads it from the raw file. The
+// pin re-check happens under t.mu, which excludes Table.Pin, so a pinned
+// column is vetoed rather than freed mid-scan. h is the handle the
+// eviction was chosen for: the identity check vetoes a stale eviction
+// racing a Revalidate that replaced (or shrank) the handle arrays.
+func (t *Table) evictDense(col int, h *govern.Handle) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if col >= len(t.denseH) || t.denseH[col] != h || h.Pinned() || t.cols[col].Dense == nil {
+		return false
+	}
+	t.cols[col].Dense = nil
+	delete(t.crack, col)
+	// Dense may have been backing coverage regions (it supersedes sparse
+	// state); a region whose column lost its data must not survive it.
+	if t.cols[col].Sparse == nil {
+		kept := t.regions[:0]
+		for _, r := range t.regions {
+			if !containsInt(r.Cols, col) {
+				kept = append(kept, r)
+			}
+		}
+		t.regions = kept
+	}
+	t.denseH[col].Release()
+	t.denseH[col] = nil
+	return true
+}
+
+// evictSparse is the victim callback for a retained partial-load column:
+// drop the sparse values and every covered region that promised them, so
+// coverage never outlives its backing data.
+func (t *Table) evictSparse(col int, h *govern.Handle) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if col >= len(t.sparseH) || t.sparseH[col] != h || h.Pinned() || t.cols[col].Sparse == nil {
+		return false
+	}
+	t.cols[col].Sparse = nil
+	kept := t.regions[:0]
+	for _, r := range t.regions {
+		if !containsInt(r.Cols, col) {
+			kept = append(kept, r)
+		}
+	}
+	t.regions = kept
+	t.sparseH[col].Release()
+	t.sparseH[col] = nil
+	return true
+}
+
+// evictPosMap and evictSplits drop the persistent containers' contents
+// (the containers themselves survive, empty, and keep accounting). Both
+// run entirely under t.mu: releasing it between the pin check and the
+// drop would let a just-pinned query lose its split files from under it.
+// Table.Pin takes t.mu too, so pin-then-read is ordered against this.
+func (t *Table) evictPosMap(h *govern.Handle) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.posmapH != h || h.Pinned() {
+		return false
+	}
+	t.PosMap.Drop()
+	return true
+}
+
+func (t *Table) evictSplits(h *govern.Handle) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.splitsH != h || h.Pinned() {
+		return false
+	}
+	t.Splits.Drop()
+	return true
+}
+
+// MergeSparse folds qualifying (row, value) pairs of one scanned column
+// into the sparse store and refreshes the governor accounting, all under
+// the table lock — concurrent readers (SparseFraction, MemSize,
+// TableStats) never observe a half-grown column. val(i) returns the value
+// for rowIDs[i]. Returns the bytes stored (0 when dense supersedes). The
+// caller holds the table's load lock, which serializes merges.
+func (t *Table) MergeSparse(col int, rowIDs []int64, val func(i int) storage.Value) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cols[col].Dense != nil {
+		return 0
+	}
+	sp := t.cols[col].Sparse
+	if sp == nil {
+		sp = storage.NewSparse(t.schema.Columns[col].Type)
+		t.cols[col].Sparse = sp
+	}
+	var stored int64
+	for i, row := range rowIDs {
+		v := val(i)
+		sp.Add(row, v)
+		stored += v.MemBytes() + 8
+	}
+	if t.gov == nil || t.released {
+		return stored
+	}
+	if t.sparseH[col] == nil {
+		var h *govern.Handle
+		h = t.gov.Register(govern.KindSparse, fmt.Sprintf("%s.s%d", t.name, col), func() bool { return t.evictSparse(col, h) })
+		t.sparseH[col] = h
+	}
+	t.sparseH[col].SetBytes(sp.MemSize())
+	t.sparseH[col].SetCost(t.fullPassSecLocked())
+	t.sparseH[col].Touch()
+	return stored
+}
+
+// StoreBacked reports whether every listed column still has data in the
+// adaptive store (dense or sparse). Coverage regions can transiently
+// outlive an eviction that raced a concurrent load; callers treat an
+// unbacked coverage claim as a cache miss.
+func (t *Table) StoreBacked(cols []int) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, c := range cols {
+		if t.cols[c].Dense == nil && t.cols[c].Sparse == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Pin marks the adaptive structures a query is about to read — the listed
+// columns' dense/sparse state plus the positional map and split files — as
+// in-use, so the governor does not evict them mid-scan. The returned
+// function releases the pins; it must be called exactly once.
+func (t *Table) Pin(cols []int) (unpin func()) {
+	if t.gov == nil {
+		return func() {}
+	}
+	t.mu.RLock()
+	var hs []*govern.Handle
+	add := func(h *govern.Handle) {
+		if h != nil {
+			h.Pin()
+			hs = append(hs, h)
+		}
+	}
+	for _, c := range cols {
+		if c >= 0 && c < len(t.denseH) {
+			add(t.denseH[c])
+			add(t.sparseH[c])
+		}
+	}
+	add(t.posmapH)
+	add(t.splitsH)
+	t.mu.RUnlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			for _, h := range hs {
+				h.Unpin()
+			}
+		})
+	}
 }
 
 // Sparse returns the sparse column for col, creating it when create is
@@ -267,6 +518,17 @@ func (t *Table) SparseFraction(col int) float64 {
 func (t *Table) AddRegion(r Region) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	// Record coverage only while every covered column still has backing
+	// data. A governor eviction can land between the loader's merge and
+	// this call; without the check the region would outlive its data, and
+	// a later partial re-merge would make the stale claim look backed —
+	// serving incomplete results. (Evictions prune regions under this
+	// same lock, so region-exists ⟹ backing-exists is an invariant.)
+	for _, c := range r.Cols {
+		if t.cols[c].Dense == nil && t.cols[c].Sparse == nil {
+			return
+		}
+	}
 	t.regions = append(t.regions, r)
 }
 
@@ -307,6 +569,11 @@ func (t *Table) Cracker(col int, create bool) *cracking.Cracker {
 	cr := cracking.New(d.Ints)
 	cr.Counters = t.counters
 	t.crack[col] = cr
+	if t.gov != nil && t.denseH[col] != nil {
+		// The cracker rides on the dense column's registration: evicting
+		// the column drops both.
+		t.denseH[col].AddBytes(cr.MemSize())
+	}
 	return cr
 }
 
@@ -348,11 +615,45 @@ func (t *Table) dropDerivedLocked() {
 	t.crack = make(map[int]*cracking.Cracker)
 	t.touches = nil
 	t.rows = -1
+	for i := range t.denseH {
+		t.denseH[i].Release()
+		t.denseH[i] = nil
+	}
+	for i := range t.sparseH {
+		t.sparseH[i].Release()
+		t.sparseH[i] = nil
+	}
 	if t.PosMap != nil {
-		t.PosMap.Drop()
+		t.PosMap.Drop() // zeroes its governor handle via the accountant
 	}
 	if t.Splits != nil {
 		t.Splits.Drop()
+	}
+}
+
+// releaseGoverned unregisters every governor handle, including the
+// persistent positional-map and split-file ones. Used when the table
+// itself goes away (unlink, engine close).
+func (t *Table) releaseGoverned() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.released = true
+	for i := range t.denseH {
+		t.denseH[i].Release()
+		t.denseH[i] = nil
+	}
+	for i := range t.sparseH {
+		t.sparseH[i].Release()
+		t.sparseH[i] = nil
+	}
+	t.posmapH.Release()
+	t.splitsH.Release()
+	t.posmapH, t.splitsH = nil, nil
+	if t.PosMap != nil {
+		t.PosMap.SetAccountant(nil)
+	}
+	if t.Splits != nil {
+		t.Splits.SetAccountant(nil)
 	}
 }
 
@@ -376,10 +677,17 @@ func (t *Table) Revalidate() (bool, error) {
 	t.sig = sig
 	oldCols := len(t.schema.Columns)
 	t.schema = sch
+	t.dropDerivedLocked()
 	if len(sch.Columns) != oldCols {
 		t.cols = make([]ColState, len(sch.Columns))
+		if t.gov != nil {
+			t.denseH = make([]*govern.Handle, len(sch.Columns))
+			t.sparseH = make([]*govern.Handle, len(sch.Columns))
+		}
 	}
-	t.dropDerivedLocked()
+	if t.gov != nil {
+		t.refreshCostsLocked()
+	}
 	return true, nil
 }
 
@@ -388,12 +696,13 @@ type Options struct {
 	// SplitDir is where split files are written; empty disables split-file
 	// creation (Lookup always returns the raw file).
 	SplitDir string
-	// MemoryBudget caps the bytes of loaded state across all tables; 0
-	// means unlimited. Exceeding it triggers LRU eviction of whole
-	// tables' derived state on EnforceBudget.
-	MemoryBudget int64
 	// PosMapBudget caps each table's positional map (0 = default).
 	PosMapBudget int64
+	// Governor, when non-nil, receives a registration for every adaptive
+	// structure (dense columns, sparse columns, positional maps, split
+	// files) so a global byte budget can be enforced with structure-level
+	// cost-aware eviction.
+	Governor *govern.Governor
 	// Counters receives work accounting; may be nil.
 	Counters *metrics.Counters
 }
@@ -403,7 +712,6 @@ type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
 	opts   Options
-	clock  atomic.Int64
 }
 
 // New returns an empty catalog.
@@ -432,19 +740,49 @@ func (c *Catalog) Link(name, path string) (*Table, error) {
 		cols:     make([]ColState, len(sch.Columns)),
 		crack:    make(map[int]*cracking.Cracker),
 		counters: c.opts.Counters,
+		gov:      c.opts.Governor,
 		PosMap:   posmap.New(c.opts.PosMapBudget, c.opts.Counters),
 	}
 	if c.opts.SplitDir != "" {
 		dir := filepath.Join(c.opts.SplitDir, sanitizeName(name))
 		t.Splits = splitfile.NewRegistry(dir, path, len(sch.Columns), sch.Delimiter, c.opts.Counters)
 	}
+	t.initGoverned()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if old, ok := c.tables[lower(name)]; ok {
 		old.DropDerived()
+		old.releaseGoverned()
 	}
 	c.tables[lower(name)] = t
 	return t, nil
+}
+
+// initGoverned registers the table's persistent structures with the
+// governor and sizes the handle arrays for the current schema.
+func (t *Table) initGoverned() {
+	if t.gov == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.initGovernedLocked()
+}
+
+func (t *Table) initGovernedLocked() {
+	t.denseH = make([]*govern.Handle, len(t.schema.Columns))
+	t.sparseH = make([]*govern.Handle, len(t.schema.Columns))
+	var pmH *govern.Handle
+	pmH = t.gov.Register(govern.KindPosMap, t.name+".posmap", func() bool { return t.evictPosMap(pmH) })
+	t.posmapH = pmH
+	t.PosMap.SetAccountant(t.posmapH)
+	if t.Splits != nil {
+		var spH *govern.Handle
+		spH = t.gov.Register(govern.KindSplit, t.name+".splits", func() bool { return t.evictSplits(spH) })
+		t.splitsH = spH
+		t.Splits.SetAccountant(t.splitsH)
+	}
+	t.refreshCostsLocked()
 }
 
 // Get returns the linked table by name (case-insensitive).
@@ -455,7 +793,6 @@ func (c *Catalog) Get(name string) (*Table, error) {
 	if !ok {
 		return nil, fmt.Errorf("catalog: table %q is not linked", name)
 	}
-	t.lastUse.Store(c.clock.Add(1))
 	return t, nil
 }
 
@@ -468,6 +805,7 @@ func (c *Catalog) Unlink(name string) error {
 		return fmt.Errorf("catalog: table %q is not linked", name)
 	}
 	t.DropDerived()
+	t.releaseGoverned()
 	delete(c.tables, lower(name))
 	return nil
 }
@@ -491,6 +829,7 @@ func (c *Catalog) DropAll() {
 	defer c.mu.Unlock()
 	for name, t := range c.tables {
 		t.DropDerived()
+		t.releaseGoverned()
 		delete(c.tables, name)
 	}
 }
@@ -504,40 +843,6 @@ func (c *Catalog) MemSize() int64 {
 		sz += t.MemSize()
 	}
 	return sz
-}
-
-// EnforceBudget evicts least-recently-used tables' derived state until
-// loaded bytes fit the memory budget. It returns the names evicted.
-func (c *Catalog) EnforceBudget() []string {
-	if c.opts.MemoryBudget <= 0 {
-		return nil
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var total int64
-	var list []*Table
-	for _, t := range c.tables {
-		total += t.MemSize()
-		list = append(list, t)
-	}
-	if total <= c.opts.MemoryBudget {
-		return nil
-	}
-	sort.Slice(list, func(i, j int) bool { return list[i].lastUse.Load() < list[j].lastUse.Load() })
-	var evicted []string
-	for _, t := range list {
-		if total <= c.opts.MemoryBudget {
-			break
-		}
-		sz := t.MemSize()
-		if sz == 0 {
-			continue
-		}
-		t.DropDerived()
-		total -= sz
-		evicted = append(evicted, t.name)
-	}
-	return evicted
 }
 
 func lower(s string) string { return strings.ToLower(s) }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"nodb/internal/govern"
 	"nodb/internal/intervals"
 	"nodb/internal/schema"
 	"nodb/internal/storage"
@@ -147,6 +148,15 @@ func TestTableRegions(t *testing.T) {
 	tab, _ := c.Link("R", path)
 	iv := intervals.Interval{Lo: 0, Hi: 50}
 	r := Region{Ranges: map[int]intervals.Interval{0: iv}, Cols: []int{0, 1}}
+	// A region without backing data is refused (coverage must never
+	// outlive — or predate — the values it promises).
+	tab.AddRegion(r)
+	if len(tab.Regions()) != 0 {
+		t.Fatal("unbacked region was recorded")
+	}
+	for _, col := range []int{0, 1} {
+		tab.MergeSparse(col, []int64{0}, func(int) storage.Value { return storage.IntValue(int64(col + 1)) })
+	}
 	tab.AddRegion(r)
 	q := Region{Ranges: map[int]intervals.Interval{0: {Lo: 10, Hi: 20}}, Cols: []int{0}}
 	if _, ok := tab.CoveredBy(q); !ok {
@@ -241,11 +251,12 @@ func TestCracker(t *testing.T) {
 	}
 }
 
-func TestEnforceBudgetLRU(t *testing.T) {
+func TestGovernedEviction(t *testing.T) {
 	dir := t.TempDir()
 	p1 := writeCSV(t, dir, "a.csv", "1\n2\n")
 	p2 := writeCSV(t, dir, "b.csv", "1\n2\n")
-	c := New(Options{MemoryBudget: 100})
+	gov := govern.New(100, govern.LRU{}, nil)
+	c := New(Options{Governor: gov})
 	ta, _ := c.Link("A", p1)
 	tb, _ := c.Link("B", p2)
 
@@ -257,29 +268,73 @@ func TestEnforceBudgetLRU(t *testing.T) {
 		tab.SetDense(0, d) // 128 bytes each
 	}
 	load(ta)
-	load(tb)
-	// Touch B after A so A is the LRU victim.
-	c.Get("A")
-	c.Get("B")
-	evicted := c.EnforceBudget()
+	load(tb) // B registered after A → A is the LRU victim
+	if gov.Used() < 256 {
+		t.Fatalf("governed bytes = %d, want >= 256 after two loads", gov.Used())
+	}
+	evicted := gov.Enforce()
 	if len(evicted) == 0 {
 		t.Fatal("budget exceeded but nothing evicted")
 	}
-	if evicted[0] != "A" {
-		t.Errorf("evicted %v, want A first (LRU)", evicted)
+	if evicted[0].Label != "A.c0" {
+		t.Errorf("evicted %v, want A.c0 first (LRU)", evicted)
 	}
 	if ta.Dense(0) != nil {
-		t.Error("evicted table kept state")
+		t.Error("evicted column still in the catalog")
 	}
-	if tb.Dense(0) == nil && len(evicted) == 1 {
-		t.Error("survivor lost state")
+	if gov.Used() > 100 {
+		t.Errorf("used = %d after enforce, budget 100", gov.Used())
+	}
+	_ = tb
+}
+
+func TestGovernedPinVetoesEviction(t *testing.T) {
+	dir := t.TempDir()
+	p := writeCSV(t, dir, "a.csv", "1\n2\n")
+	gov := govern.New(50, govern.CostAware{}, nil)
+	c := New(Options{Governor: gov})
+	ta, _ := c.Link("A", p)
+	d := storage.NewDense(schema.Int64, 16)
+	for i := 0; i < 16; i++ {
+		d.Ints = append(d.Ints, int64(i))
+	}
+	ta.SetDense(0, d)
+	unpin := ta.Pin([]int{0})
+	if ev := gov.Enforce(); len(ev) != 0 {
+		t.Fatalf("pinned column evicted: %v", ev)
+	}
+	if ta.Dense(0) == nil {
+		t.Fatal("pinned column dropped from catalog")
+	}
+	unpin()
+	if ev := gov.Enforce(); len(ev) == 0 {
+		t.Fatal("unpinned column should be evictable")
 	}
 }
 
-func TestEnforceBudgetUnlimited(t *testing.T) {
-	c := New(Options{})
-	if ev := c.EnforceBudget(); ev != nil {
-		t.Errorf("unlimited budget evicted %v", ev)
+func TestGovernedReleaseOnDropDerived(t *testing.T) {
+	dir := t.TempDir()
+	p := writeCSV(t, dir, "a.csv", "1\n2\n")
+	gov := govern.New(0, nil, nil)
+	c := New(Options{Governor: gov})
+	ta, _ := c.Link("A", p)
+	d := storage.NewDense(schema.Int64, 16)
+	for i := 0; i < 16; i++ {
+		d.Ints = append(d.Ints, int64(i))
+	}
+	ta.SetDense(0, d)
+	if gov.Used() == 0 {
+		t.Fatal("load not accounted")
+	}
+	ta.DropDerived()
+	if gov.Used() != 0 {
+		t.Fatalf("used = %d after DropDerived, want 0", gov.Used())
+	}
+	if err := c.Unlink("A"); err != nil {
+		t.Fatal(err)
+	}
+	if st := gov.Stats(); st.Entries != 0 {
+		t.Fatalf("entries = %d after unlink, want 0", st.Entries)
 	}
 }
 

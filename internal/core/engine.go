@@ -22,6 +22,7 @@ import (
 	"nodb/internal/catalog"
 	"nodb/internal/cracking"
 	"nodb/internal/exec"
+	"nodb/internal/govern"
 	"nodb/internal/loader"
 	"nodb/internal/metrics"
 	"nodb/internal/plan"
@@ -40,9 +41,16 @@ type Options struct {
 	// SplitDir is where split files are written; required for
 	// PolicySplitFiles.
 	SplitDir string
-	// MemoryBudget caps loaded bytes (0 = unlimited); exceeding it evicts
-	// least-recently-used tables after a query.
+	// MemoryBudget caps the bytes of adaptive state (0 = unlimited):
+	// cached columns, retained partial loads, positional maps and split
+	// files all count against it, and the memory governor evicts
+	// structures — never mid-scan; in-use structures are pinned — until
+	// the total fits again.
 	MemoryBudget int64
+	// EvictionPolicy selects how the governor picks victims: "cost" (the
+	// default) evicts the structure holding the most bytes per second of
+	// estimated rebuild work, "lru" evicts the least recently used.
+	EvictionPolicy string
 	// PosMapBudget caps each table's positional map bytes (0 = default).
 	PosMapBudget int64
 	// Workers is the tokenization parallelism (default 1).
@@ -70,6 +78,7 @@ type Engine struct {
 	opts     Options
 	policy   atomic.Int32 // current plan.Policy; atomic so SetPolicy races with queries safely
 	cat      *catalog.Catalog
+	gov      *govern.Governor
 	counters metrics.Counters
 	ld       *loader.Loader
 	extLd    *loader.Loader // external baseline: never learns anything
@@ -80,15 +89,22 @@ type Engine struct {
 	stmts       *stmtCache
 }
 
-// NewEngine creates an engine with the given options.
+// NewEngine creates an engine with the given options. An unknown
+// EvictionPolicy falls back to the default (cost-aware); ParseDSN and the
+// command-line front ends validate the name earlier.
 func NewEngine(opts Options) *Engine {
 	e := &Engine{opts: opts, stmts: newStmtCache(stmtCacheSize)}
 	e.closeCtx, e.closeCancel = context.WithCancel(context.Background())
 	e.policy.Store(int32(opts.Policy))
+	evict, err := govern.PolicyByName(opts.EvictionPolicy)
+	if err != nil {
+		evict = govern.CostAware{}
+	}
+	e.gov = govern.New(opts.MemoryBudget, evict, &e.counters)
 	e.cat = catalog.New(catalog.Options{
 		SplitDir:     opts.SplitDir,
-		MemoryBudget: opts.MemoryBudget,
 		PosMapBudget: opts.PosMapBudget,
+		Governor:     e.gov,
 		Counters:     &e.counters,
 	})
 	e.ld = &loader.Loader{
@@ -133,6 +149,13 @@ func (e *Engine) Counters() *metrics.Counters { return &e.counters }
 // Catalog exposes the table catalog (read-mostly; used by shells and
 // benchmarks for stats).
 func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Governor exposes the memory governor (accounting, budget, eviction).
+func (e *Engine) Governor() *govern.Governor { return e.gov }
+
+// MemStats returns the memory governor's accounting snapshot: budget,
+// bytes held and pinned, registered structures, and eviction totals.
+func (e *Engine) MemStats() govern.Stats { return e.gov.Stats() }
 
 // Policy returns the current loading policy.
 func (e *Engine) Policy() plan.Policy { return plan.Policy(e.policy.Load()) }
@@ -343,21 +366,47 @@ func (e *Engine) tryFusedAggregate(ctx context.Context, p *plan.Plan) ([]storage
 	if err != nil {
 		return nil, false, err
 	}
-	cols := append([]int(nil), tp.NeedCols...)
-	for _, c := range tp.Conj.Columns() {
-		if !containsInt(cols, c) {
-			cols = append(cols, c)
-		}
-	}
-	src, err := loader.DenseSourceFor(t, cols, &e.counters)
+	src, unpin, err := e.ensureDensePinned(ctx, t, tp.Pins)
 	if err != nil {
 		return nil, false, err
 	}
+	defer unpin()
 	row, err := exec.SelectAggregateDense(src, tp.Conj, p.Aggs)
 	if err != nil {
 		return nil, false, err
 	}
 	return row, true, nil
+}
+
+// ensureDensePinned delivers a pinned dense source over cols, reloading
+// as needed: a plan may carry a stale LoadNone (the columns were evicted
+// between planning and execution), and a concurrent query's post-query
+// budget enforcement may evict a column in the window between its load
+// and its pin. Both degrade to a reload here — never to a query error.
+// Once pinned, the columns cannot be evicted, so each retry needs a
+// freshly lost race; the generous cap exists only to turn a logic bug
+// into an error instead of a spin. The returned unpin must be called
+// when the scan over src is done.
+func (e *Engine) ensureDensePinned(ctx context.Context, t *catalog.Table, cols []int) (exec.DenseSource, func(), error) {
+	var lastErr error
+	for attempt := 0; attempt < 64; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return exec.DenseSource{}, nil, err
+		}
+		if len(t.MissingDense(cols)) > 0 {
+			if err := e.ld.ColumnLoadContext(ctx, t, cols); err != nil {
+				return exec.DenseSource{}, nil, err
+			}
+		}
+		unpin := t.Pin(cols)
+		src, err := loader.DenseSourceFor(t, cols, &e.counters)
+		if err == nil {
+			return src, unpin, nil
+		}
+		unpin()
+		lastErr = err // evicted between load and pin: go again
+	}
+	return exec.DenseSource{}, nil, lastErr
 }
 
 // runLoad executes a column-granularity load operator (a full pass over
@@ -390,7 +439,7 @@ func (e *Engine) tableView(ctx context.Context, tp *plan.TablePlan) (*exec.View,
 		if err := e.runLoad(ctx, t, tp); err != nil {
 			return nil, err
 		}
-		return e.denseSelect(t, tp)
+		return e.denseSelect(ctx, t, tp)
 	case plan.LoadPartialEphemeral:
 		return e.ld.PartialScanContext(ctx, t, tp.NeedCols, tp.Conj, tp.Ordinal)
 	case plan.LoadPartialRetained:
@@ -416,12 +465,7 @@ const (
 // for are promoted to full column loads, bounding the number of trips back
 // to the raw file.
 func (e *Engine) autoLoad(ctx context.Context, t *catalog.Table, tp *plan.TablePlan) (*exec.View, error) {
-	needAll := append([]int(nil), tp.NeedCols...)
-	for _, c := range tp.Conj.Columns() {
-		if !containsInt(needAll, c) {
-			needAll = append(needAll, c)
-		}
-	}
+	needAll := tp.Pins
 	touches := t.Touch(needAll)
 
 	var promote []int
@@ -439,24 +483,21 @@ func (e *Engine) autoLoad(ctx context.Context, t *catalog.Table, tp *plan.TableP
 		}
 	}
 	if t.DenseAll(needAll) {
-		return e.denseSelect(t, tp)
+		return e.denseSelect(ctx, t, tp)
 	}
 	return e.ld.PartialLoadV2Context(ctx, t, tp.NeedCols, tp.Conj, tp.Ordinal)
 }
 
 // denseSelect evaluates the selection over dense columns, via the cracker
 // when adaptive indexing is on.
-func (e *Engine) denseSelect(t *catalog.Table, tp *plan.TablePlan) (*exec.View, error) {
-	cols := append([]int(nil), tp.NeedCols...)
-	for _, c := range tp.Conj.Columns() {
-		if !containsInt(cols, c) {
-			cols = append(cols, c)
-		}
-	}
-	src, err := loader.DenseSourceFor(t, cols, &e.counters)
+func (e *Engine) denseSelect(ctx context.Context, t *catalog.Table, tp *plan.TablePlan) (*exec.View, error) {
+	// tp.Pins is exactly the set this path reads: NeedCols plus the
+	// predicate columns (plan.Build computes and Explain displays it).
+	src, unpin, err := e.ensureDensePinned(ctx, t, tp.Pins)
 	if err != nil {
 		return nil, err
 	}
+	defer unpin()
 	if e.opts.Cracking && !tp.Conj.Empty() {
 		if v, err := e.crackedSelect(t, src, tp); err == nil {
 			return v, nil
@@ -571,13 +612,4 @@ func (e *Engine) assemble(p *plan.Plan, v *exec.View) ([][]storage.Value, error)
 		}
 		return out, nil
 	}
-}
-
-func containsInt(v []int, x int) bool {
-	for _, c := range v {
-		if c == x {
-			return true
-		}
-	}
-	return false
 }

@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"nodb/internal/exec"
-	"nodb/internal/loader"
 	"nodb/internal/metrics"
 	"nodb/internal/plan"
 	"nodb/internal/schema"
@@ -414,6 +413,13 @@ func (e *Engine) produce(ctx context.Context, p *plan.Plan, r *Rows, before metr
 	defer close(r.ch)
 	w := &rowWriter{ctx: ctx, ch: r.ch, limit: p.Limit}
 
+	// Pin the adaptive structures this plan reads (the plan's Pins per
+	// table, plus each table's positional map and split files) so the
+	// governor cannot evict them while the scan streams over them. Columns
+	// loaded *by* this query register most-recently-used and are naturally
+	// poor victims. Pins drop before budget enforcement below.
+	unpin := e.pinPlan(p)
+
 	// Background flusher: bounds how long a partial batch sits when the
 	// scan finds rows rarely. It must stop before the channel closes.
 	stopFlush := make(chan struct{})
@@ -441,12 +447,31 @@ func (e *Engine) produce(ctx context.Context, p *plan.Plan, r *Rows, before metr
 	if errors.Is(err, errLimitReached) {
 		err = nil // LIMIT satisfied: a clean early stop, not a failure
 	}
-	e.cat.EnforceBudget()
+	unpin()
+	e.gov.Enforce()
 	r.finalErr = err
 	r.finalStats = QueryStats{
 		Work: e.counters.Snapshot().Sub(before),
 		Wall: timer.Elapsed(),
 		Plan: p.String() + note,
+	}
+}
+
+// pinPlan pins every table's planned structures and returns a function
+// releasing all pins (idempotent per table via Table.Pin's own once).
+func (e *Engine) pinPlan(p *plan.Plan) func() {
+	unpins := make([]func(), 0, len(p.Tables))
+	for i := range p.Tables {
+		t, err := e.cat.Get(p.Tables[i].Name)
+		if err != nil {
+			continue // table vanished; execution will surface the error
+		}
+		unpins = append(unpins, t.Pin(p.Tables[i].Pins))
+	}
+	return func() {
+		for _, u := range unpins {
+			u()
+		}
 	}
 }
 
@@ -514,13 +539,16 @@ func (e *Engine) executeStream(ctx context.Context, p *plan.Plan, w *rowWriter) 
 		// Column-granularity policies load first (a full pass by design),
 		// then stream the selection over the dense columns. NeedCols
 		// already includes every predicate column (plan.Build marks them).
+		// ensureDensePinned re-loads columns a governor eviction removed
+		// after planning, and pins them for the duration of the stream.
 		if err := e.runLoad(ctx, t, tp); err != nil {
 			return err
 		}
-		src, err := loader.DenseSourceFor(t, tp.NeedCols, &e.counters)
+		src, unpin, err := e.ensureDensePinned(ctx, t, tp.Pins)
 		if err != nil {
 			return err
 		}
+		defer unpin()
 		return exec.SelectDenseRows(src, tp.Conj, outCols, emit)
 	}
 }

@@ -250,6 +250,7 @@ func All() []Runner {
 		{"abl-split", "Ablation: split files vs re-reading the raw file", AblationSplitFiles},
 		{"abl-par", "Ablation: tokenizer worker count", AblationWorkers},
 		{"abl-early", "Ablation: early row abandonment on/off", AblationEarlyAbandon},
+		{"abl-budget", "Ablation: memory budget vs workload latency, cost-aware vs LRU eviction", AblationBudget},
 		{"conc", "Concurrent clients: fixed workload wall-clock vs client count over one shared engine", Concurrency},
 	}
 }

@@ -250,6 +250,28 @@ func TestAblationEarlyAbandon(t *testing.T) {
 	}
 }
 
+func TestAblationBudget(t *testing.T) {
+	r, err := AblationBudget(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"evict=cost", "evict=lru"} {
+		s, ok := r.SeriesByName(name)
+		if !ok {
+			t.Fatalf("missing series %s", name)
+		}
+		if len(s.Points) != 5 {
+			t.Fatalf("%s: %d points, want 5", name, len(s.Points))
+		}
+		// The tightest budget must pay at least as much as no budget: a
+		// workload bigger than the budget keeps re-loading.
+		if s.Points[len(s.Points)-1].ModelSec < s.Points[0].ModelSec {
+			t.Errorf("%s: tight budget (%.4fs) cheaper than unlimited (%.4fs)",
+				name, s.Points[len(s.Points)-1].ModelSec, s.Points[0].ModelSec)
+		}
+	}
+}
+
 func TestReportFormat(t *testing.T) {
 	r, err := Perl(smallCfg(t))
 	if err != nil {
@@ -267,8 +289,8 @@ func TestReportFormat(t *testing.T) {
 
 func TestAllAndLookup(t *testing.T) {
 	all := All()
-	if len(all) != 11 {
-		t.Fatalf("experiments = %d, want 11", len(all))
+	if len(all) != 12 {
+		t.Fatalf("experiments = %d, want 12", len(all))
 	}
 	ids := map[string]bool{}
 	for _, r := range all {

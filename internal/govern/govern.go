@@ -1,0 +1,396 @@
+// Package govern implements the engine's memory governor: a global
+// byte-accounting registry that every adaptive structure — fully loaded
+// columns, retained partial-load (sparse) columns, positional maps, split
+// files — registers with, plus the eviction machinery that keeps their
+// total footprint under a configurable budget.
+//
+// The paper (§5.1.3) frames adaptive in-situ querying as viable only with
+// this kind of life-time management: cached state is "auxiliary data we
+// are not afraid to lose", and "the only cost is that of having to reload
+// this data part if it is needed again in the future". The governor makes
+// that cost explicit. Each registered structure carries an estimated
+// rebuild cost alongside its byte footprint, and the default cost-aware
+// policy evicts the structures with the most bytes held per second of
+// rebuild work — a cached column (cheap to re-load, especially through the
+// positional map) goes before a positional map (which took many query
+// passes to accumulate and would need full re-tokenization to recover).
+//
+// Ownership model: structures register a Handle and keep its byte count
+// current; the governor never mutates owner state directly. Eviction calls
+// the owner-supplied callback, which drops the structure under the owner's
+// own locks and then either releases the handle (one-shot structures such
+// as columns) or zeroes its bytes (persistent containers such as a
+// positional map, which survives empty and keeps accumulating). Queries
+// pin the handles they are about to read; a pinned handle is never chosen
+// as a victim, so an in-use structure is rebuilt later rather than freed
+// mid-scan.
+package govern
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"nodb/internal/metrics"
+)
+
+// Kind classifies a registered adaptive structure.
+type Kind int
+
+// Structure kinds.
+const (
+	// KindColumn is a fully loaded dense column (plus any cracker index
+	// built over it, which is evicted with it).
+	KindColumn Kind = iota
+	// KindSparse is a retained partial-load column: the sparse values plus
+	// the covered-region bookkeeping that makes them reusable.
+	KindSparse
+	// KindPosMap is the positional map of one raw file.
+	KindPosMap
+	// KindSplit is the split-file set of one raw file (on-disk bytes; the
+	// budget governs the engine's total adaptive footprint, not only heap).
+	KindSplit
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindColumn:
+		return "column"
+	case KindSparse:
+		return "sparse"
+	case KindPosMap:
+		return "posmap"
+	case KindSplit:
+		return "split"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Handle is one registered structure's accounting record. Touches and
+// pins are lock-free; byte updates and Release serialize on a per-handle
+// mutex so a late update racing a Release can never leave phantom bytes
+// in the global account.
+type Handle struct {
+	g     *Governor
+	id    uint64
+	kind  Kind
+	label string
+	evict func() bool
+
+	mu      sync.Mutex    // serializes byte updates against Release
+	bytes   atomic.Int64  // atomic so readers (Enforce, Stats) skip mu
+	cost    atomic.Uint64 // float64 bits: estimated rebuild seconds
+	lastUse atomic.Int64  // governor clock tick
+	pins    atomic.Int32
+	dead    atomic.Bool
+}
+
+// Kind returns the structure's kind.
+func (h *Handle) Kind() Kind { return h.kind }
+
+// Label returns the human-readable name ("table.col3", "table.posmap").
+func (h *Handle) Label() string { return h.label }
+
+// Bytes returns the currently accounted byte footprint.
+func (h *Handle) Bytes() int64 { return h.bytes.Load() }
+
+// SetBytes replaces the accounted footprint. No-op after Release.
+func (h *Handle) SetBytes(n int64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if !h.dead.Load() {
+		old := h.bytes.Swap(n)
+		h.g.used.Add(n - old)
+	}
+	h.mu.Unlock()
+}
+
+// AddBytes adjusts the accounted footprint by delta. No-op after Release.
+func (h *Handle) AddBytes(delta int64) {
+	if h == nil || delta == 0 {
+		return
+	}
+	h.mu.Lock()
+	if !h.dead.Load() {
+		h.bytes.Add(delta)
+		h.g.used.Add(delta)
+	}
+	h.mu.Unlock()
+}
+
+// SetCost records the estimated cost (modeled seconds) of rebuilding the
+// structure from the raw file if it were evicted.
+func (h *Handle) SetCost(sec float64) {
+	if h == nil {
+		return
+	}
+	h.cost.Store(math.Float64bits(sec))
+}
+
+// Cost returns the estimated rebuild cost in modeled seconds.
+func (h *Handle) Cost() float64 { return math.Float64frombits(h.cost.Load()) }
+
+// Touch marks the structure recently used (LRU bookkeeping).
+func (h *Handle) Touch() {
+	if h == nil {
+		return
+	}
+	h.lastUse.Store(h.g.clock.Add(1))
+}
+
+// Pin marks the structure in-use: a pinned handle is never selected for
+// eviction. Pins nest; pair every Pin with an Unpin.
+func (h *Handle) Pin() {
+	if h == nil {
+		return
+	}
+	h.pins.Add(1)
+	h.Touch()
+}
+
+// Unpin releases one Pin.
+func (h *Handle) Unpin() {
+	if h == nil {
+		return
+	}
+	h.pins.Add(-1)
+}
+
+// Pinned reports whether the structure is currently pinned by a query.
+// Eviction callbacks re-check it under the owner's lock (which excludes
+// the owner's Pin path) before dropping anything.
+func (h *Handle) Pinned() bool { return h != nil && h.pins.Load() > 0 }
+
+// Release unregisters the handle and removes its bytes from the global
+// account. Owners call it when the structure is dropped outside eviction
+// (file invalidation, unlink, supersession). Idempotent.
+func (h *Handle) Release() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.dead.Swap(true) {
+		h.mu.Unlock()
+		return
+	}
+	h.g.used.Add(-h.bytes.Swap(0))
+	h.mu.Unlock()
+	h.g.mu.Lock()
+	delete(h.g.entries, h.id)
+	h.g.mu.Unlock()
+}
+
+// Candidate is the read-only view of an evictable entry that policies rank.
+type Candidate struct {
+	Kind    Kind
+	Label   string
+	Bytes   int64
+	CostSec float64 // estimated rebuild cost, modeled seconds
+	LastUse int64   // governor clock tick of last touch
+}
+
+// EvictionPolicy orders eviction candidates. Implementations must be
+// stateless (the governor calls Less from multiple goroutines).
+type EvictionPolicy interface {
+	// Name identifies the policy ("lru", "cost").
+	Name() string
+	// Less reports whether a should be evicted before b.
+	Less(a, b Candidate) bool
+}
+
+// Eviction describes one evicted structure.
+type Eviction struct {
+	Kind  Kind
+	Label string
+	Bytes int64
+}
+
+// Stats is a point-in-time snapshot of the governor's accounting.
+type Stats struct {
+	// Budget is the configured byte budget (0 = unlimited).
+	Budget int64 `json:"budget"`
+	// Used is the total bytes of registered adaptive state.
+	Used int64 `json:"used"`
+	// Pinned is the bytes currently pinned by in-flight queries.
+	Pinned int64 `json:"pinned"`
+	// Entries is the number of registered structures.
+	Entries int `json:"entries"`
+	// Evictions counts structures evicted since startup.
+	Evictions int64 `json:"evictions"`
+	// EvictedBytes totals the bytes reclaimed by eviction since startup.
+	EvictedBytes int64 `json:"evicted_bytes"`
+	// Policy is the active eviction policy name.
+	Policy string `json:"policy"`
+}
+
+// Governor is the global registry. Safe for concurrent use.
+type Governor struct {
+	budget   atomic.Int64
+	policy   EvictionPolicy
+	counters *metrics.Counters
+
+	used  atomic.Int64
+	clock atomic.Int64
+
+	evictions    atomic.Int64
+	evictedBytes atomic.Int64
+
+	mu      sync.Mutex // guards entries
+	entries map[uint64]*Handle
+	nextID  uint64
+
+	enforceMu sync.Mutex // serializes Enforce passes
+}
+
+// New creates a governor. budget is the global byte budget (0 or negative
+// = unlimited: accounting still runs, eviction never does). policy nil
+// means the default cost-aware policy. counters may be nil.
+func New(budget int64, policy EvictionPolicy, counters *metrics.Counters) *Governor {
+	if policy == nil {
+		policy = CostAware{}
+	}
+	g := &Governor{policy: policy, counters: counters, entries: make(map[uint64]*Handle)}
+	g.budget.Store(budget)
+	return g
+}
+
+// Register adds a structure to the registry. evict is the owner callback
+// that drops the structure when it is chosen as a victim; it runs without
+// any governor lock held, must re-check the handle's pin state under the
+// owner's own lock (returning false to veto the eviction), and on success
+// must leave the handle released or at zero bytes. A nil evict registers
+// an accounting-only entry that is never selected for eviction.
+func (g *Governor) Register(kind Kind, label string, evict func() bool) *Handle {
+	h := &Handle{g: g, kind: kind, label: label, evict: evict}
+	h.Touch()
+	g.mu.Lock()
+	g.nextID++
+	h.id = g.nextID
+	g.entries[h.id] = h
+	g.mu.Unlock()
+	return h
+}
+
+// Budget returns the configured byte budget (0 = unlimited).
+func (g *Governor) Budget() int64 { return g.budget.Load() }
+
+// SetBudget changes the budget; the next Enforce applies it.
+func (g *Governor) SetBudget(n int64) { g.budget.Store(n) }
+
+// Used returns the total accounted bytes.
+func (g *Governor) Used() int64 { return g.used.Load() }
+
+// Policy returns the active eviction policy.
+func (g *Governor) Policy() EvictionPolicy { return g.policy }
+
+// Stats returns a snapshot of the governor's accounting.
+func (g *Governor) Stats() Stats {
+	var pinned int64
+	entries := 0
+	g.mu.Lock()
+	for _, h := range g.entries {
+		entries++
+		if h.pins.Load() > 0 {
+			pinned += h.bytes.Load()
+		}
+	}
+	g.mu.Unlock()
+	return Stats{
+		Budget:       g.Budget(),
+		Used:         g.Used(),
+		Pinned:       pinned,
+		Entries:      entries,
+		Evictions:    g.evictions.Load(),
+		EvictedBytes: g.evictedBytes.Load(),
+		Policy:       g.policy.Name(),
+	}
+}
+
+// Enforce evicts unpinned structures, worst-first per the policy, until
+// the accounted bytes fit the budget (or no evictable candidates remain —
+// pinned bytes can exceed the budget transiently; the next Enforce after
+// the pins drop reclaims them). It returns what was evicted.
+func (g *Governor) Enforce() []Eviction {
+	budget := g.Budget()
+	if budget <= 0 || g.Used() <= budget {
+		return nil
+	}
+	g.enforceMu.Lock()
+	defer g.enforceMu.Unlock()
+
+	var out []Eviction
+	// Victim selection is re-snapshotted after each round of callbacks:
+	// callbacks change the candidate set (a dense-column eviction releases
+	// its handle), and concurrent queries may have pinned or grown entries
+	// in the meantime.
+	for round := 0; round < 8; round++ {
+		over := g.Used() - g.Budget()
+		if over <= 0 {
+			return out
+		}
+		victims := g.pickVictims(over)
+		if len(victims) == 0 {
+			return out
+		}
+		for _, h := range victims {
+			if h.Pinned() || h.dead.Load() {
+				continue // pinned (or gone) since selection: skip, re-check next round
+			}
+			b := h.bytes.Load()
+			if !h.evict() {
+				continue // owner vetoed (pinned or already gone under its lock)
+			}
+			g.evictions.Add(1)
+			g.evictedBytes.Add(b)
+			if g.counters != nil {
+				g.counters.AddEviction(1)
+				g.counters.AddEvictedBytes(b)
+			}
+			out = append(out, Eviction{Kind: h.kind, Label: h.label, Bytes: b})
+		}
+	}
+	return out
+}
+
+// pickVictims returns unpinned candidates, ordered worst-first by the
+// policy, whose cumulative bytes cover the overshoot.
+func (g *Governor) pickVictims(over int64) []*Handle {
+	g.mu.Lock()
+	cands := make([]*Handle, 0, len(g.entries))
+	for _, h := range g.entries {
+		if h.evict == nil || h.Pinned() || h.bytes.Load() <= 0 {
+			continue
+		}
+		cands = append(cands, h)
+	}
+	g.mu.Unlock()
+
+	sort.Slice(cands, func(i, j int) bool {
+		return g.policy.Less(candidate(cands[i]), candidate(cands[j]))
+	})
+	var victims []*Handle
+	var freed int64
+	for _, h := range cands {
+		if freed >= over {
+			break
+		}
+		victims = append(victims, h)
+		freed += h.bytes.Load()
+	}
+	return victims
+}
+
+func candidate(h *Handle) Candidate {
+	return Candidate{
+		Kind:    h.kind,
+		Label:   h.label,
+		Bytes:   h.bytes.Load(),
+		CostSec: h.Cost(),
+		LastUse: h.lastUse.Load(),
+	}
+}

@@ -1,0 +1,258 @@
+package govern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"nodb/internal/metrics"
+)
+
+// reg registers a handle holding n bytes whose eviction zeroes it and
+// flips the given flag.
+func reg(g *Governor, kind Kind, label string, n int64, evicted *bool) *Handle {
+	var h *Handle
+	h = g.Register(kind, label, func() bool {
+		*evicted = true
+		h.Release()
+		return true
+	})
+	h.SetBytes(n)
+	return h
+}
+
+func TestAccounting(t *testing.T) {
+	g := New(0, nil, nil)
+	h := g.Register(KindColumn, "t.c0", nil)
+	h.SetBytes(100)
+	if g.Used() != 100 {
+		t.Fatalf("used = %d, want 100", g.Used())
+	}
+	h.AddBytes(50)
+	if g.Used() != 150 {
+		t.Fatalf("used = %d, want 150", g.Used())
+	}
+	h.SetBytes(10)
+	if g.Used() != 10 {
+		t.Fatalf("used = %d, want 10", g.Used())
+	}
+	h.Release()
+	if g.Used() != 0 {
+		t.Fatalf("used after release = %d, want 0", g.Used())
+	}
+	// Post-release updates must not resurrect the account.
+	h.SetBytes(99)
+	h.AddBytes(99)
+	if g.Used() != 0 {
+		t.Fatalf("used after dead update = %d, want 0", g.Used())
+	}
+	if ev := g.Enforce(); ev != nil {
+		t.Fatalf("unlimited budget evicted %v", ev)
+	}
+}
+
+func TestEnforceUnderBudget(t *testing.T) {
+	g := New(1000, LRU{}, nil)
+	var e1, e2 bool
+	reg(g, KindColumn, "t.c0", 400, &e1)
+	reg(g, KindColumn, "t.c1", 500, &e2)
+	if ev := g.Enforce(); len(ev) != 0 {
+		t.Fatalf("under budget evicted %v", ev)
+	}
+	if e1 || e2 {
+		t.Fatal("eviction callback ran while under budget")
+	}
+}
+
+func TestEnforceLRUOrder(t *testing.T) {
+	var c metrics.Counters
+	g := New(1000, LRU{}, &c)
+	var e1, e2, e3 bool
+	h1 := reg(g, KindColumn, "t.c0", 600, &e1)
+	reg(g, KindColumn, "t.c1", 600, &e2)
+	h3 := reg(g, KindColumn, "t.c2", 600, &e3)
+	// Touch order: c1 (oldest), c0, c2.
+	h1.Touch()
+	h3.Touch()
+	ev := g.Enforce()
+	if !e2 || !e1 || e3 {
+		t.Fatalf("LRU eviction order wrong: e1=%v e2=%v e3=%v (%v)", e1, e2, e3, ev)
+	}
+	if g.Used() > 1000 {
+		t.Fatalf("used = %d after enforce, budget 1000", g.Used())
+	}
+	if s := c.Snapshot(); s.Evictions != 2 || s.EvictedBytes != 1200 {
+		t.Fatalf("counters = %d evictions, %d bytes", s.Evictions, s.EvictedBytes)
+	}
+}
+
+func TestEnforceCostAware(t *testing.T) {
+	g := New(100, CostAware{}, nil)
+	var cheap, dear bool
+	// Same bytes; the cheap-to-rebuild structure must go first.
+	hc := reg(g, KindColumn, "t.c0", 80, &cheap)
+	hc.SetCost(0.1)
+	hd := reg(g, KindPosMap, "t.posmap", 80, &dear)
+	hd.SetCost(10)
+	g.Enforce()
+	if !cheap {
+		t.Fatal("cheap-to-rebuild structure not evicted")
+	}
+	if dear {
+		t.Fatal("expensive-to-rebuild structure evicted while the cheap one sufficed")
+	}
+}
+
+func TestPinBlocksEviction(t *testing.T) {
+	g := New(100, LRU{}, nil)
+	var e1, e2 bool
+	h1 := reg(g, KindColumn, "t.c0", 200, &e1)
+	reg(g, KindColumn, "t.c1", 200, &e2)
+	h1.Pin()
+	g.Enforce()
+	if e1 {
+		t.Fatal("pinned structure was evicted")
+	}
+	if !e2 {
+		t.Fatal("unpinned structure should have been evicted")
+	}
+	h1.Unpin()
+	g.Enforce()
+	if !e1 {
+		t.Fatal("structure not evicted after unpin")
+	}
+	if g.Used() != 0 {
+		t.Fatalf("used = %d, want 0", g.Used())
+	}
+}
+
+func TestPersistentHandleZeroesInsteadOfRelease(t *testing.T) {
+	g := New(100, LRU{}, nil)
+	var h *Handle
+	drops := 0
+	h = g.Register(KindPosMap, "t.posmap", func() bool {
+		drops++
+		h.SetBytes(0) // posmap survives eviction empty
+		return true
+	})
+	h.SetBytes(500)
+	g.Enforce()
+	if drops != 1 || g.Used() != 0 {
+		t.Fatalf("drops=%d used=%d", drops, g.Used())
+	}
+	// The handle keeps accounting after eviction.
+	h.AddBytes(40)
+	if g.Used() != 40 {
+		t.Fatalf("used = %d, want 40", g.Used())
+	}
+	if st := g.Stats(); st.Evictions != 1 || st.EvictedBytes != 500 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := New(1<<20, nil, nil)
+	h := g.Register(KindColumn, "t.c0", nil)
+	h.SetBytes(100)
+	h.Pin()
+	st := g.Stats()
+	if st.Budget != 1<<20 || st.Used != 100 || st.Pinned != 100 || st.Entries != 1 || st.Policy != "cost" {
+		t.Fatalf("stats = %+v", st)
+	}
+	h.Unpin()
+	if st := g.Stats(); st.Pinned != 0 {
+		t.Fatalf("pinned = %d after unpin", st.Pinned)
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for name, want := range map[string]string{"": "cost", "cost": "cost", "cost-aware": "cost", "lru": "lru"} {
+		p, err := PolicyByName(name)
+		if err != nil || p.Name() != want {
+			t.Errorf("PolicyByName(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := PolicyByName("bogus"); err == nil {
+		t.Error("bogus policy should fail")
+	}
+}
+
+func TestConcurrentRegisterUpdateEnforce(t *testing.T) {
+	g := New(10_000, CostAware{}, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				var h *Handle
+				h = g.Register(KindColumn, fmt.Sprintf("t%d.c%d", w, i), func() bool { h.Release(); return true })
+				h.SetBytes(int64(100 + i))
+				h.Touch()
+				h.Pin()
+				h.AddBytes(8)
+				h.Unpin()
+				if i%10 == 0 {
+					g.Enforce()
+				}
+				if i%3 == 0 {
+					h.Release()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	g.Enforce()
+	if used := g.Used(); used > 10_000 {
+		t.Fatalf("used = %d after final enforce, budget 10000", used)
+	}
+}
+
+// BenchmarkHandleAccounting measures the per-update cost structures pay to
+// keep the governor current (hot: loaders call it per chunk/merge).
+func BenchmarkHandleAccounting(b *testing.B) {
+	g := New(1<<40, CostAware{}, nil)
+	h := g.Register(KindPosMap, "t.posmap", func() bool { return true })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.AddBytes(16)
+		h.Touch()
+	}
+}
+
+// BenchmarkEnforce measures one full eviction pass over a populated
+// registry (the post-query hot path when the budget is tight).
+func BenchmarkEnforce(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := New(1000, CostAware{}, nil)
+		for j := 0; j < 256; j++ {
+			var h *Handle
+			h = g.Register(KindColumn, "t.c", func() bool { h.Release(); return true })
+			h.SetBytes(int64(64 + j))
+			h.SetCost(float64(j%7) + 0.5)
+		}
+		b.StartTimer()
+		g.Enforce()
+	}
+}
+
+// TestEvictVeto: a callback returning false (owner saw a pin or the
+// structure already gone) must not count as an eviction.
+func TestEvictVeto(t *testing.T) {
+	g := New(100, LRU{}, nil)
+	calls := 0
+	h := g.Register(KindColumn, "t.c0", func() bool { calls++; return false })
+	h.SetBytes(500)
+	if ev := g.Enforce(); len(ev) != 0 {
+		t.Fatalf("vetoed eviction reported: %v", ev)
+	}
+	if calls == 0 {
+		t.Fatal("callback never ran")
+	}
+	if st := g.Stats(); st.Evictions != 0 || st.EvictedBytes != 0 {
+		t.Fatalf("veto counted: %+v", st)
+	}
+}

@@ -84,13 +84,6 @@ func parseField(b []byte, typ schema.Type) (storage.Value, error) {
 	}
 }
 
-func valueBytes(v storage.Value) int64 {
-	if v.Typ == schema.String {
-		return int64(len(v.S)) + 16
-	}
-	return 8
-}
-
 // FullLoad loads every column of the table (classic up-front loading).
 func (l *Loader) FullLoad(t *catalog.Table) error {
 	return l.FullLoadContext(context.Background(), t)

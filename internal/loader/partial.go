@@ -208,11 +208,17 @@ func (l *Loader) PartialLoadV2Context(ctx context.Context, t *catalog.Table, nee
 	q, representable := queryRegion(t, loadCols, conj)
 
 	if representable {
-		if _, ok := t.CoveredBy(q); ok {
-			if l.Counters != nil {
-				l.Counters.AddCacheHit(1)
+		// StoreBacked guards against an eviction that raced this query:
+		// coverage whose backing data the governor reclaimed is a miss.
+		// viewFromStore can still lose the race in the window after the
+		// check; that, too, degrades to a rescan, never to a query error.
+		if _, ok := t.CoveredBy(q); ok && t.StoreBacked(loadCols) {
+			if v, err := l.viewFromStore(t, loadCols, conj, tab); err == nil {
+				if l.Counters != nil {
+					l.Counters.AddCacheHit(1)
+				}
+				return v, nil
 			}
-			return l.viewFromStore(t, loadCols, conj, tab)
 		}
 	}
 	if l.Counters != nil {
@@ -225,19 +231,12 @@ func (l *Loader) PartialLoadV2Context(ctx context.Context, t *catalog.Table, nee
 	}
 
 	// Merge qualifying rows into the sparse columns (unless dense already
-	// holds the column: dense supersedes).
+	// holds the column: dense supersedes). MergeSparse runs under the
+	// table lock and keeps the governor's byte accounting current.
 	var stored int64
 	for _, c := range loadCols {
-		if t.Dense(c) != nil {
-			continue
-		}
-		sp := t.Sparse(c, true)
 		col := view.Col(exec.ColKey{Tab: tab, Col: c})
-		for i, row := range view.Rows {
-			v := col.Value(i)
-			sp.Add(row, v)
-			stored += valueBytes(v) + 8
-		}
+		stored += t.MergeSparse(c, view.Rows, col.Value)
 	}
 	if l.Counters != nil && stored > 0 {
 		l.Counters.AddInternalBytesWritten(stored)
@@ -254,17 +253,24 @@ func (l *Loader) PartialLoadV2Context(ctx context.Context, t *catalog.Table, nee
 func (l *Loader) viewFromStore(t *catalog.Table, loadCols []int, conj expr.Conjunction, tab int) (*exec.View, error) {
 	sch := t.Schema()
 
+	// Snapshot the column pointers once: a concurrent governor eviction may
+	// drop them from the table mid-iteration, but the snapshot keeps this
+	// query's view of the data alive and consistent.
+	dense := make(map[int]*storage.DenseColumn, len(loadCols))
+	sparse := make(map[int]*storage.SparseColumn, len(loadCols))
 	// Candidate rows: the sparse column with the fewest entries bounds the
 	// iteration; if every column is dense, fall back to a dense select.
 	var driver *storage.SparseColumn
 	for _, c := range loadCols {
-		if t.Dense(c) != nil {
+		if d := t.Dense(c); d != nil {
+			dense[c] = d
 			continue
 		}
 		sp := t.Sparse(c, false)
 		if sp == nil {
 			return nil, fmt.Errorf("loader: column %d has no stored data despite coverage", c)
 		}
+		sparse[c] = sp
 		if driver == nil || sp.Len() < driver.Len() {
 			driver = sp
 		}
@@ -278,10 +284,21 @@ func (l *Loader) viewFromStore(t *catalog.Table, loadCols []int, conj expr.Conju
 	}
 
 	get := func(c int, row int64) (storage.Value, bool) {
+		if d := dense[c]; d != nil {
+			return d.Value(int(row)), true
+		}
+		if sp := sparse[c]; sp != nil {
+			return sp.Get(row)
+		}
+		// A column outside loadCols (re-evaluated predicate): read through
+		// the table, tolerating concurrent eviction.
 		if d := t.Dense(c); d != nil {
 			return d.Value(int(row)), true
 		}
-		return t.Sparse(c, false).Get(row)
+		if sp := t.Sparse(c, false); sp != nil {
+			return sp.Get(row)
+		}
+		return storage.Value{}, false
 	}
 
 	batch := &rowBatch{}

@@ -34,6 +34,8 @@ type Counters struct {
 	cacheHits          atomic.Int64 // queries (or column requests) fully served from the adaptive store
 	cacheMisses        atomic.Int64
 	scriptOps          atomic.Int64 // interpreted script operations (baselines only)
+	evictions          atomic.Int64 // adaptive structures evicted by the memory governor
+	evictedBytes       atomic.Int64 // bytes reclaimed by those evictions
 }
 
 // AddScriptOps records interpreted per-record operations of an external
@@ -81,6 +83,12 @@ func (c *Counters) AddCacheHit(n int64) { c.cacheHits.Add(n) }
 // AddCacheMiss records a request that had to go back to the flat file.
 func (c *Counters) AddCacheMiss(n int64) { c.cacheMisses.Add(n) }
 
+// AddEviction records adaptive structures evicted by the memory governor.
+func (c *Counters) AddEviction(n int64) { c.evictions.Add(n) }
+
+// AddEvictedBytes records bytes reclaimed by governor evictions.
+func (c *Counters) AddEvictedBytes(n int64) { c.evictedBytes.Add(n) }
+
 // Snapshot is an immutable copy of the counters at one point in time.
 type Snapshot struct {
 	RawBytesRead         int64
@@ -97,6 +105,8 @@ type Snapshot struct {
 	CacheHits            int64
 	CacheMisses          int64
 	ScriptOps            int64
+	Evictions            int64
+	EvictedBytes         int64
 }
 
 // Snapshot returns a point-in-time copy of all counters.
@@ -116,6 +126,8 @@ func (c *Counters) Snapshot() Snapshot {
 		CacheHits:            c.cacheHits.Load(),
 		CacheMisses:          c.cacheMisses.Load(),
 		ScriptOps:            c.scriptOps.Load(),
+		Evictions:            c.evictions.Load(),
+		EvictedBytes:         c.evictedBytes.Load(),
 	}
 }
 
@@ -135,6 +147,8 @@ func (c *Counters) Reset() {
 	c.cacheHits.Store(0)
 	c.cacheMisses.Store(0)
 	c.scriptOps.Store(0)
+	c.evictions.Store(0)
+	c.evictedBytes.Store(0)
 }
 
 // Sub returns the delta s - prev, counter by counter. Use it to attribute
@@ -155,6 +169,8 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		CacheHits:            s.CacheHits - prev.CacheHits,
 		CacheMisses:          s.CacheMisses - prev.CacheMisses,
 		ScriptOps:            s.ScriptOps - prev.ScriptOps,
+		Evictions:            s.Evictions - prev.Evictions,
+		EvictedBytes:         s.EvictedBytes - prev.EvictedBytes,
 	}
 }
 
@@ -165,11 +181,12 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"raw=%dB internalR=%dB internalW=%dB splitR=%dB splitW=%dB rows=%d attrs=%d parsed=%d abandoned=%d pmHit=%d pmMiss=%d cacheHit=%d cacheMiss=%d",
+		"raw=%dB internalR=%dB internalW=%dB splitR=%dB splitW=%dB rows=%d attrs=%d parsed=%d abandoned=%d pmHit=%d pmMiss=%d cacheHit=%d cacheMiss=%d evict=%d evictB=%dB",
 		s.RawBytesRead, s.InternalBytesRead, s.InternalBytesWritten,
 		s.SplitBytesRead, s.SplitBytesWritten,
 		s.RowsTokenized, s.AttrsTokenized, s.ValuesParsed, s.RowsAbandoned,
-		s.PosMapHits, s.PosMapMisses, s.CacheHits, s.CacheMisses)
+		s.PosMapHits, s.PosMapMisses, s.CacheHits, s.CacheMisses,
+		s.Evictions, s.EvictedBytes)
 }
 
 // CostModel converts a work Snapshot into modeled seconds. Throughputs are

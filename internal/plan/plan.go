@@ -161,6 +161,11 @@ type TablePlan struct {
 	NeedCols []int
 	Conj     expr.Conjunction
 	LoadOp   LoadOp
+	// Pins lists the columns whose adaptive structures (dense or sparse
+	// state, plus the table's positional map and split files) execution
+	// pins against governor eviction while the query runs: the needed
+	// columns united with the predicate columns.
+	Pins []int
 }
 
 // JoinEdge is one bound equi-join condition.
@@ -196,7 +201,7 @@ func (p *Plan) HasAggregates() bool { return len(p.Aggs) > 0 }
 func (p *Plan) String() string {
 	var sb strings.Builder
 	for _, t := range p.Tables {
-		fmt.Fprintf(&sb, "scan %s (t%d) cols=%v load=%s", t.Name, t.Ordinal, t.NeedCols, t.LoadOp)
+		fmt.Fprintf(&sb, "scan %s (t%d) cols=%v load=%s pin=%v", t.Name, t.Ordinal, t.NeedCols, t.LoadOp, t.Pins)
 		if !t.Conj.Empty() {
 			fmt.Fprintf(&sb, " where %s", t.Conj.String())
 		}
@@ -332,6 +337,13 @@ func Build(stmt *sql.SelectStmt, cat CatalogInfo, policy Policy) (*Plan, error) 
 			t.NeedCols = []int{0}
 		}
 		sortInts(t.NeedCols)
+		t.Pins = append([]int(nil), t.NeedCols...)
+		for _, c := range t.Conj.Columns() {
+			if !containsPin(t.Pins, c) {
+				t.Pins = append(t.Pins, c)
+			}
+		}
+		sortInts(t.Pins)
 		t.LoadOp = rewriteLoadOp(policy, cat, t)
 	}
 	p.Tables = b.tables
@@ -515,6 +527,15 @@ func (b *binder) outputIndex(p *Plan, c sql.ColRef) (int, error) {
 		}
 	}
 	return 0, fmt.Errorf("plan: ORDER BY column %q must appear in the select list", c.Column)
+}
+
+func containsPin(v []int, x int) bool {
+	for _, c := range v {
+		if c == x {
+			return true
+		}
+	}
+	return false
 }
 
 func sortInts(v []int) {

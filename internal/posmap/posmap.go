@@ -24,6 +24,15 @@ import (
 	"nodb/internal/metrics"
 )
 
+// Accountant receives the map's byte footprint and usage signals; the
+// memory governor's handles satisfy it. All methods must be safe for
+// concurrent use.
+type Accountant interface {
+	AddBytes(delta int64)
+	SetBytes(n int64)
+	Touch()
+}
+
 // Map records known byte positions of attributes in one raw file. It is
 // safe for concurrent use; parallel scan workers record runs while queries
 // look positions up.
@@ -33,6 +42,18 @@ type Map struct {
 	maxBytes int64
 	bytes    int64
 	counters *metrics.Counters
+	acct     Accountant
+}
+
+// SetAccountant attaches the byte-footprint sink (the memory governor's
+// handle for this map). Call before the map is shared.
+func (m *Map) SetAccountant(a Accountant) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.acct = a
+	if a != nil {
+		a.SetBytes(m.bytes)
+	}
 }
 
 // colMap holds positions for one attribute as parallel (row, offset)
@@ -90,6 +111,9 @@ func (m *Map) Record(col int, row, off int64) {
 	}
 	c.cov.Add(intervals.Interval{Lo: row, Hi: row + 1})
 	m.bytes += 16
+	if m.acct != nil {
+		m.acct.AddBytes(16)
+	}
 }
 
 // RecordRun stores offsets for rows startRow, startRow+1, ... in one lock
@@ -124,6 +148,9 @@ func (m *Map) RecordRun(col int, startRow int64, offs []int64) {
 	}
 	c.cov.Add(intervals.Interval{Lo: startRow, Hi: startRow + int64(len(offs))})
 	m.bytes += int64(len(offs)) * 16
+	if m.acct != nil {
+		m.acct.AddBytes(int64(len(offs)) * 16)
+	}
 }
 
 // Lookup returns the byte offset of (col, row) if known.
@@ -230,17 +257,24 @@ func (m *Map) Full() bool {
 	return m.bytes >= m.maxBytes
 }
 
-// Drop discards all recorded positions (used when the raw file changed).
+// Drop discards all recorded positions (used when the raw file changed, or
+// when the memory governor reclaims the map's footprint).
 func (m *Map) Drop() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.cols = make(map[int]*colMap)
 	m.bytes = 0
+	if m.acct != nil {
+		m.acct.SetBytes(0)
+	}
 }
 
 func (m *Map) hit() {
 	if m.counters != nil {
 		m.counters.AddPosMapHit(1)
+	}
+	if m.acct != nil {
+		m.acct.Touch()
 	}
 }
 

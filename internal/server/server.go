@@ -150,6 +150,7 @@ type statsResponse struct {
 	UptimeSeconds float64          `json:"uptime_seconds"`
 	Policy        string           `json:"policy"`
 	MemBytes      int64            `json:"mem_bytes"`
+	Memory        nodb.MemStats    `json:"memory"`
 	Work          metrics.Snapshot `json:"work"`
 	Server        serverStatsJSON  `json:"server"`
 }
@@ -523,6 +524,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Policy:        s.db.Policy().String(),
 		MemBytes:      s.db.MemSize(),
+		Memory:        s.db.MemStats(),
 		Work:          s.db.Work(),
 		Server: serverStatsJSON{
 			InFlight:    s.inFlight.Load(),

@@ -485,3 +485,27 @@ func TestServerQueryStreamDisconnect(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestStatsMemoryFields verifies /stats surfaces the memory governor's
+// accounting: after a query loads adaptive state, used bytes are visible;
+// the policy name and (unlimited) budget are reported.
+func TestStatsMemoryFields(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if resp, _ := postQuery(t, ts.URL, "select sum(a1) from events where a1 >= 0"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d", resp.StatusCode)
+	}
+	var stats statsResponse
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Memory.Used <= 0 {
+		t.Errorf("memory.used = %d, want > 0 after a retained load", stats.Memory.Used)
+	}
+	if stats.Memory.Budget != 0 {
+		t.Errorf("memory.budget = %d, want 0 (unlimited)", stats.Memory.Budget)
+	}
+	if stats.Memory.Policy != "cost" {
+		t.Errorf("memory.policy = %q, want cost", stats.Memory.Policy)
+	}
+	if stats.Memory.Entries <= 0 {
+		t.Errorf("memory.entries = %d, want > 0", stats.Memory.Entries)
+	}
+}

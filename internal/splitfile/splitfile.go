@@ -34,6 +34,15 @@ type Source struct {
 	Raw bool
 }
 
+// Accountant receives the registry's byte footprint and usage signals; the
+// memory governor's handles satisfy it. All methods must be safe for
+// concurrent use.
+type Accountant interface {
+	AddBytes(delta int64)
+	SetBytes(n int64)
+	Touch()
+}
+
 // Registry tracks the split files that exist for one raw file. Split files
 // are derived state: they are dropped wholesale when the raw file changes.
 // Registry is safe for concurrent use.
@@ -48,6 +57,15 @@ type Registry struct {
 	colFiles map[int]string // attribute → sidecar path
 	rests    []restFile     // residual files, most recent last
 	counters *metrics.Counters
+	acct     Accountant
+}
+
+// SetAccountant attaches the byte-footprint sink (the memory governor's
+// handle for this registry). Call before the registry is shared.
+func (r *Registry) SetAccountant(a Accountant) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.acct = a
 }
 
 // restFile is a residual CSV holding a contiguous suffix of the original
@@ -92,6 +110,9 @@ func sanitize(name string) string {
 func (r *Registry) Lookup(col int) Source {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.acct != nil {
+		r.acct.Touch()
+	}
 	if p, ok := r.colFiles[col]; ok {
 		return Source{Path: p, LocalCol: 0, Cols: []int{col}}
 	}
@@ -312,21 +333,36 @@ func (w *Writer) Close() error {
 	r := w.reg
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	var registered int64
 	for i, local := range w.locals {
 		orig := w.plan.Sidecars[local]
 		if _, exists := r.colFiles[orig]; !exists {
 			r.colFiles[orig] = w.paths[i]
+			registered += fileSize(w.paths[i])
 		} else {
 			os.Remove(w.paths[i]) // a concurrent load beat us; keep theirs
 		}
 	}
 	if len(w.plan.RestCols) > 0 {
-		r.rests = append(r.rests, restFile{path: w.paths[len(w.paths)-1], cols: append([]int(nil), w.plan.RestCols...)})
+		path := w.paths[len(w.paths)-1]
+		r.rests = append(r.rests, restFile{path: path, cols: append([]int(nil), w.plan.RestCols...)})
+		registered += fileSize(path)
 	}
 	if r.counters != nil {
 		r.counters.AddSplitBytesWritten(w.written)
 	}
+	if r.acct != nil {
+		r.acct.AddBytes(registered)
+	}
 	return nil
+}
+
+func fileSize(path string) int64 {
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return st.Size()
 }
 
 // Paths returns every file currently registered (for eviction accounting
@@ -369,4 +405,7 @@ func (r *Registry) Drop() {
 	}
 	r.colFiles = make(map[int]string)
 	r.rests = nil
+	if r.acct != nil {
+		r.acct.SetBytes(0)
+	}
 }

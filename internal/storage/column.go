@@ -52,6 +52,16 @@ func (v Value) String() string {
 	}
 }
 
+// MemBytes returns the approximate heap bytes the value occupies when
+// retained in the adaptive store (strings count their backing bytes plus
+// header; numerics are one word).
+func (v Value) MemBytes() int64 {
+	if v.Typ == schema.String {
+		return int64(len(v.S)) + 16
+	}
+	return 8
+}
+
 // Compare orders two values of the same type family: -1, 0 or +1. Numeric
 // values compare numerically across int/float; strings compare
 // lexicographically.

@@ -24,6 +24,7 @@ import (
 	"context"
 
 	"nodb/internal/core"
+	"nodb/internal/govern"
 	"nodb/internal/metrics"
 	"nodb/internal/plan"
 	"nodb/internal/schema"
@@ -108,6 +109,19 @@ func ParsePolicy(s string) (Policy, error) {
 	return fromInternal(ip), nil
 }
 
+// ParseEvictionPolicy validates an eviction policy name ("cost", "lru";
+// "" selects the default) and returns its canonical form for
+// Options.EvictionPolicy. Open does not validate the field itself —
+// unknown names silently fall back to the default — so call this first
+// when the name comes from user input.
+func ParseEvictionPolicy(s string) (string, error) {
+	p, err := govern.PolicyByName(s)
+	if err != nil {
+		return "", err
+	}
+	return p.Name(), nil
+}
+
 // Options configures a DB.
 type Options struct {
 	// Policy is the adaptive loading strategy (default ColumnLoads).
@@ -119,9 +133,24 @@ type Options struct {
 	// SplitFiles policy. Files there are derived state and safe to
 	// delete.
 	SplitDir string
-	// MemoryBudget caps bytes of loaded state (0 = unlimited); exceeding
-	// it evicts least-recently-used tables.
+	// MemoryBudget caps the bytes of adaptive state the engine may hold
+	// (0 = unlimited, the default). Cached columns, retained partial
+	// loads, positional maps and split files all register with a global
+	// memory governor; when their total exceeds the budget, the governor
+	// evicts individual structures — chosen by EvictionPolicy, never while
+	// a running query has them pinned — until the total fits again.
+	// Evicted state is rebuilt transparently by the next query that needs
+	// it.
 	MemoryBudget int64
+	// EvictionPolicy selects the governor's victim order: "cost" (the
+	// default) evicts the structure holding the most bytes per second of
+	// estimated rebuild work, so a cheap-to-reload cached column goes
+	// before a positional map that took many passes to learn; "lru"
+	// evicts the least recently used regardless of rebuild cost. Open
+	// cannot return an error, so an unrecognized name silently falls back
+	// to "cost" — validate with ParseEvictionPolicy first when the name
+	// comes from user input (the CLI flags and driver DSN already do).
+	EvictionPolicy string
 	// Workers is tokenization parallelism (default 1).
 	Workers int
 	// ChunkSize overrides the raw-file streaming read size (default 1 MiB).
@@ -183,6 +212,7 @@ func Open(opts Options) *DB {
 		Cracking:             opts.Cracking,
 		SplitDir:             opts.SplitDir,
 		MemoryBudget:         opts.MemoryBudget,
+		EvictionPolicy:       opts.EvictionPolicy,
 		Workers:              opts.Workers,
 		ChunkSize:            opts.ChunkSize,
 		DisablePositionalMap: opts.DisablePositionalMap,
@@ -272,6 +302,18 @@ func (db *DB) Work() WorkSnapshot { return db.e.Counters().Snapshot() }
 
 // MemSize returns the bytes of adaptively loaded state currently held.
 func (db *DB) MemSize() int64 { return db.e.Catalog().MemSize() }
+
+// MemStats is the memory governor's accounting snapshot: the configured
+// budget, bytes held and pinned, the number of registered adaptive
+// structures, cumulative evictions, and the active eviction policy.
+type MemStats = govern.Stats
+
+// MemStats reports the memory governor's accounting. Used is the total
+// bytes of governed adaptive state (columns, partial loads, positional
+// maps, split files); with a MemoryBudget set, Used returns under the
+// budget after each query completes (pinned in-flight state may exceed it
+// transiently).
+func (db *DB) MemStats() MemStats { return db.e.MemStats() }
 
 // TableStats describes the adaptive-store state of one linked table:
 // which columns are fully or partially loaded, covered regions, positional
