@@ -326,3 +326,57 @@ func BenchmarkConcurrentClientsColdLoads(b *testing.B) {
 		}
 	})
 }
+
+// --- Restart benchmarks: the snapshot cache's reason to exist ---
+
+// restartBench measures the first query of a freshly opened DB over an
+// already-learned table: warm (CacheDir populated by a previous DB's
+// Close) versus cold (no cache; the adaptive learning starts over).
+func restartBench(b *testing.B, warm bool) {
+	b.Helper()
+	path := benchTable(b, 50000, 4)
+	cache := filepath.Join(b.TempDir(), "cache")
+	q := "select sum(a1), avg(a2) from t where a1 > 10000 and a1 < 30000"
+
+	// Teach one DB and snapshot its state.
+	seed := Open(Options{Policy: ColumnLoads, CacheDir: cache})
+	if err := seed.Link("t", path); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := seed.Query(q); err != nil {
+		b.Fatal(err)
+	}
+	if err := seed.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := Options{Policy: ColumnLoads}
+		if warm {
+			opts.CacheDir = cache
+		}
+		db := Open(opts)
+		if err := db.Link("t", path); err != nil {
+			b.Fatal(err)
+		}
+		res, err := db.Query(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if warm && res.Stats.Work.RawBytesRead != 0 {
+			b.Fatalf("warm first query read %d raw bytes", res.Stats.Work.RawBytesRead)
+		}
+		b.StopTimer()
+		db.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkWarmRestartFirstQuery: first query after reopening with a
+// populated CacheDir (columns deserialize from the snapshot).
+func BenchmarkWarmRestartFirstQuery(b *testing.B) { restartBench(b, true) }
+
+// BenchmarkColdRestartFirstQuery: the same first query with no cache —
+// the full adaptive load, for comparison against the warm number.
+func BenchmarkColdRestartFirstQuery(b *testing.B) { restartBench(b, false) }

@@ -6,7 +6,13 @@
 //
 //	nodb [-policy columns|full|partial-v1|partial-v2|splitfiles|external]
 //	     [-cracking] [-mem bytes] [-evict cost|lru] [-splitdir dir]
+//	     [-cachedir dir] [-workers n] [-chunksize bytes]
 //	     [name=path.csv ...]
+//
+// With -cachedir, everything the session teaches the engine (positional
+// maps, cached columns, coverage, split manifests) is snapshotted there on
+// exit and restored lazily when a later session points at the same files —
+// the shell starts warm instead of re-learning.
 //
 // Files given as name=path arguments are linked at startup. Commands:
 //
@@ -30,6 +36,7 @@ import (
 	"strings"
 
 	"nodb"
+	"nodb/internal/cliutil"
 )
 
 func main() {
@@ -39,9 +46,16 @@ func main() {
 		mem        = flag.Int64("mem", 0, "memory budget in bytes (0 = unlimited)")
 		evict      = flag.String("evict", "cost", "eviction policy under -mem: cost or lru")
 		splitDir   = flag.String("splitdir", "", "directory for split files (default: $TMPDIR/nodb-splits)")
+		cacheDir   = flag.String("cachedir", "", "persistent auxiliary-structure cache directory (empty = no disk tier)")
 		workers    = flag.Int("workers", 0, "tokenizer workers (0 = 1)")
+		chunkSize  = flag.Int("chunksize", 0, "raw-file read chunk size in bytes (0 = default)")
 	)
 	flag.Parse()
+	cliutil.Exit(cliutil.CheckFlags(
+		cliutil.NonNegativeInt("nodb", "workers", *workers),
+		cliutil.NonNegativeInt("nodb", "chunksize", *chunkSize),
+		cliutil.NonNegativeInt64("nodb", "mem", *mem),
+	))
 
 	pol, err := nodb.ParsePolicy(*policyName)
 	if err != nil {
@@ -63,7 +77,9 @@ func main() {
 		MemoryBudget:   *mem,
 		EvictionPolicy: evictName,
 		SplitDir:       sd,
+		CacheDir:       *cacheDir,
 		Workers:        *workers,
+		ChunkSize:      *chunkSize,
 	})
 	defer db.Close()
 
@@ -182,6 +198,10 @@ func command(db *nodb.DB, line string) bool {
 		fmt.Printf("cache hit/miss:  %d/%d\n", w.CacheHits, w.CacheMisses)
 		fmt.Printf("posmap hit/miss: %d/%d\n", w.PosMapHits, w.PosMapMisses)
 		fmt.Printf("store size:      %s\n", fmtBytes(db.MemSize()))
+		if ss := db.SnapStats(); ss.Enabled {
+			fmt.Printf("snapshot cache:  %s (hit %d, miss %d, save %d, spill %d, invalid %d)\n",
+				ss.Dir, ss.Hits, ss.Misses, ss.Saves, ss.Spills, ss.Invalidations)
+		}
 	default:
 		fmt.Printf("unknown command %s\n", fields[0])
 	}

@@ -4,9 +4,16 @@
 // Usage:
 //
 //	nodbd [-addr :8080] [-policy columns|full|partial-v1|partial-v2|splitfiles|external|auto]
-//	      [-cracking] [-mem bytes] [-splitdir dir] [-workers n]
+//	      [-cracking] [-mem bytes] [-splitdir dir] [-workers n] [-chunksize bytes]
+//	      [-cachedir dir] [-snapshot-interval d]
 //	      [-max-inflight n] [-timeout d] [-max-timeout d] [-grace d]
 //	      name=path.csv [name=path.csv ...]
+//
+// With -cachedir, the auxiliary structures the workload teaches the engine
+// are snapshotted there periodically (-snapshot-interval) and on shutdown,
+// and restored lazily after a restart — the server comes back warm instead
+// of re-paying the adaptive learning curve under live traffic. Mount the
+// cache dir on a volume that survives the process for that to matter.
 //
 // Example:
 //
@@ -37,24 +44,33 @@ import (
 	"time"
 
 	"nodb"
+	"nodb/internal/cliutil"
 	"nodb/internal/server"
 )
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		policyName  = flag.String("policy", "columns", "loading policy")
-		cracking    = flag.Bool("cracking", false, "enable adaptive indexing (database cracking)")
-		mem         = flag.Int64("mem", 0, "memory budget in bytes (0 = unlimited)")
-		evict       = flag.String("evict", "cost", "eviction policy under -mem: cost or lru")
-		splitDir    = flag.String("splitdir", "", "directory for split files (default: $TMPDIR/nodb-splits)")
-		workers     = flag.Int("workers", 0, "tokenizer workers (0 = 1)")
-		maxInFlight = flag.Int("max-inflight", 64, "max concurrently executing queries; excess requests get 429")
-		timeout     = flag.Duration("timeout", 30*time.Second, "default per-query timeout (0 = none)")
-		maxTimeout  = flag.Duration("max-timeout", 5*time.Minute, "cap on per-request timeout_ms (0 = no cap)")
-		grace       = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight queries")
+		addr         = flag.String("addr", ":8080", "listen address")
+		policyName   = flag.String("policy", "columns", "loading policy")
+		cracking     = flag.Bool("cracking", false, "enable adaptive indexing (database cracking)")
+		mem          = flag.Int64("mem", 0, "memory budget in bytes (0 = unlimited)")
+		evict        = flag.String("evict", "cost", "eviction policy under -mem: cost or lru")
+		splitDir     = flag.String("splitdir", "", "directory for split files (default: $TMPDIR/nodb-splits)")
+		cacheDir     = flag.String("cachedir", "", "persistent auxiliary-structure cache directory (empty = no disk tier)")
+		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute, "how often to flush snapshots to -cachedir (0 = only on shutdown)")
+		workers      = flag.Int("workers", 0, "tokenizer workers (0 = 1)")
+		chunkSize    = flag.Int("chunksize", 0, "raw-file read chunk size in bytes (0 = default)")
+		maxInFlight  = flag.Int("max-inflight", 64, "max concurrently executing queries; excess requests get 429")
+		timeout      = flag.Duration("timeout", 30*time.Second, "default per-query timeout (0 = none)")
+		maxTimeout   = flag.Duration("max-timeout", 5*time.Minute, "cap on per-request timeout_ms (0 = no cap)")
+		grace        = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight queries")
 	)
 	flag.Parse()
+	cliutil.Exit(cliutil.CheckFlags(
+		cliutil.NonNegativeInt("nodbd", "workers", *workers),
+		cliutil.NonNegativeInt("nodbd", "chunksize", *chunkSize),
+		cliutil.NonNegativeInt64("nodbd", "mem", *mem),
+	))
 
 	pol, err := nodb.ParsePolicy(*policyName)
 	if err != nil {
@@ -76,7 +92,9 @@ func main() {
 		MemoryBudget:   *mem,
 		EvictionPolicy: evictName,
 		SplitDir:       sd,
+		CacheDir:       *cacheDir,
 		Workers:        *workers,
+		ChunkSize:      *chunkSize,
 	})
 	defer db.Close()
 
@@ -93,12 +111,18 @@ func main() {
 		fmt.Printf("linked %s -> %s\n", name, path)
 	}
 
+	snapEvery := *snapInterval
+	if *cacheDir == "" {
+		snapEvery = 0 // no disk tier: nothing to flush
+	}
 	srv := server.New(server.Config{
-		DB:             db,
-		MaxInFlight:    *maxInFlight,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
+		DB:               db,
+		MaxInFlight:      *maxInFlight,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		SnapshotInterval: snapEvery,
 	})
+	defer srv.Close()
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

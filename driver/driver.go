@@ -16,6 +16,9 @@
 //	splitdir=DIR          split-file directory (required for splitfiles)
 //	mem=BYTES             memory budget for adaptive state (0 = unlimited)
 //	evict=NAME            eviction policy under mem: cost (default) or lru
+//	cachedir=DIR          persistent auxiliary-structure cache: snapshots
+//	                      written on close, restored lazily after reopen,
+//	                      eviction spills instead of discarding
 //	workers=N             tokenization parallelism
 //	chunk=BYTES           raw-file read chunk size
 //
@@ -121,6 +124,8 @@ func ParseDSN(dsn string) (nodb.Options, []Link, error) {
 				opts.Cracking = b
 			case "splitdir":
 				opts.SplitDir = v
+			case "cachedir":
+				opts.CacheDir = v
 			case "mem":
 				n, err := strconv.ParseInt(v, 10, 64)
 				if err != nil || n < 0 {

@@ -288,3 +288,51 @@ func TestDSNMemoryBudget(t *testing.T) {
 		}
 	}
 }
+
+// TestDSNCacheDir drives a warm restart through database/sql: the first
+// sql.DB learns and snapshots on Close, the second answers the same query
+// without touching the raw file.
+func TestDSNCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "cache")
+	path := filepath.Join(dir, "t.csv")
+	if err := csvgen.WriteFile(path, csvgen.Spec{Rows: 2000, Cols: 4, Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	dsn := "link=" + url.QueryEscape("T="+path) + "&cachedir=" + url.QueryEscape(cache)
+
+	open := func() (*sql.DB, *nodb.DB) {
+		t.Helper()
+		connector, err := (&Driver{}).OpenConnector(dsn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sql.OpenDB(connector.(*Connector)), connector.(*Connector).DB()
+	}
+
+	db1, _ := open()
+	var want int64
+	if err := db1.QueryRow("select sum(a2) from T").Scan(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := db1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, engine := open()
+	defer db2.Close()
+	var got int64
+	if err := db2.QueryRow("select sum(a2) from T").Scan(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("warm result %d, want %d", got, want)
+	}
+	w := engine.Work()
+	if w.RawBytesRead != 0 {
+		t.Errorf("warm query read %d raw bytes, want 0", w.RawBytesRead)
+	}
+	if st := engine.SnapStats(); !st.Enabled || st.Hits == 0 {
+		t.Errorf("snapshot stats = %+v, want enabled with a hit", st)
+	}
+}

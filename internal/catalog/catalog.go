@@ -13,6 +13,13 @@
 // structure granularity — "the only cost is that of having to reload this
 // data part if it is needed again in the future." A governor-less catalog
 // (ablations, baselines) simply grows unbounded.
+//
+// With a snapshot store configured (internal/snapshot), the catalog also
+// manages the disk tier: each table serializes its auxiliary structures
+// on SaveSnapshot, restores them lazily via Prepare on the first query
+// that wants them, and the governor's evictions spill the expensive
+// structures (positional maps, split files) to disk instead of
+// discarding them outright — reload cost becomes a deserialize.
 package catalog
 
 import (
@@ -24,6 +31,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"nodb/internal/cracking"
 	"nodb/internal/govern"
@@ -31,6 +39,7 @@ import (
 	"nodb/internal/metrics"
 	"nodb/internal/posmap"
 	"nodb/internal/schema"
+	"nodb/internal/snapshot"
 	"nodb/internal/splitfile"
 	"nodb/internal/storage"
 )
@@ -154,6 +163,30 @@ type Table struct {
 	released bool // releaseGoverned ran (table replaced/unlinked): no re-registration
 
 	counters *metrics.Counters
+
+	// Disk cache tier (nil when no cache dir is configured). snapMu
+	// serializes snapshot I/O (restore, save) and is always acquired
+	// BEFORE mu; eviction callbacks, which hold mu, only touch the spill
+	// flags and write spill files — never the reader.
+	snap    *snapshot.Store
+	snapKey string
+
+	snapMu         sync.Mutex
+	snapInit       bool             // first Prepare ran (guarded by snapMu)
+	snapReader     *snapshot.Reader // guarded by snapMu
+	posMapRestored bool             // guarded by snapMu
+	lastSaveFP     string           // fingerprint of the last saved state (guarded by snapMu)
+
+	// snapPending is the lock-free fast path: false means Prepare has
+	// nothing to do (no snapshot sections left, no spills outstanding).
+	snapPending atomic.Bool
+
+	// snapDenseBytes maps column → on-disk payload size of its restorable
+	// dense section; the cost model prices re-admission with it. Guarded
+	// by mu. spillPM/spillSplits flag spill files written by eviction.
+	snapDenseBytes map[int]int64
+	spillPM        bool
+	spillSplits    bool
 }
 
 // LockLoads serializes a loading operation against the table; pair with
@@ -213,8 +246,14 @@ func (t *Table) fullPassSecLocked() float64 {
 // denseRebuildCostLocked estimates re-loading one evicted dense column: a
 // full tokenizing pass normally, an order of magnitude cheaper when the
 // positional map knows where every value lives (the paper's point — cached
-// columns are cheap to lose precisely because the map survives them).
+// columns are cheap to lose precisely because the map survives them), and
+// cheaper still — a straight deserialize — when the snapshot cache holds a
+// valid copy of the column on disk.
 func (t *Table) denseRebuildCostLocked(col int) float64 {
+	if b, ok := t.snapDenseBytes[col]; ok && b > 0 {
+		m := metrics.DefaultCostModel()
+		return float64(b) / m.SnapshotReadBps
+	}
 	full := t.fullPassSecLocked()
 	if t.PosMap != nil && t.rows > 0 && t.PosMap.Covers(col, 0, t.rows) {
 		return full / 8
@@ -222,10 +261,20 @@ func (t *Table) denseRebuildCostLocked(col int) float64 {
 	return full
 }
 
+// spillRoundTripSec prices evicting a structure through the disk cache
+// tier: one sequential write now plus one sequential read at re-admission.
+func spillRoundTripSec(bytes int64) float64 {
+	m := metrics.DefaultCostModel()
+	return float64(bytes)/m.SnapshotWriteBps + float64(bytes)/m.SnapshotReadBps
+}
+
 // refreshCostsLocked re-estimates every registered structure's rebuild
-// cost after the row count (or coverage) changed. The positional map is
-// the expensive one: it accumulated over many query passes, and recovering
-// it means re-tokenizing everything those passes touched.
+// cost after the row count (or coverage) changed. Without a disk tier the
+// positional map is the expensive one: it accumulated over many query
+// passes, and recovering it means re-tokenizing everything those passes
+// touched. With a cache dir configured, eviction *spills* instead of
+// discarding, so the same structures are priced at a serialize/deserialize
+// round trip — the governor then happily trades them out under pressure.
 func (t *Table) refreshCostsLocked() {
 	full := t.fullPassSecLocked()
 	for c, h := range t.denseH {
@@ -239,11 +288,21 @@ func (t *Table) refreshCostsLocked() {
 		}
 	}
 	if t.posmapH != nil {
-		t.posmapH.SetCost(4 * full)
+		if t.snap != nil {
+			t.posmapH.SetCost(spillRoundTripSec(t.PosMap.MemSize()))
+		} else {
+			t.posmapH.SetCost(4 * full)
+		}
 	}
 	if t.splitsH != nil {
-		// Rebuilding split files is one pass plus writing the data back out.
-		t.splitsH.SetCost(2 * full)
+		if t.snap != nil {
+			// Spilling split files is a handful of renames.
+			t.splitsH.SetCost(0.002 * float64(1+len(t.Splits.Paths())))
+		} else {
+			// Rebuilding split files is one pass plus writing the data
+			// back out.
+			t.splitsH.SetCost(2 * full)
+		}
 	}
 }
 
@@ -334,13 +393,39 @@ func (t *Table) evictSparse(col int, h *govern.Handle) bool {
 // run entirely under t.mu: releasing it between the pin check and the
 // drop would let a just-pinned query lose its split files from under it.
 // Table.Pin takes t.mu too, so pin-then-read is ordered against this.
+//
+// With a snapshot store configured, eviction spills instead of
+// discarding: the positional map is serialized to a spill file (it took
+// many query passes to learn; re-admitting it is a deserialize, not a
+// re-learn) and split files are moved into the cache directory. The next
+// query that would profit re-admits them via Prepare. A failed spill
+// degrades to the plain drop — losing auxiliary state is always safe.
 func (t *Table) evictPosMap(h *govern.Handle) bool {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.posmapH != h || h.Pinned() {
+		t.mu.Unlock()
 		return false
 	}
+	// Capture the sections (a copy) and drop under the lock; the spill
+	// file is written after release so a large map's serialization never
+	// stalls queries on the table. A failed write degrades to the plain
+	// eviction that already happened — losing auxiliary state is safe.
+	var tbl *snapshot.Table
+	var sig Signature
+	if t.snap != nil && t.PosMap.MemSize() > 0 {
+		tbl = &snapshot.Table{Rows: t.rows, PosMap: posmapSections(t.PosMap)}
+		sig = t.sig
+	}
 	t.PosMap.Drop()
+	t.mu.Unlock()
+	if tbl != nil {
+		if err := t.snap.SaveSpill(t.snapKey, "posmap", snapSig(sig), tbl); err == nil {
+			t.mu.Lock()
+			t.spillPM = true
+			t.snapPending.Store(true)
+			t.mu.Unlock()
+		}
+	}
 	return true
 }
 
@@ -350,8 +435,61 @@ func (t *Table) evictSplits(h *govern.Handle) bool {
 	if t.splitsH != h || h.Pinned() {
 		return false
 	}
+	if t.snap != nil {
+		m, moved, err := t.Splits.SpillTo(t.snap.SplitSpillDir(t.snapKey))
+		if err == nil && moved > 0 {
+			tbl := &snapshot.Table{Rows: t.rows, Splits: manifestToSnapshot(m)}
+			if err := t.snap.SaveSpill(t.snapKey, "splits", snapSig(t.sig), tbl); err == nil {
+				t.spillSplits = true
+				t.snapPending.Store(true)
+				return true
+			}
+			// The files moved but the manifest didn't stick: they are
+			// unreachable, so reclaim the space (plain-evict semantics).
+			os.RemoveAll(t.snap.SplitSpillDir(t.snapKey))
+			return true
+		}
+		// Nothing registered, or the move failed part-way (SpillTo already
+		// degraded those files to deletion); fall through to the drop.
+	}
 	t.Splits.Drop()
 	return true
+}
+
+// snapSig converts the catalog's file signature to the snapshot format's.
+func snapSig(s Signature) snapshot.Sig {
+	return snapshot.Sig{Size: s.Size, ModTime: s.ModTime, Prefix: s.Prefix}
+}
+
+// posmapSections serializes a positional map's columns.
+func posmapSections(m *posmap.Map) []snapshot.PosMapCol {
+	cols := m.Columns()
+	out := make([]snapshot.PosMapCol, 0, len(cols))
+	for col, pair := range cols {
+		out = append(out, snapshot.PosMapCol{Col: col, Rows: pair[0], Offs: pair[1]})
+	}
+	return out
+}
+
+// manifestToSnapshot and manifestFromSnapshot convert between the
+// split-file registry's manifest and its serialized form.
+func manifestToSnapshot(m splitfile.Manifest) *snapshot.Splits {
+	s := &snapshot.Splits{Seq: m.Seq, Sidecars: m.Sidecars}
+	for _, r := range m.Rests {
+		s.Rests = append(s.Rests, snapshot.RestFile{Path: r.Path, Cols: r.Cols})
+	}
+	return s
+}
+
+func manifestFromSnapshot(s *snapshot.Splits) splitfile.Manifest {
+	m := splitfile.Manifest{Seq: s.Seq, Sidecars: s.Sidecars}
+	if m.Sidecars == nil {
+		m.Sidecars = map[int]string{}
+	}
+	for _, r := range s.Rests {
+		m.Rests = append(m.Rests, splitfile.ManifestRest{Path: r.Path, Cols: r.Cols})
+	}
+	return m
 }
 
 // MergeSparse folds qualifying (row, value) pairs of one scanned column
@@ -439,6 +577,459 @@ func (t *Table) Pin(cols []int) (unpin func()) {
 			}
 		})
 	}
+}
+
+// Prepare gives the disk cache tier a chance to warm the table before a
+// query runs: on the first call it opens the table's snapshot (written by
+// a previous process) and restores the small structures — row count,
+// sparse columns, coverage regions, split-file manifest; on every call it
+// restores any of the listed columns that have a valid dense section on
+// disk, and, when a raw-file load is still unavoidable, re-admits the
+// positional map and split files (from the snapshot or from spill files
+// written by eviction). Everything is best-effort: a stale, truncated or
+// corrupt snapshot degrades to a cold start for the affected structures,
+// never to a query error. Cheap when there is nothing to do.
+func (t *Table) Prepare(cols []int) {
+	if t.snap == nil || !t.snapPending.Load() {
+		return
+	}
+	t.snapMu.Lock()
+	defer t.snapMu.Unlock()
+	if !t.snapPending.Load() {
+		return
+	}
+	t.initSnapLocked()
+	t.restoreDenseLocked(cols)
+	if len(t.MissingDense(t.validCols(cols))) > 0 {
+		// A load operator is about to touch the raw file: bring back the
+		// structures that make loads cheap.
+		t.restorePosMapLocked()
+		t.unspillLocked()
+	}
+	t.updatePendingLocked()
+}
+
+// validCols filters cols to the current schema's range (a snapshot from a
+// same-signature file always agrees, but plans are untrusted input here).
+func (t *Table) validCols(cols []int) []int {
+	t.mu.RLock()
+	n := len(t.cols)
+	t.mu.RUnlock()
+	out := cols[:0:0]
+	for _, c := range cols {
+		if c >= 0 && c < n {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// initSnapLocked runs once per table (and again after invalidation): open
+// the snapshot file, restore the eagerly-wanted sections, and detect
+// spill files left by a previous process. Caller holds snapMu.
+func (t *Table) initSnapLocked() {
+	if t.snapInit {
+		return
+	}
+	t.snapInit = true
+	t.mu.RLock()
+	sig := t.sig
+	t.mu.RUnlock()
+
+	r := t.snap.Open(t.snapKey, snapSig(sig))
+	t.snapReader = r
+	if r != nil {
+		if rows := r.Rows(); rows > 0 && t.NumRows() <= 0 {
+			t.SetNumRows(rows)
+		}
+		t.mu.Lock()
+		t.snapDenseBytes = make(map[int]int64)
+		for _, c := range r.DenseCols() {
+			t.snapDenseBytes[c] = r.DenseBytes(c)
+		}
+		if t.gov != nil && !t.released {
+			t.refreshCostsLocked()
+		}
+		t.mu.Unlock()
+
+		sparse, err := r.Sparse()
+		if err != nil {
+			t.snap.CountCorrupt(t.snapKey, err)
+		}
+		for _, sc := range sparse {
+			t.installRestoredSparse(sc)
+		}
+		regs, err := r.Regions()
+		if err != nil {
+			t.snap.CountCorrupt(t.snapKey, err)
+		}
+		for _, reg := range regs {
+			t.AddRegion(regionFromSnapshot(reg))
+		}
+		if t.Splits != nil {
+			if m, err := r.SplitsManifest(); err != nil {
+				t.snap.CountCorrupt(t.snapKey, err)
+			} else if m != nil {
+				t.Splits.Adopt(manifestFromSnapshot(m))
+			}
+		}
+	}
+	// Spill files written by a previous process's evictions.
+	t.mu.Lock()
+	if t.snap.HasSpill(t.snapKey, "posmap") {
+		t.spillPM = true
+	}
+	if t.snap.HasSpill(t.snapKey, "splits") {
+		t.spillSplits = true
+	}
+	t.mu.Unlock()
+}
+
+// restoreDenseLocked re-admits any of cols that are missing in memory but
+// have a valid dense section on disk. Caller holds snapMu.
+func (t *Table) restoreDenseLocked(cols []int) {
+	if t.snapReader == nil {
+		return
+	}
+	for _, c := range t.restorableMissing(cols) {
+		d, err := t.snapReader.Dense(c)
+		if err != nil {
+			t.forgetDenseSection(c, err)
+			continue
+		}
+		t.installRestoredDense(c, d)
+	}
+}
+
+// restorableMissing returns the listed columns that are not dense in
+// memory but have an indexed dense section on disk.
+func (t *Table) restorableMissing(cols []int) []int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []int
+	for _, c := range cols {
+		if c < 0 || c >= len(t.cols) || t.cols[c].Dense != nil {
+			continue
+		}
+		if _, ok := t.snapDenseBytes[c]; ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// forgetDenseSection drops a corrupt dense section from the restore index
+// so it is neither retried nor priced as a cheap rebuild.
+func (t *Table) forgetDenseSection(col int, err error) {
+	if t.snapReader != nil {
+		t.snapReader.ForgetDense(col)
+	}
+	t.mu.Lock()
+	delete(t.snapDenseBytes, col)
+	if t.gov != nil && !t.released {
+		t.refreshCostsLocked()
+	}
+	t.mu.Unlock()
+	t.snap.CountCorrupt(t.snapKey, err)
+}
+
+// installRestoredDense validates and installs one decoded dense column.
+func (t *Table) installRestoredDense(col int, d snapshot.DenseCol) {
+	if d.Typ != t.schema.Columns[col].Type {
+		t.forgetDenseSection(col, fmt.Errorf("%w: dense col %d type mismatch", snapshot.ErrCorrupt, col))
+		return
+	}
+	dense := &storage.DenseColumn{Typ: d.Typ, Ints: d.Ints, Floats: d.Floats, Strs: d.Strs}
+	n := int64(dense.Len())
+	rows := t.NumRows()
+	if n == 0 || (rows > 0 && n != rows) {
+		t.forgetDenseSection(col, fmt.Errorf("%w: dense col %d has %d values, want %d", snapshot.ErrCorrupt, col, n, rows))
+		return
+	}
+	if rows <= 0 {
+		t.SetNumRows(n)
+	}
+	t.SetDense(col, dense)
+}
+
+// installRestoredSparse validates and installs one decoded sparse column
+// with its governor registration.
+func (t *Table) installRestoredSparse(sc snapshot.SparseCol) {
+	t.mu.RLock()
+	inRange := sc.Col >= 0 && sc.Col < len(t.cols)
+	t.mu.RUnlock()
+	if !inRange || sc.Typ != t.schema.Columns[sc.Col].Type {
+		return
+	}
+	n := len(sc.Rows)
+	var vals int
+	switch sc.Typ {
+	case schema.Int64:
+		vals = len(sc.Ints)
+	case schema.Float64:
+		vals = len(sc.Floats)
+	default:
+		vals = len(sc.Strs)
+	}
+	if n == 0 || vals != n {
+		return
+	}
+	sp := storage.NewSparse(sc.Typ)
+	for i, row := range sc.Rows {
+		switch sc.Typ {
+		case schema.Int64:
+			sp.Add(row, storage.IntValue(sc.Ints[i]))
+		case schema.Float64:
+			sp.Add(row, storage.FloatValue(sc.Floats[i]))
+		default:
+			sp.Add(row, storage.StringValue(sc.Strs[i]))
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cols[sc.Col].Dense != nil || t.cols[sc.Col].Sparse != nil {
+		return
+	}
+	t.cols[sc.Col].Sparse = sp
+	if t.gov == nil || t.released {
+		return
+	}
+	if t.sparseH[sc.Col] == nil {
+		col := sc.Col
+		var h *govern.Handle
+		h = t.gov.Register(govern.KindSparse, fmt.Sprintf("%s.s%d", t.name, col), func() bool { return t.evictSparse(col, h) })
+		t.sparseH[col] = h
+	}
+	t.sparseH[sc.Col].SetBytes(sp.MemSize())
+	t.sparseH[sc.Col].SetCost(t.fullPassSecLocked())
+	t.sparseH[sc.Col].Touch()
+}
+
+// regionFromSnapshot converts a serialized region back.
+func regionFromSnapshot(r snapshot.Region) Region {
+	out := Region{Cols: append([]int(nil), r.Cols...), Ranges: map[int]intervals.Interval{}}
+	sort.Ints(out.Cols)
+	for i, c := range r.RangeCols {
+		out.Ranges[c] = intervals.Interval{Lo: r.Los[i], Hi: r.His[i]}
+	}
+	return out
+}
+
+// restorePosMapLocked re-admits the positional map from the snapshot
+// (once). Caller holds snapMu.
+func (t *Table) restorePosMapLocked() {
+	if t.posMapRestored || t.snapReader == nil || !t.snapReader.HasPosMap() {
+		return
+	}
+	t.posMapRestored = true
+	cols, err := t.snapReader.PosMap()
+	if err != nil {
+		t.snap.CountCorrupt(t.snapKey, err)
+	}
+	for _, pc := range cols {
+		t.PosMap.LoadColumn(pc.Col, pc.Rows, pc.Offs)
+	}
+	t.mu.Lock()
+	if t.gov != nil && !t.released {
+		t.refreshCostsLocked()
+	}
+	t.mu.Unlock()
+}
+
+// unspillLocked re-admits structures spilled by eviction. Caller holds
+// snapMu.
+func (t *Table) unspillLocked() {
+	t.mu.RLock()
+	sig := t.sig
+	pm, sf := t.spillPM, t.spillSplits
+	t.mu.RUnlock()
+	if pm {
+		t.mu.Lock()
+		t.spillPM = false
+		t.mu.Unlock()
+		if tbl := t.snap.LoadSpill(t.snapKey, "posmap", snapSig(sig)); tbl != nil {
+			for _, pc := range tbl.PosMap {
+				t.PosMap.LoadColumn(pc.Col, pc.Rows, pc.Offs)
+			}
+		}
+	}
+	if sf && t.Splits != nil {
+		t.mu.Lock()
+		t.spillSplits = false
+		t.mu.Unlock()
+		if tbl := t.snap.LoadSpill(t.snapKey, "splits", snapSig(sig)); tbl != nil && tbl.Splits != nil {
+			t.Splits.Adopt(manifestFromSnapshot(tbl.Splits))
+		}
+	}
+	if pm || sf {
+		t.mu.Lock()
+		if t.gov != nil && !t.released {
+			t.refreshCostsLocked()
+		}
+		t.mu.Unlock()
+	}
+}
+
+// updatePendingLocked recomputes the Prepare fast-path flag. The reader
+// stays open while it still holds restorable sections (an evicted column
+// is then re-admitted by deserializing, not re-learning). Caller holds
+// snapMu. The store happens under t.mu (write lock) so it cannot race a
+// concurrent eviction's spill-flag-set-plus-Store(true) and erase it.
+func (t *Table) updatePendingLocked() {
+	if t.snapReader != nil &&
+		len(t.snapReader.DenseCols()) == 0 &&
+		(t.posMapRestored || !t.snapReader.HasPosMap()) {
+		t.snapReader.Close()
+		t.snapReader = nil
+	}
+	t.mu.Lock()
+	t.snapPending.Store(t.snapReader != nil || t.spillPM || t.spillSplits)
+	t.mu.Unlock()
+}
+
+// SaveSnapshot serializes the table's auxiliary structures to the cache
+// directory (write-temp-then-rename, CRC per section). Structures that
+// were never restored from the previous snapshot are carried forward, so
+// a short-lived process does not shrink the cache. No-op without a store;
+// a table with nothing learned and nothing carried leaves no file.
+func (t *Table) SaveSnapshot() error {
+	if t.snap == nil {
+		return nil
+	}
+	t.snapMu.Lock()
+	defer t.snapMu.Unlock()
+
+	t.mu.RLock()
+	tbl := &snapshot.Table{Rows: t.rows}
+	if t.PosMap != nil && t.PosMap.MemSize() > 0 {
+		tbl.PosMap = posmapSections(t.PosMap)
+	}
+	for c := range t.cols {
+		if d := t.cols[c].Dense; d != nil {
+			tbl.Dense = append(tbl.Dense, snapshot.DenseCol{Col: c, Typ: d.Typ, Ints: d.Ints, Floats: d.Floats, Strs: d.Strs})
+		}
+		if sp := t.cols[c].Sparse; sp != nil && sp.Len() > 0 {
+			sc := snapshot.SparseCol{Col: c, Typ: sp.Typ}
+			for i := 0; i < sp.Len(); i++ {
+				row, v := sp.At(i)
+				sc.Rows = append(sc.Rows, row)
+				switch sp.Typ {
+				case schema.Int64:
+					sc.Ints = append(sc.Ints, v.I)
+				case schema.Float64:
+					sc.Floats = append(sc.Floats, v.F)
+				default:
+					sc.Strs = append(sc.Strs, v.S)
+				}
+			}
+			tbl.Sparse = append(tbl.Sparse, sc)
+		}
+	}
+	for _, r := range t.regions {
+		reg := snapshot.Region{Cols: append([]int(nil), r.Cols...)}
+		for col, iv := range r.Ranges {
+			reg.RangeCols = append(reg.RangeCols, col)
+			reg.Los = append(reg.Los, iv.Lo)
+			reg.His = append(reg.His, iv.Hi)
+		}
+		tbl.Regions = append(tbl.Regions, reg)
+	}
+	if t.Splits != nil {
+		if m := t.Splits.Manifest(); len(m.Sidecars) > 0 || len(m.Rests) > 0 {
+			tbl.Splits = manifestToSnapshot(m)
+		}
+	}
+	sig, key := t.sig, t.snapKey
+
+	// Fingerprint the state so the periodic flusher skips the rewrite
+	// (including the carry-forward decode below) when nothing changed
+	// since the last save. Dense columns are immutable once set and the
+	// positional map's byte count moves with its content, so structural
+	// counts plus byte totals identify the state well enough; a missed
+	// nuance only costs one redundant save, never a lost one.
+	fp := fmt.Sprintf("r%d pm%d d%v s%d rg%d", t.rows, t.PosMap.MemSize(), denseColsOf(t.cols), sparseBytesOf(t.cols), len(t.regions))
+	if tbl.Splits != nil {
+		fp += fmt.Sprintf(" sp%d/%d/%d", tbl.Splits.Seq, len(tbl.Splits.Sidecars), len(tbl.Splits.Rests))
+	}
+	t.mu.RUnlock()
+	if fp == t.lastSaveFP {
+		return nil
+	}
+
+	// Carry forward still-valid sections this process never restored.
+	if t.snapReader != nil {
+		have := map[int]bool{}
+		for _, d := range tbl.Dense {
+			have[d.Col] = true
+		}
+		for _, c := range t.snapReader.DenseCols() {
+			if have[c] {
+				continue
+			}
+			if d, err := t.snapReader.Dense(c); err == nil {
+				tbl.Dense = append(tbl.Dense, d)
+			}
+		}
+		if !t.posMapRestored && t.snapReader.HasPosMap() {
+			if cols, err := t.snapReader.PosMap(); err == nil || len(cols) > 0 {
+				havePM := map[int]bool{}
+				for _, pc := range tbl.PosMap {
+					havePM[pc.Col] = true
+				}
+				for _, pc := range cols {
+					if !havePM[pc.Col] {
+						tbl.PosMap = append(tbl.PosMap, pc)
+					}
+				}
+			}
+		}
+	}
+
+	if tbl.Rows <= 0 && len(tbl.PosMap) == 0 && len(tbl.Dense) == 0 &&
+		len(tbl.Sparse) == 0 && len(tbl.Regions) == 0 && tbl.Splits == nil {
+		return nil // nothing learned; don't clobber whatever is on disk
+	}
+	if err := t.snap.Save(key, snapSig(sig), tbl); err != nil {
+		return err
+	}
+	t.lastSaveFP = fp
+	return nil
+}
+
+// denseColsOf and sparseBytesOf feed the save fingerprint.
+func denseColsOf(cols []ColState) []int {
+	var out []int
+	for c := range cols {
+		if cols[c].Dense != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func sparseBytesOf(cols []ColState) int64 {
+	var n int64
+	for c := range cols {
+		if sp := cols[c].Sparse; sp != nil {
+			n += sp.MemSize()
+		}
+	}
+	return n
+}
+
+// closeSnap releases the snapshot reader and disables Prepare. Called
+// when the table goes away (unlink, relink, engine close).
+func (t *Table) closeSnap() {
+	if t.snap == nil {
+		return
+	}
+	t.snapMu.Lock()
+	defer t.snapMu.Unlock()
+	if t.snapReader != nil {
+		t.snapReader.Close()
+		t.snapReader = nil
+	}
+	t.snapPending.Store(false)
 }
 
 // Sparse returns the sparse column for col, creating it when create is
@@ -658,17 +1249,29 @@ func (t *Table) releaseGoverned() {
 }
 
 // Revalidate re-checks the raw file's signature; when it changed, all
-// derived state is dropped and the schema re-detected. Returns true when
-// invalidation happened.
+// derived state is dropped — including the disk cache tier's files, which
+// are keyed by the old signature and would only self-invalidate later —
+// and the schema re-detected. Returns true when invalidation happened.
 func (t *Table) Revalidate() (bool, error) {
 	sig, err := SignFile(t.path)
 	if err != nil {
 		return false, err
 	}
+	t.mu.RLock()
+	same := sig == t.sig
+	t.mu.RUnlock()
+	if same {
+		return false, nil
+	}
+	// The file changed: serialize against snapshot I/O (snapMu before mu,
+	// the global lock order) so a concurrent restore cannot install state
+	// from the superseded file version.
+	t.snapMu.Lock()
+	defer t.snapMu.Unlock()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if sig == t.sig {
-		return false, nil
+		return false, nil // raced with another Revalidate
 	}
 	sch, err := schema.Detect(t.path, schema.DetectOptions{})
 	if err != nil {
@@ -678,6 +1281,19 @@ func (t *Table) Revalidate() (bool, error) {
 	oldCols := len(t.schema.Columns)
 	t.schema = sch
 	t.dropDerivedLocked()
+	if t.snap != nil {
+		if t.snapReader != nil {
+			t.snapReader.Close()
+			t.snapReader = nil
+		}
+		t.snap.Remove(t.snapKey)
+		t.snapInit = false
+		t.posMapRestored = false
+		t.snapDenseBytes = nil
+		t.lastSaveFP = ""
+		t.spillPM, t.spillSplits = false, false
+		t.snapPending.Store(false)
+	}
 	if len(sch.Columns) != oldCols {
 		t.cols = make([]ColState, len(sch.Columns))
 		if t.gov != nil {
@@ -703,6 +1319,11 @@ type Options struct {
 	// files) so a global byte budget can be enforced with structure-level
 	// cost-aware eviction.
 	Governor *govern.Governor
+	// Snapshots, when non-nil, is the disk cache tier: tables serialize
+	// their auxiliary structures there (SaveSnapshots / engine close),
+	// restore them lazily on first query (Prepare), and eviction spills
+	// expensive structures there instead of discarding them.
+	Snapshots *snapshot.Store
 	// Counters receives work accounting; may be nil.
 	Counters *metrics.Counters
 }
@@ -747,12 +1368,18 @@ func (c *Catalog) Link(name, path string) (*Table, error) {
 		dir := filepath.Join(c.opts.SplitDir, sanitizeName(name))
 		t.Splits = splitfile.NewRegistry(dir, path, len(sch.Columns), sch.Delimiter, c.opts.Counters)
 	}
+	if c.opts.Snapshots != nil {
+		t.snap = c.opts.Snapshots
+		t.snapKey = snapshot.Key(name, path)
+		t.snapPending.Store(true) // first Prepare probes the cache dir
+	}
 	t.initGoverned()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if old, ok := c.tables[lower(name)]; ok {
 		old.DropDerived()
 		old.releaseGoverned()
+		old.closeSnap()
 	}
 	c.tables[lower(name)] = t
 	return t, nil
@@ -806,6 +1433,7 @@ func (c *Catalog) Unlink(name string) error {
 	}
 	t.DropDerived()
 	t.releaseGoverned()
+	t.closeSnap()
 	delete(c.tables, lower(name))
 	return nil
 }
@@ -830,7 +1458,41 @@ func (c *Catalog) DropAll() {
 	for name, t := range c.tables {
 		t.DropDerived()
 		t.releaseGoverned()
+		t.closeSnap()
 		delete(c.tables, name)
+	}
+}
+
+// SaveSnapshots serializes every table's auxiliary structures to the
+// cache directory (no-op without one). Errors are collected — the first
+// is returned — but every table is attempted; the engine's periodic
+// flusher and Close both use this.
+func (c *Catalog) SaveSnapshots() error {
+	c.mu.RLock()
+	tables := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		tables = append(tables, t)
+	}
+	c.mu.RUnlock()
+	var firstErr error
+	for _, t := range tables {
+		if err := t.SaveSnapshot(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// DetachSplits forgets every table's split files without deleting them.
+// Engine close calls it after SaveSnapshots so the files the freshly
+// written manifests point at survive for the next process to adopt.
+func (c *Catalog) DetachSplits() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, t := range c.tables {
+		if t.Splits != nil {
+			t.Splits.Detach()
+		}
 	}
 }
 

@@ -1,0 +1,56 @@
+// Package cliutil holds the small pieces the command-line front ends
+// (nodb, nodbd, nodbbench) share, so flag validation behaves — and reads —
+// identically across binaries: a negative -workers fails fast with the
+// same message everywhere instead of diverging per binary or being
+// silently accepted.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+)
+
+// NonNegativeInt validates an integer flag that must be >= 0.
+func NonNegativeInt(binary, flag string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("%s: -%s must be >= 0 (got %d)", binary, flag, v)
+	}
+	return nil
+}
+
+// NonNegativeInt64 validates an int64 flag (byte budgets) that must be >= 0.
+func NonNegativeInt64(binary, flag string, v int64) error {
+	if v < 0 {
+		return fmt.Errorf("%s: -%s must be >= 0 (got %d)", binary, flag, v)
+	}
+	return nil
+}
+
+// NonNegativeFloat validates a float flag that must be >= 0.
+func NonNegativeFloat(binary, flag string, v float64) error {
+	if v < 0 {
+		return fmt.Errorf("%s: -%s must be >= 0 (got %g)", binary, flag, v)
+	}
+	return nil
+}
+
+// CheckFlags returns the first non-nil error (flag validation short-circuits
+// on the first bad value, in declaration order).
+func CheckFlags(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Exit prints err to stderr and exits with the conventional flag-error
+// status 2. No-op on nil.
+func Exit(err error) {
+	if err == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

@@ -1,0 +1,48 @@
+package cliutil
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNonNegative(t *testing.T) {
+	if err := NonNegativeInt("nodb", "workers", 4); err != nil {
+		t.Fatalf("valid value rejected: %v", err)
+	}
+	if err := NonNegativeInt("nodb", "workers", -1); err == nil {
+		t.Fatal("negative -workers accepted")
+	}
+	if err := NonNegativeInt64("nodbd", "mem", -5); err == nil {
+		t.Fatal("negative -mem accepted")
+	}
+	if err := NonNegativeFloat("nodbbench", "scale", -0.5); err == nil {
+		t.Fatal("negative -scale accepted")
+	}
+}
+
+// TestMessageUniform pins the shared message shape: every binary reports a
+// bad flag the same way.
+func TestMessageUniform(t *testing.T) {
+	for _, tc := range []struct {
+		got  error
+		want string
+	}{
+		{NonNegativeInt("nodb", "workers", -3), "nodb: -workers must be >= 0 (got -3)"},
+		{NonNegativeInt("nodbd", "chunksize", -1), "nodbd: -chunksize must be >= 0 (got -1)"},
+		{NonNegativeInt64("nodbbench", "mem", -2), "nodbbench: -mem must be >= 0 (got -2)"},
+	} {
+		if tc.got == nil || tc.got.Error() != tc.want {
+			t.Errorf("got %v, want %q", tc.got, tc.want)
+		}
+	}
+}
+
+func TestCheckFlags(t *testing.T) {
+	if err := CheckFlags(nil, nil); err != nil {
+		t.Fatalf("all-nil CheckFlags returned %v", err)
+	}
+	want := errors.New("boom")
+	if err := CheckFlags(nil, want, errors.New("later")); err != want {
+		t.Fatalf("CheckFlags returned %v, want first error", err)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"nodb/internal/metrics"
 	"nodb/internal/plan"
 	"nodb/internal/schema"
+	"nodb/internal/snapshot"
 	"nodb/internal/sql"
 	"nodb/internal/storage"
 )
@@ -53,6 +54,14 @@ type Options struct {
 	EvictionPolicy string
 	// PosMapBudget caps each table's positional map bytes (0 = default).
 	PosMapBudget int64
+	// CacheDir enables the persistent auxiliary-structure cache: adaptive
+	// structures (positional maps, cached columns, sparse coverage, split
+	// manifests) are snapshotted there on Close (and by SaveSnapshots),
+	// restored lazily on the first query that wants them after a restart,
+	// and spilled there by eviction instead of being discarded. Empty
+	// disables the disk tier. Snapshot files are keyed by the raw file's
+	// path, size and mtime, so editing a file invalidates its snapshots.
+	CacheDir string
 	// Workers is the tokenization parallelism (default 1).
 	Workers int
 	// ChunkSize overrides the raw-file streaming read size (default
@@ -79,6 +88,7 @@ type Engine struct {
 	policy   atomic.Int32 // current plan.Policy; atomic so SetPolicy races with queries safely
 	cat      *catalog.Catalog
 	gov      *govern.Governor
+	snap     *snapshot.Store // nil when no CacheDir is configured
 	counters metrics.Counters
 	ld       *loader.Loader
 	extLd    *loader.Loader // external baseline: never learns anything
@@ -101,10 +111,14 @@ func NewEngine(opts Options) *Engine {
 		evict = govern.CostAware{}
 	}
 	e.gov = govern.New(opts.MemoryBudget, evict, &e.counters)
+	if opts.CacheDir != "" {
+		e.snap = snapshot.NewStore(opts.CacheDir, &e.counters)
+	}
 	e.cat = catalog.New(catalog.Options{
 		SplitDir:     opts.SplitDir,
 		PosMapBudget: opts.PosMapBudget,
 		Governor:     e.gov,
+		Snapshots:    e.snap,
 		Counters:     &e.counters,
 	})
 	e.ld = &loader.Loader{
@@ -128,16 +142,46 @@ func (e *Engine) checkOpen() error {
 
 // Close shuts the engine down: subsequent queries, preparations and links
 // return ErrClosed, in-flight cursors are cancelled (their scans stop
-// between chunks), and the catalog's derived state is released. Loaded
-// state is in-memory and split files are disposable, so nothing needs to
-// be flushed. Close is idempotent.
+// between chunks), and the catalog's derived state is released. Without a
+// CacheDir nothing needs flushing — loaded state is in-memory and split
+// files are disposable. With one, every table's auxiliary structures are
+// snapshotted first and split files are left on disk, so the next process
+// restarts warm instead of re-paying the adaptive learning curve. Close
+// is idempotent.
 func (e *Engine) Close() error {
 	if e.closed.Swap(true) {
 		return nil
 	}
 	e.closeCancel()
+	var err error
+	if e.snap != nil {
+		err = e.cat.SaveSnapshots()
+		e.cat.DetachSplits()
+	}
 	e.cat.DropAll()
-	return nil
+	return err
+}
+
+// SaveSnapshots serializes every table's auxiliary structures to the
+// cache directory now (the server's periodic flusher calls this). No-op
+// without a CacheDir.
+func (e *Engine) SaveSnapshots() error {
+	if e.snap == nil {
+		return nil
+	}
+	if err := e.checkOpen(); err != nil {
+		return err
+	}
+	return e.cat.SaveSnapshots()
+}
+
+// SnapStats reports the snapshot cache's activity (zero-valued with
+// Enabled=false when no CacheDir is configured).
+func (e *Engine) SnapStats() snapshot.Stats {
+	if e.snap == nil {
+		return snapshot.Stats{}
+	}
+	return e.snap.Stats()
 }
 
 // Ping reports whether the engine is usable (ErrClosed after Close).
@@ -296,7 +340,13 @@ func (e *Engine) ExplainContext(ctx context.Context, query string) (string, erro
 	if err != nil {
 		return "", err
 	}
-	return p.String(), nil
+	out := p.String()
+	if e.snap != nil {
+		st := e.snap.Stats()
+		out += fmt.Sprintf("snapshot: hits=%d misses=%d saves=%d spills=%d invalidations=%d\n",
+			st.Hits, st.Misses, st.Saves, st.Spills, st.Invalidations)
+	}
+	return out, nil
 }
 
 func (e *Engine) revalidate(stmt *sql.SelectStmt) error {
@@ -351,11 +401,14 @@ func (e *Engine) tryFusedAggregate(ctx context.Context, p *plan.Plan) ([]storage
 	tp := &p.Tables[0]
 	switch tp.LoadOp {
 	case plan.LoadNone, plan.LoadFull, plan.LoadColumns, plan.LoadSplit:
-		// Run the load operator first, then fuse the scan.
+		// Run the load operator first, then fuse the scan. Prepare gives
+		// the snapshot cache a chance to restore the needed columns (or
+		// the positional map that makes the load cheap) beforehand.
 		t, err := e.cat.Get(tp.Name)
 		if err != nil {
 			return nil, false, err
 		}
+		t.Prepare(prepareCols(t, tp))
 		if err := e.runLoad(ctx, t, tp); err != nil {
 			return nil, false, err
 		}
@@ -393,6 +446,7 @@ func (e *Engine) ensureDensePinned(ctx context.Context, t *catalog.Table, cols [
 		if err := ctx.Err(); err != nil {
 			return exec.DenseSource{}, nil, err
 		}
+		t.Prepare(cols) // an evicted-but-snapshotted column re-admits by deserializing
 		if len(t.MissingDense(cols)) > 0 {
 			if err := e.ld.ColumnLoadContext(ctx, t, cols); err != nil {
 				return exec.DenseSource{}, nil, err
@@ -407,6 +461,20 @@ func (e *Engine) ensureDensePinned(ctx context.Context, t *catalog.Table, cols [
 		lastErr = err // evicted between load and pin: go again
 	}
 	return exec.DenseSource{}, nil, lastErr
+}
+
+// prepareCols returns the columns Table.Prepare should try to restore
+// from the snapshot cache for a table plan: a full-load operator needs
+// every column dense, everything else needs the plan's pin set.
+func prepareCols(t *catalog.Table, tp *plan.TablePlan) []int {
+	if tp.LoadOp != plan.LoadFull {
+		return tp.Pins
+	}
+	all := make([]int, t.Schema().NumCols())
+	for i := range all {
+		all[i] = i
+	}
+	return all
 }
 
 // runLoad executes a column-granularity load operator (a full pass over
@@ -434,6 +502,7 @@ func (e *Engine) tableView(ctx context.Context, tp *plan.TablePlan) (*exec.View,
 	if err != nil {
 		return nil, err
 	}
+	t.Prepare(prepareCols(t, tp)) // lazy snapshot restore before the load operator runs
 	switch tp.LoadOp {
 	case plan.LoadNone, plan.LoadFull, plan.LoadColumns, plan.LoadSplit:
 		if err := e.runLoad(ctx, t, tp); err != nil {

@@ -524,6 +524,7 @@ func (e *Engine) executeStream(ctx context.Context, p *plan.Plan, w *rowWriter) 
 	if err != nil {
 		return err
 	}
+	t.Prepare(prepareCols(t, tp)) // lazy snapshot restore before the load operator runs
 	outCols := make([]int, len(p.Project))
 	for i, k := range p.Project {
 		outCols[i] = k.Col

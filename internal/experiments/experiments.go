@@ -35,6 +35,12 @@ type Config struct {
 	Model metrics.CostModel
 	// Seed for workload randomness (query ranges).
 	Seed int64
+	// Workers overrides tokenizer parallelism in the engines experiments
+	// build (0 = each experiment's default).
+	Workers int
+	// ChunkSize overrides the raw-file read chunk size in those engines
+	// (0 = default).
+	ChunkSize int
 }
 
 func (c Config) model() metrics.CostModel {
@@ -252,6 +258,7 @@ func All() []Runner {
 		{"abl-early", "Ablation: early row abandonment on/off", AblationEarlyAbandon},
 		{"abl-budget", "Ablation: memory budget vs workload latency, cost-aware vs LRU eviction", AblationBudget},
 		{"conc", "Concurrent clients: fixed workload wall-clock vs client count over one shared engine", Concurrency},
+		{"warm-restart", "Warm vs cold restart: the adaptive learning curve with and without the snapshot cache", WarmRestart},
 	}
 }
 

@@ -289,8 +289,8 @@ func TestReportFormat(t *testing.T) {
 
 func TestAllAndLookup(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
-		t.Fatalf("experiments = %d, want 12", len(all))
+	if len(all) != 13 {
+		t.Fatalf("experiments = %d, want 13", len(all))
 	}
 	ids := map[string]bool{}
 	for _, r := range all {
@@ -307,6 +307,39 @@ func TestAllAndLookup(t *testing.T) {
 	}
 	if _, ok := Lookup("nope"); ok {
 		t.Error("Lookup(nope) should fail")
+	}
+}
+
+// TestWarmRestartCurve pins the PR's acceptance criterion: with a
+// populated cache dir, the first query after reopen lands within 2x of
+// the pre-restart steady state, while a cold restart re-pays the full
+// adaptive learning cost.
+func TestWarmRestartCurve(t *testing.T) {
+	r, err := WarmRestart(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial, ok1 := r.SeriesByName("initial")
+	warm, ok2 := r.SeriesByName("warm restart")
+	cold, ok3 := r.SeriesByName("cold restart")
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatal("missing series")
+	}
+	steady := initial.Points[len(initial.Points)-1].ModelSec
+	warmFirst := warm.Points[0].ModelSec
+	coldFirst := cold.Points[0].ModelSec
+	if steady <= 0 {
+		t.Fatal("steady state is zero; the workload no longer scans anything")
+	}
+	if ratio := warmFirst / steady; ratio > 2.0 {
+		t.Errorf("warm first query is %.2fx steady state, want <= 2x", ratio)
+	}
+	if coldFirst <= warmFirst {
+		t.Errorf("cold restart (%.4fs) should cost more than warm (%.4fs)", coldFirst, warmFirst)
+	}
+	// The learning curve itself: query 1 cold must dwarf the steady state.
+	if initial.Points[0].ModelSec < 2*steady {
+		t.Errorf("no learning curve: q1 %.4fs vs steady %.4fs", initial.Points[0].ModelSec, steady)
 	}
 }
 

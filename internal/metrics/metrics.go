@@ -36,6 +36,13 @@ type Counters struct {
 	scriptOps          atomic.Int64 // interpreted script operations (baselines only)
 	evictions          atomic.Int64 // adaptive structures evicted by the memory governor
 	evictedBytes       atomic.Int64 // bytes reclaimed by those evictions
+	snapBytesRead      atomic.Int64 // bytes read from snapshot/spill files (disk cache tier)
+	snapBytesWrite     atomic.Int64 // bytes written to snapshot/spill files
+	snapHits           atomic.Int64 // structures restored from the snapshot cache
+	snapMisses         atomic.Int64 // restore attempts that found no usable snapshot
+	snapSaves          atomic.Int64 // full snapshots written (close / periodic flush)
+	snapSpills         atomic.Int64 // structures spilled to disk by eviction instead of discarded
+	snapInvalidations  atomic.Int64 // stale or corrupt snapshot files/sections discarded
 }
 
 // AddScriptOps records interpreted per-record operations of an external
@@ -89,6 +96,27 @@ func (c *Counters) AddEviction(n int64) { c.evictions.Add(n) }
 // AddEvictedBytes records bytes reclaimed by governor evictions.
 func (c *Counters) AddEvictedBytes(n int64) { c.evictedBytes.Add(n) }
 
+// AddSnapshotBytesRead records bytes read from snapshot or spill files.
+func (c *Counters) AddSnapshotBytesRead(n int64) { c.snapBytesRead.Add(n) }
+
+// AddSnapshotBytesWritten records bytes written to snapshot or spill files.
+func (c *Counters) AddSnapshotBytesWritten(n int64) { c.snapBytesWrite.Add(n) }
+
+// AddSnapshotHit records structures restored from the snapshot cache.
+func (c *Counters) AddSnapshotHit(n int64) { c.snapHits.Add(n) }
+
+// AddSnapshotMiss records restore attempts that found no usable snapshot.
+func (c *Counters) AddSnapshotMiss(n int64) { c.snapMisses.Add(n) }
+
+// AddSnapshotSave records full snapshots written.
+func (c *Counters) AddSnapshotSave(n int64) { c.snapSaves.Add(n) }
+
+// AddSnapshotSpill records structures spilled to disk by eviction.
+func (c *Counters) AddSnapshotSpill(n int64) { c.snapSpills.Add(n) }
+
+// AddSnapshotInvalidation records stale/corrupt snapshot data discarded.
+func (c *Counters) AddSnapshotInvalidation(n int64) { c.snapInvalidations.Add(n) }
+
 // Snapshot is an immutable copy of the counters at one point in time.
 type Snapshot struct {
 	RawBytesRead         int64
@@ -107,6 +135,13 @@ type Snapshot struct {
 	ScriptOps            int64
 	Evictions            int64
 	EvictedBytes         int64
+	SnapshotBytesRead    int64
+	SnapshotBytesWritten int64
+	SnapshotHits         int64
+	SnapshotMisses       int64
+	SnapshotSaves        int64
+	SnapshotSpills       int64
+	SnapshotInvalid      int64
 }
 
 // Snapshot returns a point-in-time copy of all counters.
@@ -128,6 +163,13 @@ func (c *Counters) Snapshot() Snapshot {
 		ScriptOps:            c.scriptOps.Load(),
 		Evictions:            c.evictions.Load(),
 		EvictedBytes:         c.evictedBytes.Load(),
+		SnapshotBytesRead:    c.snapBytesRead.Load(),
+		SnapshotBytesWritten: c.snapBytesWrite.Load(),
+		SnapshotHits:         c.snapHits.Load(),
+		SnapshotMisses:       c.snapMisses.Load(),
+		SnapshotSaves:        c.snapSaves.Load(),
+		SnapshotSpills:       c.snapSpills.Load(),
+		SnapshotInvalid:      c.snapInvalidations.Load(),
 	}
 }
 
@@ -149,6 +191,13 @@ func (c *Counters) Reset() {
 	c.scriptOps.Store(0)
 	c.evictions.Store(0)
 	c.evictedBytes.Store(0)
+	c.snapBytesRead.Store(0)
+	c.snapBytesWrite.Store(0)
+	c.snapHits.Store(0)
+	c.snapMisses.Store(0)
+	c.snapSaves.Store(0)
+	c.snapSpills.Store(0)
+	c.snapInvalidations.Store(0)
 }
 
 // Sub returns the delta s - prev, counter by counter. Use it to attribute
@@ -171,6 +220,13 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		ScriptOps:            s.ScriptOps - prev.ScriptOps,
 		Evictions:            s.Evictions - prev.Evictions,
 		EvictedBytes:         s.EvictedBytes - prev.EvictedBytes,
+		SnapshotBytesRead:    s.SnapshotBytesRead - prev.SnapshotBytesRead,
+		SnapshotBytesWritten: s.SnapshotBytesWritten - prev.SnapshotBytesWritten,
+		SnapshotHits:         s.SnapshotHits - prev.SnapshotHits,
+		SnapshotMisses:       s.SnapshotMisses - prev.SnapshotMisses,
+		SnapshotSaves:        s.SnapshotSaves - prev.SnapshotSaves,
+		SnapshotSpills:       s.SnapshotSpills - prev.SnapshotSpills,
+		SnapshotInvalid:      s.SnapshotInvalid - prev.SnapshotInvalid,
 	}
 }
 
@@ -181,12 +237,14 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"raw=%dB internalR=%dB internalW=%dB splitR=%dB splitW=%dB rows=%d attrs=%d parsed=%d abandoned=%d pmHit=%d pmMiss=%d cacheHit=%d cacheMiss=%d evict=%d evictB=%dB",
+		"raw=%dB internalR=%dB internalW=%dB splitR=%dB splitW=%dB rows=%d attrs=%d parsed=%d abandoned=%d pmHit=%d pmMiss=%d cacheHit=%d cacheMiss=%d evict=%d evictB=%dB snapR=%dB snapW=%dB snapHit=%d snapMiss=%d snapSpill=%d snapInvalid=%d",
 		s.RawBytesRead, s.InternalBytesRead, s.InternalBytesWritten,
 		s.SplitBytesRead, s.SplitBytesWritten,
 		s.RowsTokenized, s.AttrsTokenized, s.ValuesParsed, s.RowsAbandoned,
 		s.PosMapHits, s.PosMapMisses, s.CacheHits, s.CacheMisses,
-		s.Evictions, s.EvictedBytes)
+		s.Evictions, s.EvictedBytes,
+		s.SnapshotBytesRead, s.SnapshotBytesWritten,
+		s.SnapshotHits, s.SnapshotMisses, s.SnapshotSpills, s.SnapshotInvalid)
 }
 
 // CostModel converts a work Snapshot into modeled seconds. Throughputs are
@@ -224,6 +282,15 @@ type CostModel struct {
 	HotRaw bool
 	// MemReadBps is memory bandwidth used for hot reads.
 	MemReadBps float64
+	// SnapshotReadBps is read throughput from snapshot/spill files: one
+	// pre-sized sequential file read end-to-end with no per-column seeks,
+	// so it lands modestly above InternalReadBps. Snapshot files live on
+	// disk and are read once per restore, so this rate always applies —
+	// Hot does not waive it (same treatment as split files).
+	SnapshotReadBps float64
+	// SnapshotWriteBps is write throughput to snapshot/spill files (one
+	// buffered sequential stream; disk-bound like InternalWriteBps).
+	SnapshotWriteBps float64
 	// ColdWrites charges internal-store writes at disk bandwidth even
 	// when Hot (the engine persists loaded columns to its binary store;
 	// reads may still be served from memory).
@@ -252,6 +319,8 @@ func DefaultCostModel() CostModel {
 		ParseValueSec:    20e-9,
 		ScriptOpSec:      1e-6,
 		MemReadBps:       3e9,
+		SnapshotReadBps:  180e6,
+		SnapshotWriteBps: 90e6,
 	}
 }
 
@@ -282,6 +351,17 @@ func (m CostModel) Seconds(s Snapshot) float64 {
 		writeCost = within/intW + excess*pen/m.InternalWriteBps
 	}
 
+	// Snapshot files, like split files, live on disk regardless of the
+	// Hot flags; models built as literals may leave the snapshot rates
+	// zero, in which case they inherit the internal-store rates.
+	snapR, snapW := m.SnapshotReadBps, m.SnapshotWriteBps
+	if snapR <= 0 {
+		snapR = m.InternalReadBps
+	}
+	if snapW <= 0 {
+		snapW = m.InternalWriteBps
+	}
+
 	// Split files live on disk regardless of whether the column store is
 	// memory resident, so their writes always pay disk bandwidth.
 	t := float64(s.RawBytesRead)/rawBps +
@@ -289,6 +369,8 @@ func (m CostModel) Seconds(s Snapshot) float64 {
 		float64(s.InternalBytesRead)/intR +
 		writeCost +
 		float64(s.SplitBytesWritten)/m.InternalWriteBps +
+		float64(s.SnapshotBytesRead)/snapR +
+		float64(s.SnapshotBytesWritten)/snapW +
 		float64(s.RowsTokenized)*m.TokenizeRowSec +
 		float64(s.AttrsTokenized)*m.TokenizeAttrSec +
 		float64(s.ValuesParsed)*m.ParseValueSec +

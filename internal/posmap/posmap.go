@@ -153,6 +153,55 @@ func (m *Map) RecordRun(col int, startRow int64, offs []int64) {
 	}
 }
 
+// LoadColumn bulk-installs a column's positions from a snapshot: rows
+// must be ascending and unique, offs parallel to it. A column that
+// already has entries is left alone (live recording since the snapshot
+// was written supersedes it), and the memory budget is honored the same
+// way Record honors it. The slices are adopted, not copied.
+func (m *Map) LoadColumn(col int, rows, offs []int64) {
+	if len(rows) == 0 || len(rows) != len(offs) {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cols[col] != nil || m.bytes >= m.maxBytes {
+		return
+	}
+	c := &colMap{rows: rows, offs: offs}
+	// Coverage is exactly the recorded rows; rebuild it run by run.
+	runStart := rows[0]
+	prev := rows[0]
+	for _, r := range rows[1:] {
+		if r != prev+1 {
+			c.cov.Add(intervals.Interval{Lo: runStart, Hi: prev + 1})
+			runStart = r
+		}
+		prev = r
+	}
+	c.cov.Add(intervals.Interval{Lo: runStart, Hi: prev + 1})
+	m.cols[col] = c
+	added := int64(len(rows)) * 16
+	m.bytes += added
+	if m.acct != nil {
+		m.acct.AddBytes(added)
+	}
+}
+
+// Columns returns every column's recorded (rows, offsets) pairs, for
+// serialization. The slices are copies.
+func (m *Map) Columns() map[int][2][]int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[int][2][]int64, len(m.cols))
+	for col, c := range m.cols {
+		out[col] = [2][]int64{
+			append([]int64(nil), c.rows...),
+			append([]int64(nil), c.offs...),
+		}
+	}
+	return out
+}
+
 // Lookup returns the byte offset of (col, row) if known.
 func (m *Map) Lookup(col int, row int64) (int64, bool) {
 	m.mu.RLock()

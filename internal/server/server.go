@@ -60,6 +60,11 @@ type Config struct {
 	MaxTimeout time.Duration
 	// MaxBodyBytes caps request body size (default 1 MiB).
 	MaxBodyBytes int64
+	// SnapshotInterval is how often the server flushes the DB's
+	// auxiliary-structure snapshots to its cache dir, so a crash loses at
+	// most one interval of adaptive learning. 0 disables the flusher;
+	// the flush is a no-op when the DB has no CacheDir configured.
+	SnapshotInterval time.Duration
 }
 
 func (c Config) maxInFlight() int {
@@ -85,12 +90,19 @@ type Server struct {
 
 	started time.Time
 
+	// Periodic snapshot flusher lifecycle (nil channels when disabled).
+	flushStop chan struct{}
+	flushDone chan struct{}
+	closeOnce sync.Once
+
 	// Request accounting, all monotonic except inFlight.
-	inFlight  atomic.Int64
-	served    atomic.Int64 // queries executed to completion (ok or error)
-	rejected  atomic.Int64 // 429s from admission control
-	cancelled atomic.Int64 // queries that died to context cancel/timeout
-	failed    atomic.Int64 // queries that returned any other error
+	inFlight   atomic.Int64
+	served     atomic.Int64 // queries executed to completion (ok or error)
+	rejected   atomic.Int64 // 429s from admission control
+	cancelled  atomic.Int64 // queries that died to context cancel/timeout
+	failed     atomic.Int64 // queries that returned any other error
+	snapSaves  atomic.Int64 // periodic snapshot flushes that succeeded
+	snapErrors atomic.Int64 // periodic snapshot flushes that failed
 }
 
 // New creates a Server around cfg.DB.
@@ -109,7 +121,47 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/schema", s.handleSchema)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	if cfg.SnapshotInterval > 0 {
+		s.flushStop = make(chan struct{})
+		s.flushDone = make(chan struct{})
+		go s.flushLoop(cfg.SnapshotInterval)
+	}
 	return s
+}
+
+// flushLoop periodically persists the DB's auxiliary structures so the
+// adaptive learning accumulated under live traffic survives a crash, not
+// just a graceful shutdown.
+func (s *Server) flushLoop(interval time.Duration) {
+	defer close(s.flushDone)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if err := s.db.Snapshot(); err != nil {
+				s.snapErrors.Add(1)
+			} else {
+				s.snapSaves.Add(1)
+			}
+		case <-s.flushStop:
+			return
+		}
+	}
+}
+
+// Close stops the periodic snapshot flusher (if any) and performs a final
+// flush. It does not close the DB — the caller owns that. Idempotent.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		if s.flushStop != nil {
+			close(s.flushStop)
+			<-s.flushDone
+		}
+		err = s.db.Snapshot()
+	})
+	return err
 }
 
 // Handler returns the HTTP handler; mount it on an http.Server.
@@ -151,17 +203,20 @@ type statsResponse struct {
 	Policy        string           `json:"policy"`
 	MemBytes      int64            `json:"mem_bytes"`
 	Memory        nodb.MemStats    `json:"memory"`
+	Snapshot      nodb.SnapStats   `json:"snapshot"`
 	Work          metrics.Snapshot `json:"work"`
 	Server        serverStatsJSON  `json:"server"`
 }
 
 type serverStatsJSON struct {
-	InFlight    int64 `json:"in_flight"`
-	MaxInFlight int   `json:"max_in_flight"`
-	Served      int64 `json:"served"`
-	Rejected    int64 `json:"rejected"`
-	Cancelled   int64 `json:"cancelled"`
-	Failed      int64 `json:"failed"`
+	InFlight       int64 `json:"in_flight"`
+	MaxInFlight    int   `json:"max_in_flight"`
+	Served         int64 `json:"served"`
+	Rejected       int64 `json:"rejected"`
+	Cancelled      int64 `json:"cancelled"`
+	Failed         int64 `json:"failed"`
+	SnapshotSaves  int64 `json:"snapshot_saves"`
+	SnapshotErrors int64 `json:"snapshot_errors"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -525,14 +580,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Policy:        s.db.Policy().String(),
 		MemBytes:      s.db.MemSize(),
 		Memory:        s.db.MemStats(),
+		Snapshot:      s.db.SnapStats(),
 		Work:          s.db.Work(),
 		Server: serverStatsJSON{
-			InFlight:    s.inFlight.Load(),
-			MaxInFlight: cap(s.sem),
-			Served:      s.served.Load(),
-			Rejected:    s.rejected.Load(),
-			Cancelled:   s.cancelled.Load(),
-			Failed:      s.failed.Load(),
+			InFlight:       s.inFlight.Load(),
+			MaxInFlight:    cap(s.sem),
+			Served:         s.served.Load(),
+			Rejected:       s.rejected.Load(),
+			Cancelled:      s.cancelled.Load(),
+			Failed:         s.failed.Load(),
+			SnapshotSaves:  s.snapSaves.Load(),
+			SnapshotErrors: s.snapErrors.Load(),
 		},
 	})
 }

@@ -1,0 +1,280 @@
+package snapshot
+
+import (
+	"fmt"
+	"hash/crc32"
+	"log"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"nodb/internal/metrics"
+)
+
+// Store manages one cache directory of snapshot and spill files. All
+// operations are best-effort: a failed save is logged and counted, a
+// stale or corrupt file is invalidated (removed) and counted, and the
+// caller always degrades to a cold start — the store never surfaces an
+// error to the query path.
+//
+// Layout, one file set per (table, raw-file-path) key:
+//
+//	<key>.snap           full snapshot (written on DB.Close / periodic flush)
+//	<key>.<what>.spill   one spilled structure (eviction's disk tier)
+//	<key>.splits/        split files moved out of the governed hot tier
+//
+// One process per cache directory is assumed; concurrent engines sharing
+// a directory race benignly (rename is atomic, losers overwrite) but
+// waste work.
+type Store struct {
+	dir      string
+	counters *metrics.Counters
+
+	// Logf receives invalidation and save-failure notices (default:
+	// log.Printf). Replaceable for tests.
+	Logf func(format string, args ...any)
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	saves         atomic.Int64
+	spills        atomic.Int64
+	invalidations atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the store's activity.
+type Stats struct {
+	// Enabled reports whether a cache directory is configured.
+	Enabled bool `json:"enabled"`
+	// Dir is the cache directory.
+	Dir string `json:"dir,omitempty"`
+	// Hits counts snapshot or spill files successfully opened for restore.
+	Hits int64 `json:"hits"`
+	// Misses counts restore attempts that found no usable file.
+	Misses int64 `json:"misses"`
+	// Saves counts snapshot files written.
+	Saves int64 `json:"saves"`
+	// Spills counts structures written to disk by eviction instead of
+	// being discarded.
+	Spills int64 `json:"spills"`
+	// Invalidations counts stale or corrupt files discarded (raw file
+	// edits, torn writes, truncation).
+	Invalidations int64 `json:"invalidations"`
+}
+
+// NewStore creates a store over dir. The directory is created lazily on
+// first write, so construction cannot fail. counters may be nil.
+func NewStore(dir string, counters *metrics.Counters) *Store {
+	return &Store{dir: dir, counters: counters, Logf: log.Printf}
+}
+
+// Dir returns the cache directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns the store's activity counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Enabled:       true,
+		Dir:           s.dir,
+		Hits:          s.hits.Load(),
+		Misses:        s.misses.Load(),
+		Saves:         s.saves.Load(),
+		Spills:        s.spills.Load(),
+		Invalidations: s.invalidations.Load(),
+	}
+}
+
+// Key derives the file-name key for a table: the sanitized table name
+// plus a hash of the raw file's absolute path, so two tables (or the same
+// name relinked to a different file) never collide.
+func Key(table, path string) string {
+	if abs, err := filepath.Abs(path); err == nil {
+		path = abs
+	}
+	return fmt.Sprintf("%s-%08x", sanitize(table), crc32.ChecksumIEEE([]byte(path)))
+}
+
+func sanitize(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// SnapPath returns the full-snapshot path for key.
+func (s *Store) SnapPath(key string) string { return filepath.Join(s.dir, key+".snap") }
+
+// SpillPath returns the spill-file path for one structure of key.
+func (s *Store) SpillPath(key, what string) string {
+	return filepath.Join(s.dir, key+"."+what+".spill")
+}
+
+// SplitSpillDir returns the directory spilled split files are moved to.
+func (s *Store) SplitSpillDir(key string) string { return filepath.Join(s.dir, key+".splits") }
+
+// save writes a snapshot stream atomically: temp file in the same
+// directory, fsync-free write, rename into place. A torn write therefore
+// leaves either the old file or a temp file the next open ignores; the
+// per-section CRCs catch everything else.
+func (s *Store) save(path string, sig Sig, t *Table) error {
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	n, err := Encode(tmp, sig, t)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if s.counters != nil {
+		s.counters.AddSnapshotBytesWritten(n)
+	}
+	return nil
+}
+
+// Save writes the full snapshot for key. Failures are logged and counted
+// but not returned to the query path; the error is for callers that want
+// to surface it (DB.Snapshot).
+func (s *Store) Save(key string, sig Sig, t *Table) error {
+	err := s.save(s.SnapPath(key), sig, t)
+	if err != nil {
+		s.Logf("nodb/snapshot: saving %s: %v", s.SnapPath(key), err)
+		return err
+	}
+	s.saves.Add(1)
+	if s.counters != nil {
+		s.counters.AddSnapshotSave(1)
+	}
+	return nil
+}
+
+// SaveSpill writes one evicted structure for key. Counted as a spill.
+func (s *Store) SaveSpill(key, what string, sig Sig, t *Table) error {
+	err := s.save(s.SpillPath(key, what), sig, t)
+	if err != nil {
+		s.Logf("nodb/snapshot: spilling %s: %v", s.SpillPath(key, what), err)
+		return err
+	}
+	s.spills.Add(1)
+	if s.counters != nil {
+		s.counters.AddSnapshotSpill(1)
+	}
+	return nil
+}
+
+// invalidate removes a stale or corrupt file and counts it.
+func (s *Store) invalidate(path string, err error) {
+	os.Remove(path)
+	s.invalidations.Add(1)
+	if s.counters != nil {
+		s.counters.AddSnapshotInvalidation(1)
+	}
+	s.Logf("nodb/snapshot: invalidated %s: %v (cold start for its structures)", path, err)
+}
+
+// onRead returns the byte observer wired into readers.
+func (s *Store) onRead() func(int64) {
+	if s.counters == nil {
+		return nil
+	}
+	return s.counters.AddSnapshotBytesRead
+}
+
+// Open opens the full snapshot for key as a lazy reader, verifying its
+// header against sig. It returns nil when no usable snapshot exists: a
+// missing file counts as a miss; a stale or corrupt one is invalidated.
+// A reader with a truncated tail is still returned — its intact prefix
+// is usable — with the damage counted once here.
+func (s *Store) Open(key string, sig Sig) *Reader {
+	path := s.SnapPath(key)
+	r, err := OpenReader(path, sig, s.onRead())
+	switch {
+	case err == nil:
+		s.hits.Add(1)
+		if s.counters != nil {
+			s.counters.AddSnapshotHit(1)
+		}
+		if r.Truncated() {
+			s.invalidations.Add(1)
+			if s.counters != nil {
+				s.counters.AddSnapshotInvalidation(1)
+			}
+			s.Logf("nodb/snapshot: %s is truncated; restoring its intact prefix only", path)
+		}
+		return r
+	case os.IsNotExist(err):
+		s.misses.Add(1)
+		if s.counters != nil {
+			s.counters.AddSnapshotMiss(1)
+		}
+		return nil
+	default:
+		s.invalidate(path, err)
+		return nil
+	}
+}
+
+// CountCorrupt records a corrupt section discovered during a lazy read
+// (the file stays: other sections may be fine).
+func (s *Store) CountCorrupt(key string, err error) {
+	s.invalidations.Add(1)
+	if s.counters != nil {
+		s.counters.AddSnapshotInvalidation(1)
+	}
+	s.Logf("nodb/snapshot: corrupt section in %s: %v (cold start for that structure)", s.SnapPath(key), err)
+}
+
+// LoadSpill decodes and removes one spilled structure. A missing file
+// returns nil silently (no spill outstanding is the common case); stale
+// or corrupt files are invalidated.
+func (s *Store) LoadSpill(key, what string, sig Sig) *Table {
+	path := s.SpillPath(key, what)
+	t, err := DecodeAll(path, sig, s.onRead())
+	switch {
+	case err == nil:
+		os.Remove(path) // one-shot: re-eviction re-spills current state
+		s.hits.Add(1)
+		if s.counters != nil {
+			s.counters.AddSnapshotHit(1)
+		}
+		return t
+	case os.IsNotExist(err):
+		return nil
+	default:
+		s.invalidate(path, err)
+		return nil
+	}
+}
+
+// HasSpill reports whether a spill file exists for (key, what).
+func (s *Store) HasSpill(key, what string) bool {
+	_, err := os.Stat(s.SpillPath(key, what))
+	return err == nil
+}
+
+// Remove deletes every file of key: the snapshot, all spills, and the
+// spilled split directory. Used when the raw file changed (the files
+// would self-invalidate anyway; removing them reclaims the space now).
+func (s *Store) Remove(key string) {
+	os.Remove(s.SnapPath(key))
+	matches, _ := filepath.Glob(filepath.Join(s.dir, key+".*.spill"))
+	for _, m := range matches {
+		os.Remove(m)
+	}
+	os.RemoveAll(s.SplitSpillDir(key))
+}

@@ -392,6 +392,134 @@ func (r *Registry) DiskSize() int64 {
 	return total
 }
 
+// ManifestRest describes one residual file in a manifest.
+type ManifestRest struct {
+	Path string
+	Cols []int
+}
+
+// Manifest is the registry's serializable state: where each sidecar and
+// residual file lives. Split data is plain files, so persisting a split
+// set means persisting this (tiny) manifest — the data stays in place.
+type Manifest struct {
+	Seq      int
+	Sidecars map[int]string
+	Rests    []ManifestRest
+}
+
+// Manifest returns the registry's current manifest.
+func (r *Registry) Manifest() Manifest {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.manifestLocked()
+}
+
+func (r *Registry) manifestLocked() Manifest {
+	m := Manifest{Seq: r.seq, Sidecars: make(map[int]string, len(r.colFiles))}
+	for c, p := range r.colFiles {
+		m.Sidecars[c] = p
+	}
+	for _, rf := range r.rests {
+		m.Rests = append(m.Rests, ManifestRest{Path: rf.path, Cols: append([]int(nil), rf.cols...)})
+	}
+	return m
+}
+
+// Adopt re-registers the files of a previously persisted manifest:
+// entries whose file still exists and whose slot is free are taken over;
+// the rest are skipped silently (a missing file just means a cold load
+// later). Returns the on-disk bytes adopted.
+func (r *Registry) Adopt(m Manifest) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.Seq > r.seq {
+		r.seq = m.Seq
+	}
+	var adopted int64
+	for col, p := range m.Sidecars {
+		if _, exists := r.colFiles[col]; exists {
+			continue
+		}
+		if sz := fileSize(p); sz > 0 {
+			r.colFiles[col] = p
+			adopted += sz
+		}
+	}
+rests:
+	for _, mr := range m.Rests {
+		for _, have := range r.rests {
+			if have.path == mr.Path {
+				continue rests
+			}
+		}
+		if sz := fileSize(mr.Path); sz > 0 {
+			r.rests = append(r.rests, restFile{path: mr.Path, cols: append([]int(nil), mr.Cols...)})
+			adopted += sz
+		}
+	}
+	if r.acct != nil && adopted > 0 {
+		r.acct.AddBytes(adopted)
+	}
+	return adopted
+}
+
+// Detach forgets every registered file without deleting it and zeroes the
+// accounting. Used at engine close after the manifest was snapshotted:
+// the files stay on disk for the next process to Adopt.
+func (r *Registry) Detach() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.colFiles = make(map[int]string)
+	r.rests = nil
+	if r.acct != nil {
+		r.acct.SetBytes(0)
+	}
+}
+
+// SpillTo moves every registered file into dir (the disk cache tier),
+// returning the manifest with the new paths and the bytes moved. The
+// registry is left empty with zeroed accounting — the spilled set leaves
+// the governed hot tier. Files that cannot be moved are deleted instead
+// (degrading to the plain-eviction behavior for them).
+func (r *Registry) SpillTo(dir string) (Manifest, int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.colFiles) == 0 && len(r.rests) == 0 {
+		return Manifest{Seq: r.seq, Sidecars: map[int]string{}}, 0, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Manifest{}, 0, fmt.Errorf("splitfile: %w", err)
+	}
+	m := Manifest{Seq: r.seq, Sidecars: make(map[int]string, len(r.colFiles))}
+	var moved int64
+	move := func(p string) (string, bool) {
+		dst := filepath.Join(dir, filepath.Base(p))
+		sz := fileSize(p)
+		if err := os.Rename(p, dst); err != nil {
+			os.Remove(p) // cross-device or permission trouble: plain evict
+			return "", false
+		}
+		moved += sz
+		return dst, true
+	}
+	for c, p := range r.colFiles {
+		if dst, ok := move(p); ok {
+			m.Sidecars[c] = dst
+		}
+	}
+	for _, rf := range r.rests {
+		if dst, ok := move(rf.path); ok {
+			m.Rests = append(m.Rests, ManifestRest{Path: dst, Cols: append([]int(nil), rf.cols...)})
+		}
+	}
+	r.colFiles = make(map[int]string)
+	r.rests = nil
+	if r.acct != nil {
+		r.acct.SetBytes(0)
+	}
+	return m, moved, nil
+}
+
 // Drop removes every registered split file and resets the registry (raw
 // file changed, or eviction reclaiming the storage budget).
 func (r *Registry) Drop() {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"nodb/internal/schema"
 	"nodb/internal/storage"
 )
 
@@ -111,6 +112,11 @@ type Predicate struct {
 func lit(v storage.Value, param int) string {
 	if param > 0 {
 		return "?"
+	}
+	if v.Typ == schema.String {
+		// Quote (and escape) so the rendered statement re-parses; found by
+		// FuzzParse's render-reparse property.
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
 	}
 	return v.String()
 }

@@ -1,0 +1,98 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// Seed corpus: the statement shapes the grammar supports, plus inputs
+// that historically trip hand-written lexers (unterminated strings, bare
+// operators, deep nesting of keywords, placeholder soup).
+var parseSeeds = []string{
+	"select a1 from t",
+	"select sum(a1), avg(a2) from t where a1 > 10 and a1 < 1000",
+	"select count(*) from events",
+	"select a1, a2 from t where a1 between 1 and 5 order by a2 desc limit 10",
+	"select t.a1, u.a2 from t join u on t.a1 = u.a1 where u.a2 >= 3",
+	"select a1, sum(a2) from t group by a1 order by a1 limit 3",
+	"select a1 from t where a1 = 'quoted string'",
+	"select a1 from t where a1 > ? and a1 < ?",
+	"select a1 from t where a1 between ? and ? limit 5",
+	"SELECT A1 FROM T WHERE A1 > -1.5e3",
+	"select min(a1), max(a1) from t where s = 'it''s'",
+	"select",
+	"select from where",
+	"select a1 from t where a1 >",
+	"select a1 from t where 'unterminated",
+	"select a1 from t limit -1",
+	"select a1 from t where a1 ! 3",
+	"select * from t",
+	"select a1 from t join",
+	"select ?(a1) from t",
+	"\x00\xff select",
+	"select a1 from t where a1 between 1 and",
+}
+
+// FuzzParse: the parser must never panic, and an accepted statement must
+// render (String) to something the parser accepts again — the rendered
+// form is what EXPLAIN and the plan cache key off.
+func FuzzParse(f *testing.F) {
+	for _, s := range parseSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, query string) {
+		stmt, err := Parse(query)
+		if err != nil {
+			return // rejected input is fine; panics are the bug
+		}
+		rendered := stmt.String()
+		if _, err := Parse(rendered); err != nil {
+			t.Fatalf("accepted %q but rejected its own rendering %q: %v", query, rendered, err)
+		}
+		// Normalize must be idempotent: the plan cache uses it as a key.
+		n1 := Normalize(query)
+		if n2 := Normalize(n1); n1 != n2 {
+			t.Fatalf("Normalize not idempotent: %q -> %q -> %q", query, n1, n2)
+		}
+	})
+}
+
+// FuzzBind: binding arbitrary argument values into a parsed statement
+// must never panic, must enforce the parameter count, and must leave the
+// shared template untouched (prepared statements are shared across
+// goroutines).
+func FuzzBind(f *testing.F) {
+	for _, s := range parseSeeds {
+		f.Add(s, int64(42), "x", 1.5)
+	}
+	f.Add("select a1 from t where a1 > ? and a2 < ? and a3 between ? and ?", int64(-1), "", -0.0)
+	f.Fuzz(func(t *testing.T, query string, i int64, s string, fl float64) {
+		stmt, err := Parse(query)
+		if err != nil {
+			return
+		}
+		args := []any{i, s, fl, true}[:min(stmt.NumParams, 4)]
+		before := stmt.String()
+		bound, err := stmt.Bind(args...)
+		if len(args) != stmt.NumParams {
+			if err == nil {
+				t.Fatalf("Bind accepted %d args for %d params", len(args), stmt.NumParams)
+			}
+			return
+		}
+		if err != nil {
+			return // unbindable value; fine
+		}
+		if bound.NumParams != 0 {
+			t.Fatalf("bound statement still has %d params", bound.NumParams)
+		}
+		if after := stmt.String(); after != before {
+			t.Fatalf("Bind mutated the shared template: %q -> %q", before, after)
+		}
+		// A fully bound statement renders without placeholders.
+		if stmt.NumParams > 0 && strings.Contains(bound.String(), "?") &&
+			!strings.Contains(before, "'") {
+			t.Fatalf("bound statement still renders a placeholder: %q", bound.String())
+		}
+	})
+}

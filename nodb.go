@@ -28,6 +28,7 @@ import (
 	"nodb/internal/metrics"
 	"nodb/internal/plan"
 	"nodb/internal/schema"
+	"nodb/internal/snapshot"
 	"nodb/internal/storage"
 )
 
@@ -151,6 +152,21 @@ type Options struct {
 	// to "cost" — validate with ParseEvictionPolicy first when the name
 	// comes from user input (the CLI flags and driver DSN already do).
 	EvictionPolicy string
+	// CacheDir enables the persistent auxiliary-structure cache (the
+	// disk tier of the adaptive store). When set, everything the engine
+	// learns — positional maps, cached columns, retained partial loads
+	// with their coverage regions, split-file manifests — is snapshotted
+	// there on Close (and by Snapshot / the server's periodic flusher)
+	// and restored lazily by the first query that wants it after a
+	// restart, so a reopened DB starts warm instead of re-paying the
+	// adaptive learning curve. Under a MemoryBudget, eviction *spills*
+	// expensive structures there instead of discarding them, and
+	// re-admits them on demand. Snapshot files are versioned,
+	// checksummed, and keyed by each raw file's path, size and mtime:
+	// editing a file invalidates its snapshots, and a torn or corrupted
+	// file degrades to a cold start — never a wrong answer. Empty
+	// disables the disk tier.
+	CacheDir string
 	// Workers is tokenization parallelism (default 1).
 	Workers int
 	// ChunkSize overrides the raw-file streaming read size (default 1 MiB).
@@ -213,6 +229,7 @@ func Open(opts Options) *DB {
 		SplitDir:             opts.SplitDir,
 		MemoryBudget:         opts.MemoryBudget,
 		EvictionPolicy:       opts.EvictionPolicy,
+		CacheDir:             opts.CacheDir,
 		Workers:              opts.Workers,
 		ChunkSize:            opts.ChunkSize,
 		DisablePositionalMap: opts.DisablePositionalMap,
@@ -222,9 +239,28 @@ func Open(opts Options) *DB {
 
 // Close releases the DB: subsequent queries, preparations and links
 // return ErrClosed, in-flight cursors are cancelled (their raw-file scans
-// stop between chunks), and all adaptively loaded state is dropped. Close
-// is idempotent.
+// stop between chunks), and all adaptively loaded state is dropped. With
+// a CacheDir configured, every table's auxiliary structures are
+// snapshotted to disk first, so reopening with the same CacheDir starts
+// warm; the returned error reports a failed snapshot write (the close
+// itself always completes). Close is idempotent.
 func (db *DB) Close() error { return db.e.Close() }
+
+// Snapshot serializes every table's auxiliary structures to the CacheDir
+// now, without closing the DB. No-op (nil) when no CacheDir is
+// configured. The server's periodic flusher calls this so a crash loses
+// at most one flush interval of learning.
+func (db *DB) Snapshot() error { return db.e.SaveSnapshots() }
+
+// SnapStats describes the snapshot cache's activity: restores served
+// (hits), probes that found nothing (misses), snapshots written (saves),
+// structures spilled by eviction instead of discarded (spills), and
+// stale or corrupt files discarded (invalidations).
+type SnapStats = snapshot.Stats
+
+// SnapStats reports the snapshot cache's activity; Enabled is false (and
+// everything zero) when no CacheDir is configured.
+func (db *DB) SnapStats() SnapStats { return db.e.SnapStats() }
 
 // Ping reports whether the DB is usable; it returns ErrClosed after Close.
 func (db *DB) Ping() error { return db.e.Ping() }
