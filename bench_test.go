@@ -380,3 +380,80 @@ func BenchmarkWarmRestartFirstQuery(b *testing.B) { restartBench(b, true) }
 // BenchmarkColdRestartFirstQuery: the same first query with no cache —
 // the full adaptive load, for comparison against the warm number.
 func BenchmarkColdRestartFirstQuery(b *testing.B) { restartBench(b, false) }
+
+// --- Scan-synopsis benchmarks: portion skipping on the raw-scan path ---
+
+// clusteredBenchTable writes rows whose first attribute is monotone (the
+// log-file shape zone maps thrive on); the rest are shuffled.
+func clusteredBenchTable(b *testing.B, rows, cols int) string {
+	b.Helper()
+	dir := filepath.Join(os.TempDir(), "nodb-bench-data")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("clustered_%dx%d.csv", rows, cols))
+	if st, err := os.Stat(path); err == nil && st.Size() > 0 {
+		return path
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < rows; i++ {
+		fmt.Fprint(f, i)
+		for c := 1; c < cols; c++ {
+			fmt.Fprintf(f, ",%d", (i*(c*7+1)+c)%rows)
+		}
+		fmt.Fprintln(f)
+	}
+	return path
+}
+
+// selectiveColdScan measures a 1%-selectivity predicate query on a cold
+// (uncached) column after exactly one prior tokenizing pass, under
+// PartialLoadsV1 — every query re-scans the raw file, so the measured
+// cost is the scan itself. With the synopsis the prior pass leaves
+// per-portion zone maps behind and the measured query skips ~99% of the
+// portions; without it the query re-tokenizes the whole file.
+func selectiveColdScan(b *testing.B, disableSynopsis bool) {
+	const rows = 400_000
+	path := clusteredBenchTable(b, rows, 4)
+	st, _ := os.Stat(path)
+	// The comparator models the pre-PR path faithfully: sequential,
+	// single-portion, one file read per query — no layout pre-pass.
+	workers := 0
+	if disableSynopsis {
+		workers = 1
+	}
+	db := Open(Options{Policy: PartialLoadsV1, DisableSynopsis: disableSynopsis, Workers: workers, ChunkSize: 256 << 10, DisableRevalidation: true})
+	defer db.Close()
+	if err := db.Link("t", path); err != nil {
+		b.Fatal(err)
+	}
+	// The one prior pass: a wide query over the same columns.
+	if _, err := db.Query("select sum(a2) from t where a1 >= 0"); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(st.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rows/2 + (i%7)*100
+		q := fmt.Sprintf("select sum(a2) from t where a1 >= %d and a1 < %d", lo, lo+rows/100)
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if !disableSynopsis && db.Work().PortionsSkipped == 0 {
+		b.Fatal("synopsis bench skipped no portions")
+	}
+}
+
+// BenchmarkSelectiveColdScan: the PR's headline path — 1%-selectivity
+// query after one learning pass, portions pruned by the synopsis.
+func BenchmarkSelectiveColdScan(b *testing.B) { selectiveColdScan(b, false) }
+
+// BenchmarkSelectiveColdScanNoSynopsis: the identical query with the
+// synopsis disabled — the pre-PR full re-scan, kept as the comparator.
+func BenchmarkSelectiveColdScanNoSynopsis(b *testing.B) { selectiveColdScan(b, true) }

@@ -47,7 +47,7 @@ func main() {
 		evict      = flag.String("evict", "cost", "eviction policy under -mem: cost or lru")
 		splitDir   = flag.String("splitdir", "", "directory for split files (default: $TMPDIR/nodb-splits)")
 		cacheDir   = flag.String("cachedir", "", "persistent auxiliary-structure cache directory (empty = no disk tier)")
-		workers    = flag.Int("workers", 0, "tokenizer workers (0 = 1)")
+		workers    = flag.Int("workers", 0, "tokenizer workers (0 = one per CPU; 1 = sequential)")
 		chunkSize  = flag.Int("chunksize", 0, "raw-file read chunk size in bytes (0 = default)")
 	)
 	flag.Parse()
@@ -197,6 +197,7 @@ func command(db *nodb.DB, line string) bool {
 		fmt.Printf("rows abandoned:  %d\n", w.RowsAbandoned)
 		fmt.Printf("cache hit/miss:  %d/%d\n", w.CacheHits, w.CacheMisses)
 		fmt.Printf("posmap hit/miss: %d/%d\n", w.PosMapHits, w.PosMapMisses)
+		fmt.Printf("synopsis:        %d scans pruned, %d portions skipped\n", w.SynopsisHits, w.PortionsSkipped)
 		fmt.Printf("store size:      %s\n", fmtBytes(db.MemSize()))
 		if ss := db.SnapStats(); ss.Enabled {
 			fmt.Printf("snapshot cache:  %s (hit %d, miss %d, save %d, spill %d, invalid %d)\n",

@@ -5,7 +5,7 @@
 //
 //	nodbd [-addr :8080] [-policy columns|full|partial-v1|partial-v2|splitfiles|external|auto]
 //	      [-cracking] [-mem bytes] [-splitdir dir] [-workers n] [-chunksize bytes]
-//	      [-cachedir dir] [-snapshot-interval d]
+//	      [-cachedir dir] [-snapshot-interval d] [-pprof addr]
 //	      [-max-inflight n] [-timeout d] [-max-timeout d] [-grace d]
 //	      name=path.csv [name=path.csv ...]
 //
@@ -29,6 +29,13 @@
 // up to -max-timeout), and shuts down gracefully on SIGINT/SIGTERM:
 // in-flight queries get a grace period, new ones are refused, and
 // cancellation propagates into running scans.
+//
+// With -pprof, net/http/pprof is served on a *separate* listener (off by
+// default) so profiling stays off the query port and can be bound to
+// localhost while the query API faces the network:
+//
+//	nodbd -addr :8080 -pprof localhost:6060 events=events.csv
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -58,8 +66,9 @@ func main() {
 		splitDir     = flag.String("splitdir", "", "directory for split files (default: $TMPDIR/nodb-splits)")
 		cacheDir     = flag.String("cachedir", "", "persistent auxiliary-structure cache directory (empty = no disk tier)")
 		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute, "how often to flush snapshots to -cachedir (0 = only on shutdown)")
-		workers      = flag.Int("workers", 0, "tokenizer workers (0 = 1)")
+		workers      = flag.Int("workers", 0, "tokenizer workers (0 = one per CPU; 1 = sequential)")
 		chunkSize    = flag.Int("chunksize", 0, "raw-file read chunk size in bytes (0 = default)")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this separate listen address (e.g. localhost:6060); empty = disabled")
 		maxInFlight  = flag.Int("max-inflight", 64, "max concurrently executing queries; excess requests get 429")
 		timeout      = flag.Duration("timeout", 30*time.Second, "default per-query timeout (0 = none)")
 		maxTimeout   = flag.Duration("max-timeout", 5*time.Minute, "cap on per-request timeout_ms (0 = no cap)")
@@ -70,6 +79,7 @@ func main() {
 		cliutil.NonNegativeInt("nodbd", "workers", *workers),
 		cliutil.NonNegativeInt("nodbd", "chunksize", *chunkSize),
 		cliutil.NonNegativeInt64("nodbd", "mem", *mem),
+		cliutil.OptionalListenAddr("nodbd", "pprof", *pprofAddr),
 	))
 
 	pol, err := nodb.ParsePolicy(*policyName)
@@ -128,6 +138,27 @@ func main() {
 		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	if *pprofAddr != "" {
+		// pprof gets its own mux and listener: nothing from the profiling
+		// surface leaks onto the query port, and the address can stay
+		// loopback-only. Best-effort — a failed pprof listener is reported
+		// but does not take the query server down.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Addr: *pprofAddr, Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "nodbd: pprof listener: %v\n", err)
+			}
+		}()
+		defer psrv.Close()
+		fmt.Printf("pprof listening on %s\n", *pprofAddr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

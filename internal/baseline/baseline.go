@@ -67,7 +67,10 @@ func PerlScan(t Table, needCols []int, conj expr.Conjunction, counters *metrics.
 // interpreted-script overhead charged per row (0 for compiled engines).
 func scriptScan(t Table, needCols []int, conj expr.Conjunction, counters *metrics.Counters, tab int, earlyAbandon bool, opsPerRow int64) (*exec.View, error) {
 	loadCols := unionCols(needCols, conj.Columns())
-	sc, err := scan.Open(t.Path, scan.Options{Delimiter: t.delim(), Counters: counters})
+	// Workers 1: scripts are sequential by nature, and the handlers below
+	// append to shared state without locks — they must not inherit the
+	// parallel-by-default scan.
+	sc, err := scan.Open(t.Path, scan.Options{Delimiter: t.delim(), Workers: 1, Counters: counters})
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -185,5 +186,39 @@ func TestTableDefaults(t *testing.T) {
 	}
 	if tb.colType(5) != 0 { // schema.Int64 == 0
 		t.Error("default col type should be int64")
+	}
+}
+
+// TestScriptScansStaySequential pins the baseline scans to one worker:
+// their handlers append to shared state without locks, so inheriting the
+// parallel-by-default scan would race (run under -race with several CPUs
+// and a file large enough to split into portions).
+func TestScriptScansStaySequential(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	const rows = 40000
+	var sb strings.Builder
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&sb, "%d,%d,%d\n", i, i*2, i%7)
+	}
+	tb := Table{Path: writeCSV(t, sb.String()), NumCols: 3}
+	v, err := AwkScan(tb, []int{0}, conj(gt(0, -1)), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Rows) != rows {
+		t.Fatalf("AwkScan saw %d rows, want %d", len(v.Rows), rows)
+	}
+	for i := 1; i < len(v.Rows); i++ {
+		if v.Rows[i] <= v.Rows[i-1] {
+			t.Fatalf("rows out of order at %d: scan went parallel", i)
+		}
+	}
+	lv, err := SortMergeJoinScript(tb, tb, 0, 0, []int{0}, []int{1}, t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lv.Len(); got != rows {
+		t.Fatalf("SortMergeJoinScript matched %d rows, want %d (1:1 self-join)", got, rows)
 	}
 }

@@ -71,7 +71,10 @@ func SortMergeJoinScript(left, right Table, leftKey, rightKey int, leftCols, rig
 // sortFile reads a whole flat file, sorts its rows by the integer key
 // column, and writes the sorted rows to outPath (emulating `sort -t, -k`).
 func sortFile(t Table, key int, outPath string, counters *metrics.Counters) (Table, error) {
-	sc, err := scan.Open(t.Path, scan.Options{Delimiter: t.delim(), Counters: counters})
+	// Workers 1: the handler appends to a shared slice without locks (it
+	// emulates a sequential sort tool) and must not inherit the
+	// parallel-by-default scan.
+	sc, err := scan.Open(t.Path, scan.Options{Delimiter: t.delim(), Workers: 1, Counters: counters})
 	if err != nil {
 		return Table{}, err
 	}

@@ -38,10 +38,12 @@ import (
 	"nodb/internal/intervals"
 	"nodb/internal/metrics"
 	"nodb/internal/posmap"
+	"nodb/internal/scan"
 	"nodb/internal/schema"
 	"nodb/internal/snapshot"
 	"nodb/internal/splitfile"
 	"nodb/internal/storage"
+	"nodb/internal/synopsis"
 )
 
 // Signature fingerprints a raw file cheaply: size, mtime and a CRC of the
@@ -148,18 +150,22 @@ type Table struct {
 	touches map[int]int // per-column query touch counts (auto policy)
 
 	// PosMap is the positional map for the raw file; Splits the split-file
-	// registry. Both survive column eviction but not file invalidation.
+	// registry; Syn the per-portion scan synopsis (zone maps + learned
+	// portion layout). All survive column eviction but not file
+	// invalidation.
 	PosMap *posmap.Map
 	Splits *splitfile.Registry
+	Syn    *synopsis.Synopsis
 
 	// Memory-governor accounting: one handle per registered adaptive
-	// structure. denseH/sparseH are aligned with cols; posmapH and splitsH
-	// are persistent (their structures survive eviction, emptied).
+	// structure. denseH/sparseH are aligned with cols; posmapH, splitsH
+	// and synH are persistent (their structures survive eviction, emptied).
 	gov      *govern.Governor
 	denseH   []*govern.Handle
 	sparseH  []*govern.Handle
 	posmapH  *govern.Handle
 	splitsH  *govern.Handle
+	synH     *govern.Handle
 	released bool // releaseGoverned ran (table replaced/unlinked): no re-registration
 
 	counters *metrics.Counters
@@ -304,6 +310,12 @@ func (t *Table) refreshCostsLocked() {
 			t.splitsH.SetCost(2 * full)
 		}
 	}
+	if t.synH != nil {
+		// The synopsis rebuilds itself as a free byproduct of the next
+		// tokenizing pass; it is priced far below everything else so the
+		// governor reclaims it first under pressure.
+		t.synH.SetCost(full / 64)
+	}
 }
 
 // Dense returns the dense column for col, or nil.
@@ -429,6 +441,20 @@ func (t *Table) evictPosMap(h *govern.Handle) bool {
 	return true
 }
 
+// evictSynopsis drops the synopsis' contents (the container survives,
+// empty, like the positional map). No spill tier: the synopsis is tiny and
+// rebuilds for free on the next pass, so serializing it out of band is not
+// worth a file.
+func (t *Table) evictSynopsis(h *govern.Handle) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.synH != h || h.Pinned() {
+		return false
+	}
+	t.Syn.Drop()
+	return true
+}
+
 func (t *Table) evictSplits(h *govern.Handle) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -481,6 +507,40 @@ func manifestToSnapshot(m splitfile.Manifest) *snapshot.Splits {
 	return s
 }
 
+// synopsisToSnapshot and synopsisFromSnapshot convert between the scan
+// synopsis' exported state and its serialized form.
+func synopsisToSnapshot(ps []synopsis.PortionState) []snapshot.SynPortion {
+	out := make([]snapshot.SynPortion, 0, len(ps))
+	for _, p := range ps {
+		sp := snapshot.SynPortion{Off: p.Info.Off, End: p.Info.End, FirstRow: p.Info.FirstRow, Rows: p.Info.Rows}
+		for _, c := range p.Cols {
+			sp.Cols = append(sp.Cols, snapshot.SynCol{
+				Col: c.Col, Typ: c.Typ,
+				MinI: c.MinI, MaxI: c.MaxI, MinF: c.MinF, MaxF: c.MaxF,
+				MinS: c.MinS, MaxS: c.MaxS, MinExact: c.MinExact, MaxExact: c.MaxExact,
+			})
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+func synopsisFromSnapshot(ps []snapshot.SynPortion) []synopsis.PortionState {
+	out := make([]synopsis.PortionState, 0, len(ps))
+	for i, p := range ps {
+		st := synopsis.PortionState{Info: scan.PortionInfo{Index: i, Off: p.Off, End: p.End, FirstRow: p.FirstRow, Rows: p.Rows}}
+		for _, c := range p.Cols {
+			st.Cols = append(st.Cols, synopsis.ColBounds{
+				Col: c.Col, Typ: c.Typ,
+				MinI: c.MinI, MaxI: c.MaxI, MinF: c.MinF, MaxF: c.MaxF,
+				MinS: c.MinS, MaxS: c.MaxS, MinExact: c.MinExact, MaxExact: c.MaxExact,
+			})
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
 func manifestFromSnapshot(s *snapshot.Splits) splitfile.Manifest {
 	m := splitfile.Manifest{Seq: s.Seq, Sidecars: s.Sidecars}
 	if m.Sidecars == nil {
@@ -509,12 +569,9 @@ func (t *Table) MergeSparse(col int, rowIDs []int64, val func(i int) storage.Val
 		sp = storage.NewSparse(t.schema.Columns[col].Type)
 		t.cols[col].Sparse = sp
 	}
-	var stored int64
-	for i, row := range rowIDs {
-		v := val(i)
-		sp.Add(row, v)
-		stored += v.MemBytes() + 8
-	}
+	// One merge pass over the sorted row ids — per-row sorted inserts
+	// would go quadratic when a wide load interleaves with retained rows.
+	stored := sp.AddRun(rowIDs, val)
 	if t.gov == nil || t.released {
 		return stored
 	}
@@ -568,6 +625,7 @@ func (t *Table) Pin(cols []int) (unpin func()) {
 	}
 	add(t.posmapH)
 	add(t.splitsH)
+	add(t.synH)
 	t.mu.RUnlock()
 	var once sync.Once
 	return func() {
@@ -665,6 +723,13 @@ func (t *Table) initSnapLocked() {
 		}
 		for _, reg := range regs {
 			t.AddRegion(regionFromSnapshot(reg))
+		}
+		if sy, err := r.Synopsis(); err != nil {
+			t.snap.CountCorrupt(t.snapKey, err)
+		} else if len(sy) > 0 {
+			// Import validates layout contiguity and column types; invalid
+			// or stale-shaped data degrades to a cold (re-learned) synopsis.
+			t.Syn.Import(synopsisFromSnapshot(sy), t.schema)
 		}
 		if t.Splits != nil {
 			if m, err := r.SplitsManifest(); err != nil {
@@ -939,6 +1004,7 @@ func (t *Table) SaveSnapshot() error {
 			tbl.Splits = manifestToSnapshot(m)
 		}
 	}
+	tbl.Synopsis = synopsisToSnapshot(t.Syn.Export())
 	sig, key := t.sig, t.snapKey
 
 	// Fingerprint the state so the periodic flusher skips the rewrite
@@ -947,7 +1013,7 @@ func (t *Table) SaveSnapshot() error {
 	// positional map's byte count moves with its content, so structural
 	// counts plus byte totals identify the state well enough; a missed
 	// nuance only costs one redundant save, never a lost one.
-	fp := fmt.Sprintf("r%d pm%d d%v s%d rg%d", t.rows, t.PosMap.MemSize(), denseColsOf(t.cols), sparseBytesOf(t.cols), len(t.regions))
+	fp := fmt.Sprintf("r%d pm%d d%v s%d rg%d sy%d", t.rows, t.PosMap.MemSize(), denseColsOf(t.cols), sparseBytesOf(t.cols), len(t.regions), t.Syn.MemSize())
 	if tbl.Splits != nil {
 		fp += fmt.Sprintf(" sp%d/%d/%d", tbl.Splits.Seq, len(tbl.Splits.Sidecars), len(tbl.Splits.Rests))
 	}
@@ -986,7 +1052,8 @@ func (t *Table) SaveSnapshot() error {
 	}
 
 	if tbl.Rows <= 0 && len(tbl.PosMap) == 0 && len(tbl.Dense) == 0 &&
-		len(tbl.Sparse) == 0 && len(tbl.Regions) == 0 && tbl.Splits == nil {
+		len(tbl.Sparse) == 0 && len(tbl.Regions) == 0 && tbl.Splits == nil &&
+		len(tbl.Synopsis) == 0 {
 		return nil // nothing learned; don't clobber whatever is on disk
 	}
 	if err := t.snap.Save(key, snapSig(sig), tbl); err != nil {
@@ -1187,6 +1254,7 @@ func (t *Table) MemSize() int64 {
 	if t.PosMap != nil {
 		sz += t.PosMap.MemSize()
 	}
+	sz += t.Syn.MemSize()
 	return sz
 }
 
@@ -1220,6 +1288,9 @@ func (t *Table) dropDerivedLocked() {
 	if t.Splits != nil {
 		t.Splits.Drop()
 	}
+	if t.Syn != nil {
+		t.Syn.Drop()
+	}
 }
 
 // releaseGoverned unregisters every governor handle, including the
@@ -1239,12 +1310,16 @@ func (t *Table) releaseGoverned() {
 	}
 	t.posmapH.Release()
 	t.splitsH.Release()
-	t.posmapH, t.splitsH = nil, nil
+	t.synH.Release()
+	t.posmapH, t.splitsH, t.synH = nil, nil, nil
 	if t.PosMap != nil {
 		t.PosMap.SetAccountant(nil)
 	}
 	if t.Splits != nil {
 		t.Splits.SetAccountant(nil)
+	}
+	if t.Syn != nil {
+		t.Syn.SetAccountant(nil)
 	}
 }
 
@@ -1363,6 +1438,7 @@ func (c *Catalog) Link(name, path string) (*Table, error) {
 		counters: c.opts.Counters,
 		gov:      c.opts.Governor,
 		PosMap:   posmap.New(c.opts.PosMapBudget, c.opts.Counters),
+		Syn:      synopsis.New(),
 	}
 	if c.opts.SplitDir != "" {
 		dir := filepath.Join(c.opts.SplitDir, sanitizeName(name))
@@ -1409,6 +1485,10 @@ func (t *Table) initGovernedLocked() {
 		t.splitsH = spH
 		t.Splits.SetAccountant(t.splitsH)
 	}
+	var syH *govern.Handle
+	syH = t.gov.Register(govern.KindSynopsis, t.name+".synopsis", func() bool { return t.evictSynopsis(syH) })
+	t.synH = syH
+	t.Syn.SetAccountant(t.synH)
 	t.refreshCostsLocked()
 }
 

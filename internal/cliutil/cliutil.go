@@ -7,6 +7,7 @@ package cliutil
 
 import (
 	"fmt"
+	"net"
 	"os"
 )
 
@@ -30,6 +31,25 @@ func NonNegativeInt64(binary, flag string, v int64) error {
 func NonNegativeFloat(binary, flag string, v float64) error {
 	if v < 0 {
 		return fmt.Errorf("%s: -%s must be >= 0 (got %g)", binary, flag, v)
+	}
+	return nil
+}
+
+// OptionalListenAddr validates a listen-address flag that may be empty
+// (empty = feature disabled). A non-empty value must be a host:port pair
+// net.Listen would accept, e.g. "localhost:6060" or ":6060" — the port
+// must resolve (numeric or a known service name), so a typo fails at
+// flag parsing instead of asynchronously at ListenAndServe.
+func OptionalListenAddr(binary, flag, v string) error {
+	if v == "" {
+		return nil
+	}
+	_, port, err := net.SplitHostPort(v)
+	if err == nil {
+		_, err = net.LookupPort("tcp", port)
+	}
+	if err != nil {
+		return fmt.Errorf("%s: -%s must be a host:port listen address (got %q)", binary, flag, v)
 	}
 	return nil
 }

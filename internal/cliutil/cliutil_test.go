@@ -37,6 +37,22 @@ func TestMessageUniform(t *testing.T) {
 	}
 }
 
+func TestOptionalListenAddr(t *testing.T) {
+	for _, ok := range []string{"", ":6060", "localhost:6060", "127.0.0.1:0", "[::1]:9999"} {
+		if err := OptionalListenAddr("nodbd", "pprof", ok); err != nil {
+			t.Errorf("valid addr %q rejected: %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"6060", "localhost", "http://x:1"} {
+		if err := OptionalListenAddr("nodbd", "pprof", bad); err == nil {
+			t.Errorf("bad addr %q accepted", bad)
+		}
+	}
+	if got := OptionalListenAddr("nodbd", "pprof", "nope").Error(); got != `nodbd: -pprof must be a host:port listen address (got "nope")` {
+		t.Errorf("message shape drifted: %q", got)
+	}
+}
+
 func TestCheckFlags(t *testing.T) {
 	if err := CheckFlags(nil, nil); err != nil {
 		t.Fatalf("all-nil CheckFlags returned %v", err)
@@ -44,5 +60,19 @@ func TestCheckFlags(t *testing.T) {
 	want := errors.New("boom")
 	if err := CheckFlags(nil, want, errors.New("later")); err != want {
 		t.Fatalf("CheckFlags returned %v, want first error", err)
+	}
+}
+
+func TestOptionalListenAddrBadPorts(t *testing.T) {
+	for _, bad := range []string{"localhost:notaport", ":-1", ":65536"} {
+		if err := OptionalListenAddr("nodbd", "pprof", bad); err == nil {
+			t.Errorf("bad port %q accepted", bad)
+		}
+	}
+	// net.Listen accepts service names and an empty port (ephemeral).
+	for _, ok := range []string{"localhost:http", "localhost:"} {
+		if err := OptionalListenAddr("nodbd", "pprof", ok); err != nil {
+			t.Errorf("%q rejected: %v", ok, err)
+		}
 	}
 }

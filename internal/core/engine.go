@@ -62,7 +62,8 @@ type Options struct {
 	// disables the disk tier. Snapshot files are keyed by the raw file's
 	// path, size and mtime, so editing a file invalidates its snapshots.
 	CacheDir string
-	// Workers is the tokenization parallelism (default 1).
+	// Workers is the tokenization parallelism; 0 (the default) means one
+	// worker per CPU, 1 (or negative) pins a sequential scan.
 	Workers int
 	// ChunkSize overrides the raw-file streaming read size (default
 	// scan.DefaultChunkSize). Smaller chunks tighten the cancellation
@@ -71,6 +72,10 @@ type Options struct {
 	// DisablePositionalMap turns off both recording and use of the
 	// positional map (for ablations).
 	DisablePositionalMap bool
+	// DisableSynopsis turns off the per-portion scan synopsis: no zone-map
+	// collection, no portion skipping, no layout reuse (for ablations and
+	// the selectivity-sweep baseline).
+	DisableSynopsis bool
 	// DisableRevalidation skips the per-query file-change check (for
 	// benchmarks that fix the data).
 	DisableRevalidation bool
@@ -127,7 +132,10 @@ func NewEngine(opts Options) *Engine {
 		ChunkSize:       opts.ChunkSize,
 		RecordPositions: !opts.DisablePositionalMap,
 		UsePositions:    !opts.DisablePositionalMap,
+		UseSynopsis:     !opts.DisableSynopsis,
 	}
+	// The external baseline never learns anything — no positional map and
+	// no synopsis; it re-pays the full scan every query by design.
 	e.extLd = &loader.Loader{Counters: &e.counters, Workers: opts.Workers, ChunkSize: opts.ChunkSize}
 	return e
 }
@@ -341,6 +349,19 @@ func (e *Engine) ExplainContext(ctx context.Context, query string) (string, erro
 		return "", err
 	}
 	out := p.String()
+	if !e.opts.DisableSynopsis {
+		for i := range p.Tables {
+			tp := &p.Tables[i]
+			t, err := e.cat.Get(tp.Name)
+			if err != nil || t.Syn == nil {
+				continue
+			}
+			portions, skipped := t.Syn.EstimateSkips(tp.Conj)
+			if portions > 0 {
+				out += fmt.Sprintf("synopsis %s: portions=%d skipped=%d\n", tp.Name, portions, skipped)
+			}
+		}
+	}
 	if e.snap != nil {
 		st := e.snap.Stats()
 		out += fmt.Sprintf("snapshot: hits=%d misses=%d saves=%d spills=%d invalidations=%d\n",
@@ -606,6 +627,11 @@ type TableStats struct {
 	Regions int
 	// PosMapEntries is the number of recorded attribute positions.
 	PosMapEntries int
+	// SynopsisPortions is the number of portions in the learned scan
+	// synopsis layout; SynopsisBounds the number of (portion, column)
+	// zone-map bounds held.
+	SynopsisPortions int
+	SynopsisBounds   int
 	// SplitBytes is the on-disk size of this table's split files.
 	SplitBytes int64
 	// MemBytes is the in-memory size of all loaded state.
@@ -634,6 +660,7 @@ func (e *Engine) TableStats(name string) (TableStats, error) {
 	if t.PosMap != nil {
 		st.PosMapEntries = t.PosMap.Entries()
 	}
+	st.SynopsisPortions, st.SynopsisBounds = t.Syn.Stats()
 	if t.Splits != nil {
 		st.SplitBytes = t.Splits.DiskSize()
 	}

@@ -114,6 +114,11 @@ func TestRowsCloseStopsScanMidIteration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Warm the portion layout (one full pass) so the measured scan below
+	// is a steady-state pass with no one-time row-count pre-pass.
+	if _, err := e.Query("select count(*) from big"); err != nil {
+		t.Fatal(err)
+	}
 
 	before := e.Counters().Snapshot().RawBytesRead
 	rows, err := e.QueryRows(context.Background(), "select a1 from big where a1 >= 0")

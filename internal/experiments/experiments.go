@@ -259,6 +259,7 @@ func All() []Runner {
 		{"abl-budget", "Ablation: memory budget vs workload latency, cost-aware vs LRU eviction", AblationBudget},
 		{"conc", "Concurrent clients: fixed workload wall-clock vs client count over one shared engine", Concurrency},
 		{"warm-restart", "Warm vs cold restart: the adaptive learning curve with and without the snapshot cache", WarmRestart},
+		{"synopsis", "Adaptive scan synopses: selectivity sweep with and without portion skipping", SynopsisSweep},
 	}
 }
 

@@ -289,8 +289,8 @@ func TestReportFormat(t *testing.T) {
 
 func TestAllAndLookup(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
-		t.Fatalf("experiments = %d, want 13", len(all))
+	if len(all) != 14 {
+		t.Fatalf("experiments = %d, want 14", len(all))
 	}
 	ids := map[string]bool{}
 	for _, r := range all {
@@ -340,6 +340,53 @@ func TestWarmRestartCurve(t *testing.T) {
 	// The learning curve itself: query 1 cold must dwarf the steady state.
 	if initial.Points[0].ModelSec < 2*steady {
 		t.Errorf("no learning curve: q1 %.4fs vs steady %.4fs", initial.Points[0].ModelSec, steady)
+	}
+}
+
+// TestSynopsisSweepSpeedup pins the PR's acceptance criterion: after one
+// learning pass, a 1%-selectivity query on the clustered attribute runs
+// at least 3x faster (modeled) than the synopsis-less full re-scan, and
+// the curve tightens monotonically as selectivity drops.
+func TestSynopsisSweepSpeedup(t *testing.T) {
+	r, err := SynopsisSweep(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, ok1 := r.SeriesByName("synopsis skip")
+	full, ok2 := r.SeriesByName("full re-scan")
+	if !ok1 || !ok2 {
+		t.Fatal("missing series")
+	}
+	if len(syn.Points) != len(full.Points) || len(syn.Points) == 0 {
+		t.Fatalf("series shape: %d vs %d points", len(syn.Points), len(full.Points))
+	}
+	// The 1% point is the headline: >= 3x.
+	if syn.Points[0].X != 1 {
+		t.Fatalf("first point at %v%%, want 1%%", syn.Points[0].X)
+	}
+	if syn.Points[0].ModelSec <= 0 {
+		t.Fatal("1% synopsis query modeled zero cost; nothing was measured")
+	}
+	ratio := full.Points[0].ModelSec / syn.Points[0].ModelSec
+	if ratio < 3 {
+		t.Errorf("1%% selectivity speedup = %.2fx, want >= 3x (full %.4fs, synopsis %.4fs)",
+			ratio, full.Points[0].ModelSec, syn.Points[0].ModelSec)
+	}
+	// Skipping must be real: the 1% query pruned portions and read far
+	// fewer raw bytes.
+	if syn.Points[0].Work.PortionsSkipped == 0 {
+		t.Error("1% query skipped no portions")
+	}
+	if syn.Points[0].Work.RawBytesRead*2 >= full.Points[0].Work.RawBytesRead {
+		t.Errorf("1%% query read %d raw bytes vs %d unpruned; want a large reduction",
+			syn.Points[0].Work.RawBytesRead, full.Points[0].Work.RawBytesRead)
+	}
+	// At 100% selectivity nothing can be skipped: both engines pay a full
+	// pass and the synopsis must not be slower than ~the baseline.
+	last := len(syn.Points) - 1
+	if syn.Points[last].Work.RawBytesRead > full.Points[last].Work.RawBytesRead {
+		t.Errorf("100%% query read more bytes with synopsis (%d) than without (%d)",
+			syn.Points[last].Work.RawBytesRead, full.Points[last].Work.RawBytesRead)
 	}
 }
 

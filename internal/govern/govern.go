@@ -52,6 +52,10 @@ const (
 	// KindSplit is the split-file set of one raw file (on-disk bytes; the
 	// budget governs the engine's total adaptive footprint, not only heap).
 	KindSplit
+	// KindSynopsis is the per-portion scan synopsis (zone maps) of one raw
+	// file. It is rebuilt as a free byproduct of the next tokenizing pass,
+	// so it is the cheapest structure to lose and an early eviction victim.
+	KindSynopsis
 )
 
 func (k Kind) String() string {
@@ -64,6 +68,8 @@ func (k Kind) String() string {
 		return "posmap"
 	case KindSplit:
 		return "split"
+	case KindSynopsis:
+		return "synopsis"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -32,13 +32,15 @@ import (
 	"nodb/internal/scan"
 	"nodb/internal/schema"
 	"nodb/internal/storage"
+	"nodb/internal/synopsis"
 )
 
 // Loader executes adaptive loading operators against catalog tables.
 type Loader struct {
 	// Counters receives work accounting; may be nil.
 	Counters *metrics.Counters
-	// Workers is the tokenization parallelism (default 1).
+	// Workers is the tokenization parallelism; 0 (the default) means one
+	// worker per CPU, 1 (or negative) pins a sequential scan.
 	Workers int
 	// ChunkSize overrides the scan chunk size (default scan.DefaultChunkSize).
 	ChunkSize int
@@ -51,6 +53,114 @@ type Loader struct {
 	// tokenization: partial scans then tokenize and parse every requested
 	// attribute of every row and filter afterwards (for ablations).
 	DisableEarlyAbandon bool
+	// UseSynopsis enables the per-portion scan synopsis (zone maps): every
+	// tokenizing pass contributes per-portion min/max bounds as a free
+	// byproduct, selective scans then skip portions whose bounds exclude
+	// the predicate, and the learned portion layout replaces the
+	// boundary-discovery pre-pass of later scans.
+	UseSynopsis bool
+}
+
+// synFor returns the table's synopsis when collection is enabled.
+func (l *Loader) synFor(t *catalog.Table) *synopsis.Synopsis {
+	if !l.UseSynopsis {
+		return nil
+	}
+	return t.Syn
+}
+
+// colTypes returns the schema types of cols, aligned.
+func colTypes(sch *schema.Schema, cols []int) []schema.Type {
+	out := make([]schema.Type, len(cols))
+	for i, c := range cols {
+		out[i] = sch.Columns[c].Type
+	}
+	return out
+}
+
+// sequentialScan reports whether a scan with this loader's settings will
+// stream rows in file order from a single goroutine (append
+// materialization) rather than scattering them by row id.
+func (l *Loader) sequentialScan(ports []scan.PortionInfo) bool {
+	return scan.EffectiveWorkers(l.Workers) == 1 || len(ports) <= 1
+}
+
+// portionedScan bundles the per-pass synopsis wiring every loading
+// operator shares: a scanner that adopted the table's learned layout, the
+// portion set, and the collector feeding bounds back to the synopsis.
+type portionedScan struct {
+	sc        *scan.Scanner
+	syn       *synopsis.Synopsis
+	collector *synopsis.Collector
+	ports     []scan.PortionInfo
+}
+
+// openPortioned opens t's raw file for one pass over cols, wired to the
+// table's synopsis: a learned layout replaces the boundary-discovery
+// pre-pass (and Portioned makes a first pass build one worth
+// remembering); with the synopsis disabled this degrades to a plain
+// scanner with inert hooks. Layout read and adoption both go through the
+// collector, whose generation pin discards them if the synopsis is
+// dropped (file edited) mid-pass.
+func (l *Loader) openPortioned(ctx context.Context, t *catalog.Table, cols []int) (*portionedScan, error) {
+	syn := l.synFor(t)
+	collector := synopsis.NewCollector(syn, cols, colTypes(t.Schema(), cols))
+	opts := l.scanOpts(ctx, t)
+	if syn != nil {
+		opts.Layout = collector.Layout()
+		opts.Portioned = true
+	}
+	sc, err := scan.Open(t.Path(), opts)
+	if err != nil {
+		return nil, err
+	}
+	ports, err := sc.Portions()
+	if err != nil {
+		return nil, err
+	}
+	collector.AdoptLayout(ports)
+	return &portionedScan{
+		sc:        sc,
+		syn:       syn,
+		collector: collector,
+		ports:     ports,
+	}, nil
+}
+
+// funcs assembles one pass' portion hooks: per-portion handler and
+// abandon closures around the collector (mkAbandon may be nil), bound
+// commits on portion end, and — when the synopsis can refute conj —
+// portion skipping. Pass an empty conjunction for loads that must visit
+// every row.
+func (ps *portionedScan) funcs(conj expr.Conjunction, mkHandler func(*synopsis.PortionAcc) scan.RowHandler, mkAbandon func(*synopsis.PortionAcc) scan.AbandonFunc) scan.PortionFuncs {
+	pf := scan.PortionFuncs{
+		Begin: func(p scan.PortionInfo) (scan.RowHandler, scan.AbandonFunc) {
+			pc := ps.collector.Begin(p)
+			var ab scan.AbandonFunc
+			if mkAbandon != nil {
+				ab = mkAbandon(pc)
+			}
+			return mkHandler(pc), ab
+		},
+		End: func(p scan.PortionInfo, n int64) error {
+			ps.collector.Commit(p, n)
+			return nil
+		},
+	}
+	if pr := ps.syn.Pruner(conj); pr != nil {
+		pf.Skip = pr.Skip
+	}
+	return pf
+}
+
+// finish records a completed pass' row-count discovery — every row was
+// tokenized exactly once or sat in a skipped portion of known size — and
+// the synopsis-hit counter.
+func (l *Loader) finish(ps *portionedScan, t *catalog.Table) {
+	t.SetNumRows(ps.sc.RowsScanned() + ps.sc.RowsSkipped())
+	if l.Counters != nil && ps.sc.PortionsSkipped() > 0 {
+		l.Counters.AddSynopsisHit(1)
+	}
 }
 
 func (l *Loader) scanOpts(ctx context.Context, t *catalog.Table) scan.Options {
@@ -133,13 +243,14 @@ func (l *Loader) columnLoadLocked(ctx context.Context, t *catalog.Table, cols []
 		return nil
 	}
 
-	sc, err := scan.Open(t.Path(), l.scanOpts(ctx, t))
+	ps, err := l.openPortioned(ctx, t, missing)
 	if err != nil {
 		return err
 	}
+	sc := ps.sc
 
 	sch := t.Schema()
-	sequential := l.Workers <= 1
+	sequential := l.sequentialScan(ps.ports)
 	dense := make([]*storage.DenseColumn, len(missing))
 	var rows int64
 	if sequential {
@@ -162,37 +273,42 @@ func (l *Loader) columnLoadLocked(ctx context.Context, t *catalog.Table, cols []
 
 	var mu sync.Mutex // guards posmap batching only; dense sets are disjoint per row
 	record := l.RecordPositions && t.PosMap != nil
-	err = sc.ScanColumns(missing, func(rowID int64, fields []scan.FieldRef) error {
-		for i, f := range fields {
-			v, err := parseField(f.Bytes, sch.Columns[missing[i]].Type)
-			if err != nil {
-				return fmt.Errorf("loader: row %d col %d: %w", rowID, missing[i], err)
-			}
-			if sequential {
-				dense[i].Append(v)
-			} else {
-				dense[i].Set(int(rowID), v)
-			}
-		}
-		if l.Counters != nil {
-			l.Counters.AddValuesParsed(int64(len(fields)))
-		}
-		if record {
-			mu.Lock()
+	// A full column load observes every row, so each portion it completes
+	// gains exact bounds for every loaded column — synopsis collection as
+	// a free byproduct of work the load does anyway.
+	mkHandler := func(pc *synopsis.PortionAcc) scan.RowHandler {
+		return func(rowID int64, fields []scan.FieldRef) error {
 			for i, f := range fields {
-				t.PosMap.Record(missing[i], rowID, f.Offset)
+				v, err := parseField(f.Bytes, sch.Columns[missing[i]].Type)
+				if err != nil {
+					return fmt.Errorf("loader: row %d col %d: %w", rowID, missing[i], err)
+				}
+				pc.Observe(i, v)
+				if sequential {
+					dense[i].Append(v)
+				} else {
+					dense[i].Set(int(rowID), v)
+				}
 			}
-			mu.Unlock()
+			if l.Counters != nil {
+				l.Counters.AddValuesParsed(int64(len(fields)))
+			}
+			if record {
+				mu.Lock()
+				for i, f := range fields {
+					t.PosMap.Record(missing[i], rowID, f.Offset)
+				}
+				mu.Unlock()
+			}
+			return nil
 		}
-		return nil
-	}, nil)
-	if err != nil {
+	}
+	// Loads must visit every row (dense columns are complete), so no
+	// conjunction is offered for pruning.
+	if err := sc.ScanColumnsPortioned(missing, ps.funcs(expr.Conjunction{}, mkHandler, nil)); err != nil {
 		return err
 	}
-	if sequential {
-		rows = sc.RowsScanned()
-	}
-	t.SetNumRows(rows)
+	l.finish(ps, t)
 
 	var written int64
 	for i, c := range missing {

@@ -13,6 +13,7 @@ import (
 	"nodb/internal/scan"
 	"nodb/internal/schema"
 	"nodb/internal/storage"
+	"nodb/internal/synopsis"
 )
 
 // rowBatch accumulates qualifying rows from a (possibly parallel) partial
@@ -74,7 +75,7 @@ func (l *Loader) PartialScanContext(ctx context.Context, t *catalog.Table, needC
 		predsAt[i] = conj.OnColumn(c)
 	}
 
-	sc, err := scan.Open(t.Path(), l.scanOpts(ctx, t))
+	ps, err := l.openPortioned(ctx, t, loadCols)
 	if err != nil {
 		return nil, err
 	}
@@ -82,72 +83,92 @@ func (l *Loader) PartialScanContext(ctx context.Context, t *catalog.Table, needC
 	batch := &rowBatch{}
 	record := l.RecordPositions && t.PosMap != nil
 
+	// Synopsis observation rides on parses that happen anyway: with early
+	// abandon active, the abandon hook observes the predicate columns it
+	// parses for evaluation (the first predicate column is seen for every
+	// row, so it always earns full-portion bounds) and the handler
+	// observes the remaining columns of surviving rows (earning bounds
+	// only on passes where every row survives). Without early abandon,
+	// every row reaches the handler and it observes everything.
+	useAbandon := !l.DisableEarlyAbandon && !conj.Empty()
+
 	// The abandon hook parses predicate columns to evaluate them; the
 	// handler re-parses. The duplicate parse touches only the (few)
 	// predicate columns of the (few) qualifying rows and keeps the hook
 	// stateless, which matters because portions run on separate
 	// goroutines.
-	abandon := func(idx int, f scan.FieldRef) bool {
-		if len(predsAt[idx]) == 0 {
+	mkAbandon := func(pc *synopsis.PortionAcc) scan.AbandonFunc {
+		return func(idx int, f scan.FieldRef) bool {
+			if len(predsAt[idx]) == 0 {
+				return false
+			}
+			// Parse once, remember for the handler.
+			v, err := parseField(f.Bytes, sch.Columns[loadCols[idx]].Type)
+			if err != nil {
+				return true // unparseable under predicate: treat as non-qualifying
+			}
+			pc.Observe(idx, v)
+			for _, p := range predsAt[idx] {
+				if !p.Eval(v) {
+					return true
+				}
+			}
 			return false
 		}
-		// Parse once, remember for the handler.
-		v, err := parseField(f.Bytes, sch.Columns[loadCols[idx]].Type)
-		if err != nil {
-			return true // unparseable under predicate: treat as non-qualifying
-		}
-		for _, p := range predsAt[idx] {
-			if !p.Eval(v) {
-				return true
-			}
-		}
-		return false
 	}
 
 	lateFilter := l.DisableEarlyAbandon && !conj.Empty()
-	handler := func(rowID int64, fields []scan.FieldRef) error {
-		vals := make([]storage.Value, len(loadCols))
-		for i, f := range fields {
-			v, err := parseField(f.Bytes, sch.Columns[loadCols[i]].Type)
-			if err != nil {
-				return fmt.Errorf("loader: row %d col %d: %w", rowID, loadCols[i], err)
-			}
-			vals[i] = v
-		}
-		if l.Counters != nil {
-			l.Counters.AddValuesParsed(int64(len(fields)))
-		}
-		if record {
+	mkHandler := func(pc *synopsis.PortionAcc) scan.RowHandler {
+		return func(rowID int64, fields []scan.FieldRef) error {
+			vals := make([]storage.Value, len(loadCols))
 			for i, f := range fields {
-				t.PosMap.Record(loadCols[i], rowID, f.Offset)
-			}
-		}
-		if lateFilter {
-			ok := conj.EvalRow(func(col int) storage.Value {
-				for i, c := range loadCols {
-					if c == col {
-						return vals[i]
-					}
+				v, err := parseField(f.Bytes, sch.Columns[loadCols[i]].Type)
+				if err != nil {
+					return fmt.Errorf("loader: row %d col %d: %w", rowID, loadCols[i], err)
 				}
-				return storage.Value{}
-			})
-			if !ok {
-				return nil
+				vals[i] = v
+				if !useAbandon || len(predsAt[i]) == 0 {
+					pc.Observe(i, v)
+				}
 			}
+			if l.Counters != nil {
+				l.Counters.AddValuesParsed(int64(len(fields)))
+			}
+			if record {
+				for i, f := range fields {
+					t.PosMap.Record(loadCols[i], rowID, f.Offset)
+				}
+			}
+			if lateFilter {
+				ok := conj.EvalRow(func(col int) storage.Value {
+					for i, c := range loadCols {
+						if c == col {
+							return vals[i]
+						}
+					}
+					return storage.Value{}
+				})
+				if !ok {
+					return nil
+				}
+			}
+			batch.add(rowID, vals)
+			return nil
 		}
-		batch.add(rowID, vals)
-		return nil
 	}
 
-	if l.DisableEarlyAbandon {
-		abandon = nil
+	// Portion pruning rides on funcs: portions whose recorded bounds
+	// exclude the conjunction are skipped — a skipped portion provably
+	// holds no qualifying row, so results are identical to an unpruned
+	// pass.
+	ab := mkAbandon
+	if !useAbandon {
+		ab = nil
 	}
-	if err := sc.ScanColumns(loadCols, handler, abandon); err != nil {
+	if err := ps.sc.ScanColumnsPortioned(loadCols, ps.funcs(conj, mkHandler, ab)); err != nil {
 		return nil, err
 	}
-	// Every row was tokenized exactly once (qualifying or not), so the
-	// scan doubles as row-count discovery.
-	t.SetNumRows(sc.RowsScanned())
+	l.finish(ps, t)
 	batch.sort()
 	return viewFromBatch(batch, loadCols, sch, tab), nil
 }

@@ -8,6 +8,7 @@ import (
 	"nodb/internal/expr"
 	"nodb/internal/scan"
 	"nodb/internal/storage"
+	"nodb/internal/synopsis"
 )
 
 // ScanRowsContext is the streaming form of PartialScanContext: it pushes
@@ -49,57 +50,72 @@ func (l *Loader) ScanRowsContext(ctx context.Context, t *catalog.Table, outCols 
 		predsAt[i] = conj.OnColumn(c)
 	}
 
-	sc, err := scan.Open(t.Path(), l.scanOpts(ctx, t))
+	ps, err := l.openPortioned(ctx, t, loadCols)
 	if err != nil {
 		return err
 	}
 
 	record := l.RecordPositions && t.PosMap != nil
-	abandon := func(idx int, f scan.FieldRef) bool {
-		if len(predsAt[idx]) == 0 {
+	// Unlike PartialScan, the streaming path always pushes predicates
+	// down (DisableEarlyAbandon is not honored here): it has no late
+	// filter, so disabling the abandon hook would emit non-qualifying
+	// rows. The ablation measures the buffered path.
+	useAbandon := !conj.Empty()
+	mkAbandon := func(pc *synopsis.PortionAcc) scan.AbandonFunc {
+		return func(idx int, f scan.FieldRef) bool {
+			if len(predsAt[idx]) == 0 {
+				return false
+			}
+			v, err := parseField(f.Bytes, sch.Columns[loadCols[idx]].Type)
+			if err != nil {
+				return true // unparseable under predicate: treat as non-qualifying
+			}
+			pc.Observe(idx, v)
+			for _, p := range predsAt[idx] {
+				if !p.Eval(v) {
+					return true
+				}
+			}
 			return false
 		}
-		v, err := parseField(f.Bytes, sch.Columns[loadCols[idx]].Type)
-		if err != nil {
-			return true // unparseable under predicate: treat as non-qualifying
-		}
-		for _, p := range predsAt[idx] {
-			if !p.Eval(v) {
-				return true
-			}
-		}
-		return false
 	}
 
-	handler := func(rowID int64, fields []scan.FieldRef) error {
-		parsed := make([]storage.Value, len(loadCols))
-		for i, f := range fields {
-			v, err := parseField(f.Bytes, sch.Columns[loadCols[i]].Type)
-			if err != nil {
-				return fmt.Errorf("loader: row %d col %d: %w", rowID, loadCols[i], err)
-			}
-			parsed[i] = v
-		}
-		if l.Counters != nil {
-			l.Counters.AddValuesParsed(int64(len(fields)))
-		}
-		if record {
+	mkHandler := func(pc *synopsis.PortionAcc) scan.RowHandler {
+		return func(rowID int64, fields []scan.FieldRef) error {
+			parsed := make([]storage.Value, len(loadCols))
 			for i, f := range fields {
-				t.PosMap.Record(loadCols[i], rowID, f.Offset)
+				v, err := parseField(f.Bytes, sch.Columns[loadCols[i]].Type)
+				if err != nil {
+					return fmt.Errorf("loader: row %d col %d: %w", rowID, loadCols[i], err)
+				}
+				parsed[i] = v
+				if !useAbandon || len(predsAt[i]) == 0 {
+					pc.Observe(i, v)
+				}
 			}
+			if l.Counters != nil {
+				l.Counters.AddValuesParsed(int64(len(fields)))
+			}
+			if record {
+				for i, f := range fields {
+					t.PosMap.Record(loadCols[i], rowID, f.Offset)
+				}
+			}
+			vals := make([]storage.Value, len(outCols))
+			for i, at := range outAt {
+				vals[i] = parsed[at]
+			}
+			return emit(rowID, vals)
 		}
-		vals := make([]storage.Value, len(outCols))
-		for i, at := range outAt {
-			vals[i] = parsed[at]
-		}
-		return emit(rowID, vals)
 	}
 
-	if err := sc.ScanColumns(loadCols, handler, abandon); err != nil {
+	ab := mkAbandon
+	if !useAbandon {
+		ab = nil
+	}
+	if err := ps.sc.ScanColumnsPortioned(loadCols, ps.funcs(conj, mkHandler, ab)); err != nil {
 		return err
 	}
-	// The pass completed: every row was tokenized exactly once, so the scan
-	// doubles as row-count discovery (like PartialScan).
-	t.SetNumRows(sc.RowsScanned())
+	l.finish(ps, t)
 	return nil
 }

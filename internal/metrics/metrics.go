@@ -43,6 +43,8 @@ type Counters struct {
 	snapSaves          atomic.Int64 // full snapshots written (close / periodic flush)
 	snapSpills         atomic.Int64 // structures spilled to disk by eviction instead of discarded
 	snapInvalidations  atomic.Int64 // stale or corrupt snapshot files/sections discarded
+	portionsSkipped    atomic.Int64 // file portions pruned by a scan synopsis (zero bytes read)
+	synopsisHits       atomic.Int64 // scans in which the synopsis pruned at least one portion
 }
 
 // AddScriptOps records interpreted per-record operations of an external
@@ -117,6 +119,14 @@ func (c *Counters) AddSnapshotSpill(n int64) { c.snapSpills.Add(n) }
 // AddSnapshotInvalidation records stale/corrupt snapshot data discarded.
 func (c *Counters) AddSnapshotInvalidation(n int64) { c.snapInvalidations.Add(n) }
 
+// AddPortionsSkipped records file portions pruned outright by a scan
+// synopsis: their bytes were never read and their rows never tokenized.
+func (c *Counters) AddPortionsSkipped(n int64) { c.portionsSkipped.Add(n) }
+
+// AddSynopsisHit records a scan in which synopsis bounds pruned at least
+// one portion.
+func (c *Counters) AddSynopsisHit(n int64) { c.synopsisHits.Add(n) }
+
 // Snapshot is an immutable copy of the counters at one point in time.
 type Snapshot struct {
 	RawBytesRead         int64
@@ -142,6 +152,8 @@ type Snapshot struct {
 	SnapshotSaves        int64
 	SnapshotSpills       int64
 	SnapshotInvalid      int64
+	PortionsSkipped      int64
+	SynopsisHits         int64
 }
 
 // Snapshot returns a point-in-time copy of all counters.
@@ -170,6 +182,8 @@ func (c *Counters) Snapshot() Snapshot {
 		SnapshotSaves:        c.snapSaves.Load(),
 		SnapshotSpills:       c.snapSpills.Load(),
 		SnapshotInvalid:      c.snapInvalidations.Load(),
+		PortionsSkipped:      c.portionsSkipped.Load(),
+		SynopsisHits:         c.synopsisHits.Load(),
 	}
 }
 
@@ -198,6 +212,8 @@ func (c *Counters) Reset() {
 	c.snapSaves.Store(0)
 	c.snapSpills.Store(0)
 	c.snapInvalidations.Store(0)
+	c.portionsSkipped.Store(0)
+	c.synopsisHits.Store(0)
 }
 
 // Sub returns the delta s - prev, counter by counter. Use it to attribute
@@ -227,6 +243,8 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		SnapshotSaves:        s.SnapshotSaves - prev.SnapshotSaves,
 		SnapshotSpills:       s.SnapshotSpills - prev.SnapshotSpills,
 		SnapshotInvalid:      s.SnapshotInvalid - prev.SnapshotInvalid,
+		PortionsSkipped:      s.PortionsSkipped - prev.PortionsSkipped,
+		SynopsisHits:         s.SynopsisHits - prev.SynopsisHits,
 	}
 }
 
@@ -237,14 +255,15 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"raw=%dB internalR=%dB internalW=%dB splitR=%dB splitW=%dB rows=%d attrs=%d parsed=%d abandoned=%d pmHit=%d pmMiss=%d cacheHit=%d cacheMiss=%d evict=%d evictB=%dB snapR=%dB snapW=%dB snapHit=%d snapMiss=%d snapSpill=%d snapInvalid=%d",
+		"raw=%dB internalR=%dB internalW=%dB splitR=%dB splitW=%dB rows=%d attrs=%d parsed=%d abandoned=%d pmHit=%d pmMiss=%d cacheHit=%d cacheMiss=%d evict=%d evictB=%dB snapR=%dB snapW=%dB snapHit=%d snapMiss=%d snapSpill=%d snapInvalid=%d portionsSkipped=%d synHit=%d",
 		s.RawBytesRead, s.InternalBytesRead, s.InternalBytesWritten,
 		s.SplitBytesRead, s.SplitBytesWritten,
 		s.RowsTokenized, s.AttrsTokenized, s.ValuesParsed, s.RowsAbandoned,
 		s.PosMapHits, s.PosMapMisses, s.CacheHits, s.CacheMisses,
 		s.Evictions, s.EvictedBytes,
 		s.SnapshotBytesRead, s.SnapshotBytesWritten,
-		s.SnapshotHits, s.SnapshotMisses, s.SnapshotSpills, s.SnapshotInvalid)
+		s.SnapshotHits, s.SnapshotMisses, s.SnapshotSpills, s.SnapshotInvalid,
+		s.PortionsSkipped, s.SynopsisHits)
 }
 
 // CostModel converts a work Snapshot into modeled seconds. Throughputs are

@@ -57,11 +57,29 @@ func (m *Map) SetAccountant(a Accountant) {
 }
 
 // colMap holds positions for one attribute as parallel (row, offset)
-// slices sorted by row.
+// slices sorted by row. Out-of-order arrivals are buffered in pendRows/
+// pendOffs (arrival order) and folded in by one batched merge — a sorted
+// insert per record would memmove the tail each time, turning interleaved
+// recording (a wide scan after a selective one, or parallel portions)
+// quadratic.
 type colMap struct {
 	rows []int64
 	offs []int64
 	cov  intervals.Set // covered row ranges
+
+	pendRows []int64
+	pendOffs []int64
+}
+
+// flushLimit bounds the pending buffer: merging costs O(n + p log p), so
+// letting pending grow with the column keeps the total amortized
+// near-linear.
+func (c *colMap) flushLimit() int {
+	n := len(c.rows) / 4
+	if n < 1024 {
+		n = 1024
+	}
+	return n
 }
 
 // New returns an empty positional map. maxBytes caps the map's memory; 0
@@ -74,9 +92,10 @@ func New(maxBytes int64, counters *metrics.Counters) *Map {
 }
 
 // Record stores the byte offset of (col, row). Records arriving in
-// ascending row order per column append in O(1); out-of-order records
-// insert. Recording is dropped silently once the memory budget is reached
-// (the map is an opportunistic cache, losing an entry is always safe).
+// ascending row order per column append in O(1); out-of-order records go
+// to a pending buffer folded in by batched merges. Recording is dropped
+// silently once the memory budget is reached (the map is an opportunistic
+// cache, losing an entry is always safe).
 func (m *Map) Record(col int, row, off int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -89,31 +108,124 @@ func (m *Map) Record(col int, row, off int64) {
 		m.cols[col] = c
 	}
 	n := len(c.rows)
-	if n > 0 && c.rows[n-1] == row {
-		c.offs[n-1] = off
-		return
-	}
-	if n == 0 || row > c.rows[n-1] {
-		c.rows = append(c.rows, row)
-		c.offs = append(c.offs, off)
-	} else {
-		i := sort.Search(n, func(i int) bool { return c.rows[i] >= row })
-		if i < n && c.rows[i] == row {
-			c.offs[i] = off
+	if len(c.pendRows) == 0 {
+		if n > 0 && c.rows[n-1] == row {
+			c.offs[n-1] = off
 			return
 		}
-		c.rows = append(c.rows, 0)
-		copy(c.rows[i+1:], c.rows[i:])
-		c.rows[i] = row
-		c.offs = append(c.offs, 0)
-		copy(c.offs[i+1:], c.offs[i:])
-		c.offs[i] = off
+		if n == 0 || row > c.rows[n-1] {
+			c.rows = append(c.rows, row)
+			c.offs = append(c.offs, off)
+			c.cov.Add(intervals.Interval{Lo: row, Hi: row + 1})
+			m.bytes += 16
+			if m.acct != nil {
+				m.acct.AddBytes(16)
+			}
+			return
+		}
 	}
-	c.cov.Add(intervals.Interval{Lo: row, Hi: row + 1})
+	m.pendLocked(c, row, off)
+}
+
+// pendLocked buffers one out-of-order record and merges the backlog once
+// it crosses the flush limit. Caller holds m.mu.
+func (m *Map) pendLocked(c *colMap, row, off int64) {
+	c.pendRows = append(c.pendRows, row)
+	c.pendOffs = append(c.pendOffs, off)
 	m.bytes += 16
 	if m.acct != nil {
 		m.acct.AddBytes(16)
 	}
+	if len(c.pendRows) >= c.flushLimit() {
+		m.mergeLocked(c)
+	}
+}
+
+// mergeLocked folds the pending buffer into the sorted slices in one
+// pass: O(n + p log p) for p pending entries, with later arrivals winning
+// duplicate rows. Caller holds m.mu.
+func (m *Map) mergeLocked(c *colMap) {
+	p := len(c.pendRows)
+	if p == 0 {
+		return
+	}
+	// Sort pending by row, stably by arrival, so the last arrival for a
+	// row ends up last in its run and wins below.
+	order := make([]int, p)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return c.pendRows[order[a]] < c.pendRows[order[b]] })
+
+	rows := make([]int64, 0, len(c.rows)+p)
+	offs := make([]int64, 0, len(c.rows)+p)
+	i, j := 0, 0
+	push := func(row, off int64) {
+		if n := len(rows); n > 0 && rows[n-1] == row {
+			offs[n-1] = off // newer record for the same row wins
+			return
+		}
+		rows = append(rows, row)
+		offs = append(offs, off)
+	}
+	for i < len(c.rows) || j < p {
+		switch {
+		case j >= p:
+			push(c.rows[i], c.offs[i])
+			i++
+		case i >= len(c.rows) || c.pendRows[order[j]] <= c.rows[i]:
+			r := c.pendRows[order[j]]
+			push(r, c.pendOffs[order[j]])
+			c.cov.Add(intervals.Interval{Lo: r, Hi: r + 1})
+			if r == c.rowsAt(i) {
+				i++ // pending supersedes the existing entry for this row
+			}
+			j++
+		default:
+			push(c.rows[i], c.offs[i])
+			i++
+		}
+	}
+	// Duplicates collapsed; release their accounted bytes.
+	delta := int64(len(rows)-len(c.rows)-p) * 16
+	c.rows, c.offs = rows, offs
+	c.pendRows, c.pendOffs = nil, nil
+	if delta != 0 {
+		m.bytes += delta
+		if m.acct != nil {
+			m.acct.AddBytes(delta)
+		}
+	}
+}
+
+// rowsAt returns c.rows[i], or a sentinel when i is out of range.
+func (c *colMap) rowsAt(i int) int64 {
+	if i < len(c.rows) {
+		return c.rows[i]
+	}
+	return -1 << 62
+}
+
+// flush folds every column's pending backlog in, so readers see the
+// sorted view. Cheap when nothing is pending.
+func (m *Map) flush() {
+	m.mu.RLock()
+	dirty := false
+	for _, c := range m.cols {
+		if len(c.pendRows) > 0 {
+			dirty = true
+			break
+		}
+	}
+	m.mu.RUnlock()
+	if !dirty {
+		return
+	}
+	m.mu.Lock()
+	for _, c := range m.cols {
+		m.mergeLocked(c)
+	}
+	m.mu.Unlock()
 }
 
 // RecordRun stores offsets for rows startRow, startRow+1, ... in one lock
@@ -133,23 +245,20 @@ func (m *Map) RecordRun(col int, startRow int64, offs []int64) {
 		m.cols[col] = c
 	}
 	n := len(c.rows)
-	if n == 0 || startRow > c.rows[n-1] {
+	if len(c.pendRows) == 0 && (n == 0 || startRow > c.rows[n-1]) {
 		for i, off := range offs {
 			c.rows = append(c.rows, startRow+int64(i))
 			c.offs = append(c.offs, off)
 		}
-	} else {
-		for i, off := range offs {
-			m.mu.Unlock()
-			m.Record(col, startRow+int64(i), off)
-			m.mu.Lock()
+		c.cov.Add(intervals.Interval{Lo: startRow, Hi: startRow + int64(len(offs))})
+		m.bytes += int64(len(offs)) * 16
+		if m.acct != nil {
+			m.acct.AddBytes(int64(len(offs)) * 16)
 		}
 		return
 	}
-	c.cov.Add(intervals.Interval{Lo: startRow, Hi: startRow + int64(len(offs))})
-	m.bytes += int64(len(offs)) * 16
-	if m.acct != nil {
-		m.acct.AddBytes(int64(len(offs)) * 16)
+	for i, off := range offs {
+		m.pendLocked(c, startRow+int64(i), off)
 	}
 }
 
@@ -190,6 +299,7 @@ func (m *Map) LoadColumn(col int, rows, offs []int64) {
 // Columns returns every column's recorded (rows, offsets) pairs, for
 // serialization. The slices are copies.
 func (m *Map) Columns() map[int][2][]int64 {
+	m.flush()
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	out := make(map[int][2][]int64, len(m.cols))
@@ -204,6 +314,7 @@ func (m *Map) Columns() map[int][2][]int64 {
 
 // Lookup returns the byte offset of (col, row) if known.
 func (m *Map) Lookup(col int, row int64) (int64, bool) {
+	m.flush()
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	c := m.cols[col]
@@ -225,6 +336,7 @@ func (m *Map) Lookup(col int, row int64) (int64, bool) {
 // the anchor forward, paying only (target - anchor) attribute
 // tokenizations instead of (target - 0).
 func (m *Map) BestAnchor(target int, row int64) (col int, off int64, ok bool) {
+	m.flush()
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	for c := target; c >= 0; c-- {
@@ -258,6 +370,7 @@ func (m *Map) CoveredCols() []int {
 // Covers reports whether every row of [lo, hi) has a recorded position for
 // col.
 func (m *Map) Covers(col int, lo, hi int64) bool {
+	m.flush()
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	c := m.cols[col]
@@ -270,6 +383,7 @@ func (m *Map) Covers(col int, lo, hi int64) bool {
 // Pairs returns copies of the (rows, offsets) slices for col, sorted by
 // row. Loaders iterate them to drive sequential positional access.
 func (m *Map) Pairs(col int) (rows, offs []int64) {
+	m.flush()
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	c := m.cols[col]
@@ -283,6 +397,7 @@ func (m *Map) Pairs(col int) (rows, offs []int64) {
 
 // Entries returns the total number of recorded positions.
 func (m *Map) Entries() int {
+	m.flush()
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	n := 0

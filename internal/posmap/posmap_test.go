@@ -207,3 +207,86 @@ func BenchmarkLookup(b *testing.B) {
 		m.Lookup(0, int64(i)%1e6)
 	}
 }
+
+// TestRecordInterleavedBulk drives the pending-merge path hard: a
+// selective pass records scattered rows, a wide pass then records every
+// row (the sequence that used to trigger an O(n) memmove per record).
+// Lookups, coverage and serialization must match a reference map.
+func TestRecordInterleavedBulk(t *testing.T) {
+	m := New(64<<20, nil)
+	ref := map[int64]int64{}
+	const n = 120_000
+	for r := int64(0); r < n; r += 3 { // selective pass, in order
+		m.Record(0, r, r*10)
+		ref[r] = r * 10
+	}
+	for r := int64(0); r < n; r++ { // wide pass, in order from row 0
+		m.Record(0, r, r*10+1)
+		ref[r] = r*10 + 1
+	}
+	if got := m.Entries(); got != n {
+		t.Fatalf("Entries = %d, want %d", got, n)
+	}
+	for _, r := range []int64{0, 1, 2, 3, n / 2, n - 1} {
+		off, ok := m.Lookup(0, r)
+		if !ok || off != ref[r] {
+			t.Fatalf("Lookup(%d) = %d,%v want %d", r, off, ok, ref[r])
+		}
+	}
+	if !m.Covers(0, 0, n) {
+		t.Fatal("full range should be covered after the wide pass")
+	}
+	rows, offs := m.Pairs(0)
+	if int64(len(rows)) != n {
+		t.Fatalf("Pairs len = %d, want %d", len(rows), n)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i] <= rows[i-1] {
+			t.Fatalf("rows not ascending at %d", i)
+		}
+	}
+	for i, r := range rows {
+		if offs[i] != ref[r] {
+			t.Fatalf("row %d offset %d, want %d", r, offs[i], ref[r])
+		}
+	}
+	// Byte accounting settles to exactly 16 per unique entry.
+	if got := m.MemSize(); got != n*16 {
+		t.Fatalf("MemSize = %d, want %d", got, n*16)
+	}
+}
+
+// TestRecordPendingVisibleToReaders: a handful of out-of-order records
+// below the flush threshold must still be visible through every reader.
+func TestRecordPendingVisibleToReaders(t *testing.T) {
+	m := New(0, nil)
+	m.Record(2, 100, 1000)
+	m.Record(2, 5, 50)   // out of order -> pending
+	m.Record(2, 40, 400) // still pending
+	if off, ok := m.Lookup(2, 5); !ok || off != 50 {
+		t.Fatalf("Lookup(5) = %d,%v", off, ok)
+	}
+	if !m.Covers(2, 40, 41) {
+		t.Fatal("pending row 40 not covered")
+	}
+	if got := m.Entries(); got != 3 {
+		t.Fatalf("Entries = %d, want 3", got)
+	}
+	cols := m.Columns()
+	if pair, ok := cols[2]; !ok || len(pair[0]) != 3 || pair[0][0] != 5 {
+		t.Fatalf("Columns() = %+v, want merged view", cols)
+	}
+	// Duplicate of an existing row via the pending path: newest wins and
+	// the duplicate's bytes are released on merge.
+	m.Record(2, 100, 1001)
+	m.Record(2, 5, 51)
+	if off, _ := m.Lookup(2, 100); off != 1001 {
+		t.Fatalf("overwrite via pending lost: %d", off)
+	}
+	if off, _ := m.Lookup(2, 5); off != 51 {
+		t.Fatalf("overwrite via pending lost: %d", off)
+	}
+	if got := m.MemSize(); got != 3*16 {
+		t.Fatalf("MemSize = %d, want %d", got, 3*16)
+	}
+}

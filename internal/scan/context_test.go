@@ -38,7 +38,10 @@ func TestScanCancelMidScan(t *testing.T) {
 	var c metrics.Counters
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	s, err := Open(path, Options{ChunkSize: 4096, Counters: &c, Context: ctx})
+	// Workers 1 pins the classic single-portion streaming pass: the test
+	// asserts the chunk loop itself aborts mid-file, without the parallel
+	// default's row-count pre-pass contributing reads of its own.
+	s, err := Open(path, Options{Workers: 1, ChunkSize: 4096, Counters: &c, Context: ctx})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,243 @@
+package scan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"nodb/internal/metrics"
+)
+
+// The parallel default makes Workers > 1 the load-bearing path; these
+// tests run the hairy interactions (SkipHeader, ErrStop, cancellation,
+// portion skipping) under -race (the CI race job includes this package).
+
+// writeHeadered produces a CSV with a header line and n data rows.
+func writeHeadered(t *testing.T, n int) string {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("a1,a2,a3\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "%d,%d,%d\n", i, i*2, i*3)
+	}
+	path := filepath.Join(t.TempDir(), "headered.csv")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestParallelSkipHeader: with many workers and many portions, exactly the
+// data rows are tokenized — the header is consumed once, never delivered,
+// and row ids are a permutation of 0..n-1.
+func TestParallelSkipHeader(t *testing.T) {
+	const rows = 5000
+	path := writeHeadered(t, rows)
+	s, err := Open(path, Options{Workers: 8, ChunkSize: 512, SkipHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	got := make(map[int64]int64)
+	err = s.ScanColumns([]int{0}, func(rowID int64, fields []FieldRef) error {
+		v, err := ParseInt64(fields[0].Bytes)
+		if err != nil {
+			return fmt.Errorf("row %d: %v (header leaked into data?)", rowID, err)
+		}
+		mu.Lock()
+		got[rowID] = v
+		mu.Unlock()
+		return nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != rows {
+		t.Fatalf("tokenized %d rows, want %d", len(got), rows)
+	}
+	for id, v := range got {
+		if id != v {
+			t.Fatalf("row %d carries value %d; portion row numbering is off", id, v)
+		}
+	}
+	if ports, err := s.Portions(); err != nil || len(ports) < 2 {
+		t.Fatalf("expected a multi-portion layout, got %d portions (err=%v)", len(ports), err)
+	}
+}
+
+// TestParallelErrStop: a handler returning ErrStop ends the scan cleanly;
+// concurrent workers wind down without delivering the whole file.
+func TestParallelErrStop(t *testing.T) {
+	const rows = 50000
+	path := writeRows(t, rows)
+	s, err := Open(path, Options{Workers: 8, ChunkSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen atomic.Int64
+	err = s.ScanColumns([]int{0}, func(rowID int64, fields []FieldRef) error {
+		if seen.Add(1) >= 100 {
+			return ErrStop
+		}
+		return nil
+	}, nil)
+	if err != nil {
+		t.Fatalf("ErrStop surfaced as %v, want nil", err)
+	}
+	if got := s.RowsScanned(); got >= rows {
+		t.Fatalf("ErrStop scan still tokenized all %d rows", got)
+	}
+}
+
+// TestParallelCancelDuringCountPass: cancellation during the row-count
+// pre-pass (before any handler runs) surfaces the context error.
+func TestParallelCancelDuringCountPass(t *testing.T) {
+	const rows = 50000
+	path := writeRows(t, rows)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the scan starts: the pre-pass must notice
+	s, err := Open(path, Options{Workers: 8, ChunkSize: 2048, Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.ScanColumns([]int{0}, func(rowID int64, fields []FieldRef) error {
+		t.Error("handler ran under a cancelled context")
+		return nil
+	}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+}
+
+// TestParallelCancelMidScanWithHeader: cancellation raised from a handler
+// stops all workers; SkipHeader and Workers > 1 compose.
+func TestParallelCancelMidScanWithHeader(t *testing.T) {
+	const rows = 50000
+	path := writeHeadered(t, rows)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, err := Open(path, Options{Workers: 8, ChunkSize: 2048, SkipHeader: true, Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var once sync.Once
+	err = s.ScanColumns([]int{1}, func(rowID int64, fields []FieldRef) error {
+		once.Do(cancel)
+		return nil
+	}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if got := s.RowsScanned(); got >= rows {
+		t.Fatalf("cancelled scan still tokenized all %d rows", got)
+	}
+}
+
+// TestParallelPortionedHooks: Begin/End fire once per surviving portion,
+// Skip prunes without reading, and per-portion row counts sum to the
+// total — all under concurrent workers.
+func TestParallelPortionedHooks(t *testing.T) {
+	const rows = 20000
+	path := writeRows(t, rows)
+	s, err := Open(path, Options{Workers: 8, ChunkSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports, err := s.Portions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ports) < 4 {
+		t.Fatalf("want >= 4 portions, got %d", len(ports))
+	}
+	var mu sync.Mutex
+	begun := map[int]bool{}
+	ended := map[int]int64{}
+	var handled atomic.Int64
+	err = s.ScanColumnsPortioned([]int{0}, PortionFuncs{
+		Skip: func(p PortionInfo) bool { return p.Index%2 == 1 },
+		Begin: func(p PortionInfo) (RowHandler, AbandonFunc) {
+			mu.Lock()
+			begun[p.Index] = true
+			mu.Unlock()
+			return func(rowID int64, fields []FieldRef) error {
+				handled.Add(1)
+				return nil
+			}, nil
+		},
+		End: func(p PortionInfo, n int64) error {
+			mu.Lock()
+			ended[p.Index] = n
+			mu.Unlock()
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var survived, skippedRows int64
+	for _, p := range ports {
+		if p.Index%2 == 1 {
+			skippedRows += p.Rows
+			if begun[p.Index] {
+				t.Fatalf("skipped portion %d saw Begin", p.Index)
+			}
+			continue
+		}
+		survived += p.Rows
+		if !begun[p.Index] {
+			t.Fatalf("surviving portion %d missed Begin", p.Index)
+		}
+		if ended[p.Index] != p.Rows {
+			t.Fatalf("portion %d End rows = %d, want %d", p.Index, ended[p.Index], p.Rows)
+		}
+	}
+	if handled.Load() != survived || s.RowsScanned() != survived {
+		t.Fatalf("handled %d / scanned %d rows, want %d", handled.Load(), s.RowsScanned(), survived)
+	}
+	if s.RowsSkipped() != skippedRows || s.RowsScanned()+s.RowsSkipped() != rows {
+		t.Fatalf("skipped %d rows, want %d (total %d)", s.RowsSkipped(), skippedRows, rows)
+	}
+}
+
+// TestLayoutReuseSkipsPrePass: handing a learned layout back via
+// Options.Layout must not re-run the boundary/count pre-pass and must
+// reproduce identical portions.
+func TestLayoutReuseSkipsPrePass(t *testing.T) {
+	const rows = 20000
+	path := writeRows(t, rows)
+	s1, err := Open(path, Options{Workers: 4, ChunkSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports, err := s1.Portions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c2 metrics.Counters
+	s2, err := Open(path, Options{Workers: 4, ChunkSize: 2048, Layout: ports, Counters: &c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports2, err := s2.Portions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if read := c2.Snapshot().RawBytesRead; read != 0 {
+		t.Fatalf("layout adoption read %d bytes; want 0 (no pre-pass)", read)
+	}
+	if len(ports2) != len(ports) {
+		t.Fatalf("layout round trip changed portion count: %d vs %d", len(ports2), len(ports))
+	}
+	for i := range ports {
+		if ports[i] != ports2[i] {
+			t.Fatalf("portion %d differs: %+v vs %+v", i, ports[i], ports2[i])
+		}
+	}
+}

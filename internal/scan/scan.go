@@ -20,23 +20,37 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"nodb/internal/metrics"
 )
 
-// DefaultChunkSize is the streaming read granularity.
+// DefaultChunkSize is the streaming read granularity. It doubles as the
+// target portion size: portions are the unit of parallel scheduling and of
+// synopsis-based skipping, so megabyte-granularity keeps both effective.
 const DefaultChunkSize = 1 << 20
+
+// maxPortions bounds the portion count so layouts stay small even for very
+// large files. minPortionBytes bounds how finely a mid-size file is split
+// when the worker count calls for more portions than chunk-sized ones.
+const (
+	maxPortions     = 4096
+	minPortionBytes = 64 << 10
+)
 
 // Options configures a Scanner.
 type Options struct {
 	// Delimiter separates attributes; defaults to ','.
 	Delimiter byte
-	// Workers is the number of parallel tokenization workers; defaults
-	// to 1. Each worker processes one horizontal portion of the file.
+	// Workers is the number of parallel tokenization workers; 0 (the
+	// default) means runtime.GOMAXPROCS(0) — scans are parallel by
+	// default. Portions are scheduled onto workers from a queue, so the
+	// portion count is independent of the worker count.
 	Workers int
 	// ChunkSize is the streaming read size; defaults to DefaultChunkSize.
+	// It is also the target portion size for parallel scheduling.
 	ChunkSize int
 	// SkipHeader skips the first line of the file.
 	SkipHeader bool
@@ -46,6 +60,20 @@ type Options struct {
 	// loops check it between reads, so a cancelled scan stops after at
 	// most one chunk instead of finishing a multi-MB file pass.
 	Context context.Context
+	// Layout supplies pre-learned portion boundaries (typically from a
+	// table's scan synopsis), skipping the boundary-discovery and
+	// row-counting pre-pass entirely. The layout must describe this exact
+	// file version: contiguous newline-aligned ranges whose last portion
+	// ends at the file size. An inconsistent layout is ignored and the
+	// scanner rebuilds its own.
+	Layout []PortionInfo
+	// Portioned forces a multi-portion layout (with its row-count
+	// pre-pass) even for a sequential scan. Loaders set it when a synopsis
+	// will remember the layout: the pre-pass then runs once per file
+	// version, and every later scan both skips it and gains
+	// portion-granular pruning. Without it, a sequential scan keeps the
+	// classic single-portion stream that reads the file exactly once.
+	Portioned bool
 }
 
 // canceled reports the context's error, if any. Checked once per chunk —
@@ -67,11 +95,21 @@ func (o Options) delim() byte {
 	return o.Delimiter
 }
 
-func (o Options) workers() int {
-	if o.Workers <= 0 {
+func (o Options) workers() int { return EffectiveWorkers(o.Workers) }
+
+// EffectiveWorkers resolves a Workers setting to the actual parallelism: 0
+// (unset) means one worker per CPU, negative means sequential, anything
+// else is taken literally. Callers that must know whether a scan will run
+// sequentially (e.g. to choose append-in-order versus scatter-by-row-id
+// materialization) resolve through this same function.
+func EffectiveWorkers(n int) int {
+	if n == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if n < 0 {
 		return 1
 	}
-	return o.Workers
+	return n
 }
 
 func (o Options) chunkSize() int {
@@ -101,6 +139,36 @@ type RowHandler func(rowID int64, fields []FieldRef) error
 // not called. This is the paper's predicate push-down into loading.
 type AbandonFunc func(idx int, field FieldRef) bool
 
+// PortionInfo describes one horizontal portion of the file: a
+// newline-aligned byte range plus the global row ids it holds. Rows is -1
+// when the portion has not been counted (single-portion lazy scans).
+type PortionInfo struct {
+	Index    int
+	Off, End int64 // byte range [Off, End)
+	FirstRow int64 // global row id of the portion's first row
+	Rows     int64 // data rows in the portion, or -1 when uncounted
+}
+
+// PortionFuncs are the per-portion callbacks of ScanColumnsPortioned. All
+// fields are optional. With Workers > 1 they are invoked concurrently from
+// the worker goroutines, but each portion's Begin/rows/End sequence runs on
+// a single goroutine.
+type PortionFuncs struct {
+	// Skip is consulted once per portion, before any of its bytes are
+	// read; returning true prunes the portion outright. It is only
+	// consulted for portions whose row count is known (so skipped rows
+	// stay accounted). Skipping never changes results when the decision is
+	// based on conservative value bounds — see internal/synopsis.
+	Skip func(p PortionInfo) bool
+	// Begin returns the row handler and abandon hook for one portion,
+	// letting callers accumulate per-portion state (synopsis bounds)
+	// without locks.
+	Begin func(p PortionInfo) (RowHandler, AbandonFunc)
+	// End observes a portion completing cleanly, with the number of rows
+	// it tokenized. It is not called for skipped or failed portions.
+	End func(p PortionInfo, rows int64) error
+}
+
 // RowTailHandler receives one tokenized row plus the un-tokenized remainder
 // of the line after the last requested column (without the delimiter that
 // preceded it). tail.Bytes is empty when the row ends at the last requested
@@ -128,7 +196,9 @@ type Scanner struct {
 	countErr     error
 	dataStart    int64 // after optional header
 
-	scannedRows atomic.Int64 // rows tokenized by the most recent scan
+	scannedRows     atomic.Int64 // rows tokenized by the most recent scan
+	skippedRows     atomic.Int64 // rows in portions pruned by the most recent scan
+	skippedPortions atomic.Int64 // portions pruned by the most recent scan
 }
 
 // portion is a horizontal slice of the file aligned on row boundaries.
@@ -191,9 +261,32 @@ func (s *Scanner) NumRows() (int64, error) {
 }
 
 // RowsScanned returns the number of rows tokenized by the most recent
-// ScanColumns/ScanColumnsTail call (exact for single-worker scans, which
-// visit every row exactly once).
+// ScanColumns/ScanColumnsTail call. For a scan that ran to completion,
+// RowsScanned()+RowsSkipped() is the file's total row count.
 func (s *Scanner) RowsScanned() int64 { return s.scannedRows.Load() }
+
+// RowsSkipped returns the number of rows inside portions the most recent
+// scan pruned via PortionFuncs.Skip (their bytes were never read).
+func (s *Scanner) RowsSkipped() int64 { return s.skippedRows.Load() }
+
+// PortionsSkipped returns the number of portions the most recent scan
+// pruned.
+func (s *Scanner) PortionsSkipped() int64 { return s.skippedPortions.Load() }
+
+// Portions returns the scan's portion layout, building it (including the
+// row-count pre-pass for multi-portion layouts) if needed. Single-portion
+// layouts report Rows == -1 until a full scan discovers the count. The
+// returned slice is a copy.
+func (s *Scanner) Portions() ([]PortionInfo, error) {
+	if err := s.ensurePortions(); err != nil {
+		return nil, err
+	}
+	out := make([]PortionInfo, len(s.portions))
+	for i, p := range s.portions {
+		out[i] = PortionInfo{Index: i, Off: p.off, End: p.end, FirstRow: p.firstRow, Rows: p.rows}
+	}
+	return out, nil
+}
 
 // ensurePortions runs phase 1: find the header end, split the file into
 // worker portions aligned to newlines, and count rows per portion so every
@@ -204,6 +297,9 @@ func (s *Scanner) ensurePortions() error {
 }
 
 func (s *Scanner) buildPortions() error {
+	if s.adoptLayout() {
+		return nil
+	}
 	f, err := os.Open(s.path)
 	if err != nil {
 		return fmt.Errorf("scan: %w", err)
@@ -212,7 +308,7 @@ func (s *Scanner) buildPortions() error {
 
 	s.dataStart = 0
 	if s.opts.SkipHeader {
-		off, err := findLineEnd(f, 0, s.size, s.opts.chunkSize())
+		off, err := findLineEnd(f, 0, s.size, boundaryProbeSize)
 		if err != nil {
 			return err
 		}
@@ -224,25 +320,43 @@ func (s *Scanner) buildPortions() error {
 		return nil
 	}
 
-	w := int64(s.opts.workers())
+	// Portion count is decoupled from the worker count: portions are the
+	// unit of synopsis skipping and of work scheduling, so they target the
+	// chunk size, refined downward (to a floor) only when the worker count
+	// calls for more portions than chunk-sized ones. A sequential scan
+	// without Portioned keeps the classic single-portion streaming pass
+	// with no counting pre-pass; multi-portion layouts for it arrive
+	// pre-learned via Options.Layout or are forced by Options.Portioned.
 	span := s.size - s.dataStart
-	per := span / w
-	if per < int64(s.opts.chunkSize()) {
-		// Too small to be worth splitting; one portion.
-		w, per = 1, span
+	w := int64(s.opts.workers())
+	n := int64(1)
+	if w > 1 || s.opts.Portioned {
+		target := int64(s.opts.chunkSize())
+		if per := span / w; per < target {
+			target = per
+			if target < minPortionBytes {
+				target = minPortionBytes
+			}
+		}
+		n = (span + target - 1) / target
+		if n > maxPortions {
+			n = maxPortions
+		}
 	}
-	if w == 1 {
-		// A sequential scan needs no counting pre-pass: rows are numbered
-		// as they stream. NumRows stays lazy.
+	if n <= 1 {
+		// A single-portion scan needs no counting pre-pass: rows are
+		// numbered as they stream. NumRows stays lazy.
 		s.portions = []portion{{off: s.dataStart, end: s.size, firstRow: 0, rows: -1}}
 		s.rows = -1
 		return nil
 	}
-	bounds := make([]int64, 0, w+1)
+
+	per := span / n
+	bounds := make([]int64, 0, n+1)
 	bounds = append(bounds, s.dataStart)
-	for i := int64(1); i < w; i++ {
+	for i := int64(1); i < n; i++ {
 		nominal := s.dataStart + i*per
-		aligned, err := findLineEnd(f, nominal, s.size, s.opts.chunkSize())
+		aligned, err := findLineEnd(f, nominal, s.size, boundaryProbeSize)
 		if err != nil {
 			return err
 		}
@@ -252,20 +366,75 @@ func (s *Scanner) buildPortions() error {
 	}
 	bounds = append(bounds, s.size)
 
-	s.portions = make([]portion, 0, len(bounds)-1)
-	var firstRow int64
-	for i := 0; i+1 < len(bounds); i++ {
-		p := portion{off: bounds[i], end: bounds[i+1], firstRow: firstRow}
-		n, err := countRows(f, p.off, p.end, s.opts)
-		if err != nil {
-			return err
-		}
-		p.rows = n
-		firstRow += n
-		s.portions = append(s.portions, p)
+	// Count rows per portion in parallel (ReadAt on one *os.File is safe
+	// for concurrent use); global row ids fall out of a prefix sum. This
+	// pre-pass runs once per layout: scans that receive the learned layout
+	// via Options.Layout skip it entirely.
+	parts := make([]portion, len(bounds)-1)
+	counts := make([]int64, len(parts))
+	errs := make([]error, len(parts))
+	sem := make(chan struct{}, int(w))
+	var wg sync.WaitGroup
+	for i := range parts {
+		parts[i] = portion{off: bounds[i], end: bounds[i+1]}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			counts[i], errs[i] = countRows(f, parts[i].off, parts[i].end, s.opts)
+			<-sem
+		}(i)
 	}
+	wg.Wait()
+	var firstRow int64
+	for i := range parts {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		parts[i].firstRow = firstRow
+		parts[i].rows = counts[i]
+		firstRow += counts[i]
+	}
+	s.portions = parts
 	s.rows = firstRow
 	return nil
+}
+
+// boundaryProbeSize is the read size used to locate a single newline when
+// aligning portion boundaries; rows are almost always far shorter, and
+// findLineEnd keeps reading forward when one is not.
+const boundaryProbeSize = 4096
+
+// adoptLayout installs Options.Layout as the portion set when it passes
+// validation: contiguous ascending ranges with known row counts and
+// consistent first-row prefix sums, ending exactly at the file size.
+// Newline alignment is trusted — the layout came from a scan of the same
+// file version (the raw-file signature check lives in the catalog).
+func (s *Scanner) adoptLayout() bool {
+	l := s.opts.Layout
+	if len(l) == 0 {
+		return false
+	}
+	if l[0].Off < 0 || l[len(l)-1].End != s.size {
+		return false
+	}
+	var firstRow int64
+	for i, p := range l {
+		if p.End <= p.Off || p.Rows < 0 || p.FirstRow != firstRow {
+			return false
+		}
+		if i > 0 && p.Off != l[i-1].End {
+			return false
+		}
+		firstRow += p.Rows
+	}
+	s.dataStart = l[0].Off
+	s.portions = make([]portion, len(l))
+	for i, p := range l {
+		s.portions[i] = portion{off: p.Off, end: p.End, firstRow: p.FirstRow, rows: p.Rows}
+	}
+	s.rows = firstRow
+	return true
 }
 
 // findLineEnd returns the offset just past the first '\n' at or after off,
@@ -298,7 +467,11 @@ func findLineEnd(f *os.File, off, end int64, chunk int) (int64, error) {
 // trailing newline counts as a row.
 func countRows(f *os.File, off, end int64, o Options) (int64, error) {
 	c := o.Counters
-	buf := make([]byte, o.chunkSize())
+	bufSize := int64(o.chunkSize())
+	if span := end - off; span < bufSize {
+		bufSize = span // portions can be far smaller than a chunk
+	}
+	buf := make([]byte, bufSize)
 	var rows int64
 	lastByte := byte('\n')
 	pos := off
@@ -341,17 +514,46 @@ func countRows(f *os.File, off, end int64, o Options) (int64, error) {
 // located (in file order); returning true drops the row. The handler
 // receives fields ordered like cols.
 func (s *Scanner) ScanColumns(cols []int, handler RowHandler, abandon AbandonFunc) error {
-	return s.scan(cols, handler, nil, abandon)
+	return s.scan(cols, handler, nil, abandon, PortionFuncs{})
 }
 
 // ScanColumnsTail is ScanColumns with tail capture: the handler also
 // receives the un-tokenized remainder of each row after the last requested
 // column. Abandoned rows do not reach the handler.
 func (s *Scanner) ScanColumnsTail(cols []int, handler RowTailHandler, abandon AbandonFunc) error {
-	return s.scan(cols, nil, handler, abandon)
+	return s.scan(cols, nil, handler, abandon, PortionFuncs{})
 }
 
-func (s *Scanner) scan(cols []int, handler RowHandler, tailH RowTailHandler, abandon AbandonFunc) error {
+// ScanColumnsPortioned is ScanColumns with per-portion scheduling hooks:
+// Skip prunes whole portions before a byte of them is read (synopsis zone
+// maps), Begin supplies per-portion handler state, End commits it.
+func (s *Scanner) ScanColumnsPortioned(cols []int, pf PortionFuncs) error {
+	return s.scan(cols, nil, nil, nil, pf)
+}
+
+// info exports one portion's metadata.
+func (s *Scanner) info(i int) PortionInfo {
+	p := s.portions[i]
+	return PortionInfo{Index: i, Off: p.off, End: p.end, FirstRow: p.firstRow, Rows: p.rows}
+}
+
+// runPortion scans one portion through the per-portion hooks.
+func (s *Scanner) runPortion(i int, cols []int, handler RowHandler, tailH RowTailHandler, abandon AbandonFunc, pf PortionFuncs) error {
+	pi := s.info(i)
+	if pf.Begin != nil {
+		handler, abandon = pf.Begin(pi)
+	}
+	n, err := s.scanPortion(s.portions[i], cols, handler, tailH, abandon)
+	if err != nil {
+		return err
+	}
+	if pf.End != nil {
+		return pf.End(pi, n)
+	}
+	return nil
+}
+
+func (s *Scanner) scan(cols []int, handler RowHandler, tailH RowTailHandler, abandon AbandonFunc, pf PortionFuncs) error {
 	if err := s.opts.canceled(); err != nil {
 		return err
 	}
@@ -359,16 +561,39 @@ func (s *Scanner) scan(cols []int, handler RowHandler, tailH RowTailHandler, aba
 		return err
 	}
 	s.scannedRows.Store(0)
+	s.skippedRows.Store(0)
+	s.skippedPortions.Store(0)
 	if len(s.portions) == 0 {
 		return nil
 	}
+
+	// The scheduler consults Skip up front, so only surviving portions are
+	// ever assigned to workers; a pruned portion consumes no worker time
+	// and no I/O. Skip is consulted only for counted portions, keeping the
+	// skipped rows accounted.
+	survivors := make([]int, 0, len(s.portions))
+	for i := range s.portions {
+		if pf.Skip != nil && s.portions[i].rows >= 0 && pf.Skip(s.info(i)) {
+			s.skippedRows.Add(s.portions[i].rows)
+			s.skippedPortions.Add(1)
+			if c := s.opts.Counters; c != nil {
+				c.AddPortionsSkipped(1)
+			}
+			continue
+		}
+		survivors = append(survivors, i)
+	}
+	if len(survivors) == 0 {
+		return nil
+	}
+
 	w := s.opts.workers()
-	if w > len(s.portions) {
-		w = len(s.portions)
+	if w > len(survivors) {
+		w = len(survivors)
 	}
 	if w == 1 {
-		for _, p := range s.portions {
-			if err := s.scanPortion(p, cols, handler, tailH, abandon); err != nil {
+		for _, i := range survivors {
+			if err := s.runPortion(i, cols, handler, tailH, abandon, pf); err != nil {
 				if errors.Is(err, ErrStop) {
 					return nil
 				}
@@ -378,23 +603,34 @@ func (s *Scanner) scan(cols []int, handler RowHandler, tailH RowTailHandler, aba
 		return nil
 	}
 
-	work := make(chan portion)
+	work := make(chan int)
 	errCh := make(chan error, w)
+	quit := make(chan struct{})
+	var quitOnce sync.Once
 	var wg sync.WaitGroup
 	for i := 0; i < w; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for p := range work {
-				if err := s.scanPortion(p, cols, handler, tailH, abandon); err != nil {
+			for idx := range work {
+				if err := s.runPortion(idx, cols, handler, tailH, abandon, pf); err != nil {
 					errCh <- err
+					quitOnce.Do(func() { close(quit) })
 					return
 				}
 			}
 		}()
 	}
-	for _, p := range s.portions {
-		work <- p
+dispatch:
+	for _, idx := range survivors {
+		// A failed (or early-stopped) worker closes quit so dispatch ends
+		// promptly instead of feeding portions to a shrinking pool — or
+		// deadlocking when every worker has exited.
+		select {
+		case work <- idx:
+		case <-quit:
+			break dispatch
+		}
 	}
 	close(work)
 	wg.Wait()
@@ -407,13 +643,15 @@ func (s *Scanner) scan(cols []int, handler RowHandler, tailH RowTailHandler, aba
 	return nil
 }
 
-// scanPortion streams one portion and tokenizes its rows.
-func (s *Scanner) scanPortion(p portion, cols []int, handler RowHandler, tailH RowTailHandler, abandon AbandonFunc) error {
+// scanPortion streams one portion and tokenizes its rows, returning how
+// many it tokenized.
+func (s *Scanner) scanPortion(p portion, cols []int, handler RowHandler, tailH RowTailHandler, abandon AbandonFunc) (int64, error) {
 	f, err := os.Open(s.path)
 	if err != nil {
-		return fmt.Errorf("scan: %w", err)
+		return 0, fmt.Errorf("scan: %w", err)
 	}
 	defer f.Close()
+	var portionRows int64
 
 	delim := s.opts.delim()
 	c := s.opts.Counters
@@ -427,7 +665,7 @@ func (s *Scanner) scanPortion(p portion, cols []int, handler RowHandler, tailH R
 
 	for pos < p.end || carry > 0 {
 		if err := s.opts.canceled(); err != nil {
-			return err
+			return portionRows, err
 		}
 		n := 0
 		if pos < p.end {
@@ -448,7 +686,7 @@ func (s *Scanner) scanPortion(p portion, cols []int, handler RowHandler, tailH R
 				}
 			}
 			if err != nil && err != io.EOF {
-				return fmt.Errorf("scan: %w", err)
+				return portionRows, fmt.Errorf("scan: %w", err)
 			}
 			n = carry + m
 			if m == 0 && err == io.EOF {
@@ -490,10 +728,11 @@ func (s *Scanner) scanPortion(p portion, cols []int, handler RowHandler, tailH R
 				c.AddRowsTokenized(1)
 			}
 			s.scannedRows.Add(1)
+			portionRows++
 			err := tok.row(line, base+int64(lineStart), rowID, handler, tailH, abandon, c)
 			rowID++
 			if err != nil {
-				return err
+				return portionRows, err
 			}
 			if consumed >= len(data) {
 				break
@@ -508,10 +747,10 @@ func (s *Scanner) scanPortion(p portion, cols []int, handler RowHandler, tailH R
 			carry = 0
 		}
 		if pos >= p.end && carry > 0 && consumed == 0 {
-			return fmt.Errorf("scan: row longer than buffer at offset %d", base)
+			return portionRows, fmt.Errorf("scan: row longer than buffer at offset %d", base)
 		}
 	}
-	return nil
+	return portionRows, nil
 }
 
 // tokenizer locates requested columns within rows.

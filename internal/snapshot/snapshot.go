@@ -58,12 +58,13 @@ const (
 
 // Section kinds.
 const (
-	kindHeader  = 1 // raw-file signature + row count
-	kindPosMap  = 2 // positional map, one section per attribute
-	kindDense   = 3 // fully loaded column, one section per attribute
-	kindSparse  = 4 // retained partial-load column, one section per attribute
-	kindRegions = 5 // covered regions of the adaptive store
-	kindSplits  = 6 // split-file manifest (paths only; data stays in place)
+	kindHeader   = 1 // raw-file signature + row count
+	kindPosMap   = 2 // positional map, one section per attribute
+	kindDense    = 3 // fully loaded column, one section per attribute
+	kindSparse   = 4 // retained partial-load column, one section per attribute
+	kindRegions  = 5 // covered regions of the adaptive store
+	kindSplits   = 6 // split-file manifest (paths only; data stays in place)
+	kindSynopsis = 7 // per-portion scan synopsis (layout + zone maps)
 )
 
 // ErrStale reports a snapshot written for a different version of the raw
@@ -139,16 +140,34 @@ type Splits struct {
 	Rests    []RestFile
 }
 
+// SynCol is one column's serialized zone-map bounds within one portion.
+type SynCol struct {
+	Col                int
+	Typ                schema.Type
+	MinI, MaxI         int64
+	MinF, MaxF         float64
+	MinS, MaxS         string
+	MinExact, MaxExact bool
+}
+
+// SynPortion is one portion of the serialized scan synopsis: its byte
+// range, row ids, and the fully-covered column bounds.
+type SynPortion struct {
+	Off, End, FirstRow, Rows int64
+	Cols                     []SynCol
+}
+
 // Table is the full serializable state of one table's auxiliary
 // structures. Any field may be empty; a snapshot holds whatever the
 // engine had learned.
 type Table struct {
-	Rows    int64
-	PosMap  []PosMapCol
-	Dense   []DenseCol
-	Sparse  []SparseCol
-	Regions []Region
-	Splits  *Splits
+	Rows     int64
+	PosMap   []PosMapCol
+	Dense    []DenseCol
+	Sparse   []SparseCol
+	Regions  []Region
+	Splits   *Splits
+	Synopsis []SynPortion
 }
 
 // sectionWriter buffers one section's payload so the frame (length + CRC)
@@ -280,7 +299,43 @@ func Encode(w io.Writer, sig Sig, t *Table) (int64, error) {
 			return n, err
 		}
 	}
+	if len(t.Synopsis) > 0 {
+		sw = sectionWriter{}
+		sw.u32(uint32(len(t.Synopsis)))
+		for _, p := range t.Synopsis {
+			sw.i64(p.Off)
+			sw.i64(p.End)
+			sw.i64(p.FirstRow)
+			sw.i64(p.Rows)
+			sw.u32(uint32(len(p.Cols)))
+			for _, c := range p.Cols {
+				sw.u32(uint32(int32(c.Col)))
+				sw.u8(uint8(c.Typ))
+				sw.u8(boolBits(c.MinExact, c.MaxExact))
+				sw.i64(c.MinI)
+				sw.i64(c.MaxI)
+				sw.f64(c.MinF)
+				sw.f64(c.MaxF)
+				sw.str(c.MinS)
+				sw.str(c.MaxS)
+			}
+		}
+		if err := section(kindSynopsis, -1, sw.buf); err != nil {
+			return n, err
+		}
+	}
 	return n, nil
+}
+
+func boolBits(a, b bool) uint8 {
+	var v uint8
+	if a {
+		v |= 1
+	}
+	if b {
+		v |= 2
+	}
+	return v
 }
 
 func encodeValues(sw *sectionWriter, typ schema.Type, ints []int64, floats []float64, strs []string) {
@@ -750,6 +805,48 @@ func (r *Reader) Regions() ([]Region, error) {
 	return out, nil
 }
 
+// Synopsis decodes the scan-synopsis section (nil when absent).
+func (r *Reader) Synopsis() ([]SynPortion, error) {
+	s, ok := r.find(kindSynopsis, -1)
+	if !ok {
+		return nil, nil
+	}
+	payload, err := r.payloadAt(s)
+	if err != nil {
+		return nil, err
+	}
+	pr := payloadReader{buf: payload}
+	n := int(pr.u32())
+	if pr.err != nil || n < 0 || n > len(payload) {
+		return nil, ErrCorrupt
+	}
+	out := make([]SynPortion, 0, n)
+	for i := 0; i < n && pr.err == nil; i++ {
+		p := SynPortion{Off: pr.i64(), End: pr.i64(), FirstRow: pr.i64(), Rows: pr.i64()}
+		nc := int(pr.u32())
+		if pr.err != nil || nc < 0 || nc > len(payload) {
+			return nil, ErrCorrupt
+		}
+		for j := 0; j < nc; j++ {
+			c := SynCol{Col: int(int32(pr.u32())), Typ: schema.Type(pr.u8())}
+			bits := pr.u8()
+			c.MinExact, c.MaxExact = bits&1 != 0, bits&2 != 0
+			c.MinI = pr.i64()
+			c.MaxI = pr.i64()
+			c.MinF = math.Float64frombits(pr.u64())
+			c.MaxF = math.Float64frombits(pr.u64())
+			c.MinS = pr.str()
+			c.MaxS = pr.str()
+			p.Cols = append(p.Cols, c)
+		}
+		out = append(out, p)
+	}
+	if pr.err != nil {
+		return nil, pr.err
+	}
+	return out, nil
+}
+
 // SplitsManifest decodes the split-file manifest (nil when absent).
 func (r *Reader) SplitsManifest() (*Splits, error) {
 	s, ok := r.find(kindSplits, -1)
@@ -846,6 +943,9 @@ func DecodeAll(path string, want Sig, onRead func(int64)) (*Table, error) {
 	spl, err := r.SplitsManifest()
 	keep(err)
 	t.Splits = spl
+	sy, err := r.Synopsis()
+	keep(err)
+	t.Synopsis = sy
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -293,6 +293,58 @@ func (s *SparseColumn) setVal(i int, v Value) {
 	}
 }
 
+// AddRun inserts rows (ascending, unique) with values val(i), in one
+// merge pass: O(existing + len(rows)). Rows already present are
+// overwritten with the new value. A per-row Add would memmove the tail on
+// every out-of-order insert, turning a large interleaved merge (a wide
+// partial load after a selective one) quadratic. It returns the
+// approximate bytes the incoming values occupy (each value is
+// materialized exactly once).
+func (s *SparseColumn) AddRun(rows []int64, val func(i int) Value) (stored int64) {
+	if len(rows) == 0 {
+		return 0
+	}
+	n := len(s.rows)
+	// Fast path: the run extends the column (scans emit in row order, so
+	// the first merge into an empty column lands here).
+	if n == 0 || rows[0] > s.rows[n-1] {
+		s.rows = append(s.rows, rows...)
+		for i := range rows {
+			v := val(i)
+			stored += v.MemBytes() + 8
+			s.appendVal(v)
+		}
+		return stored
+	}
+	merged := make([]int64, 0, n+len(rows))
+	out := NewSparse(s.Typ)
+	out.rows = merged
+	i, j := 0, 0
+	for i < n || j < len(rows) {
+		switch {
+		case j >= len(rows):
+			out.rows = append(out.rows, s.rows[i])
+			out.appendVal(s.at(i))
+			i++
+		case i >= n || rows[j] <= s.rows[i]:
+			if i < n && rows[j] == s.rows[i] {
+				i++ // newer value wins the duplicate row
+			}
+			v := val(j)
+			stored += v.MemBytes() + 8
+			out.rows = append(out.rows, rows[j])
+			out.appendVal(v)
+			j++
+		default:
+			out.rows = append(out.rows, s.rows[i])
+			out.appendVal(s.at(i))
+			i++
+		}
+	}
+	s.rows, s.ints, s.floats, s.strs = out.rows, out.ints, out.floats, out.strs
+	return stored
+}
+
 func (s *SparseColumn) insertVal(i int, v Value) {
 	switch s.Typ {
 	case schema.Int64:

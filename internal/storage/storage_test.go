@@ -297,3 +297,46 @@ func BenchmarkSparseGet(b *testing.B) {
 		s.Get(rng.Int63n(100000))
 	}
 }
+
+// TestSparseAddRunMerge checks the single-pass bulk merge against a
+// per-row reference: interleaved runs, overwrites, extension, and enough
+// volume that a quadratic regression would be obvious in CI.
+func TestSparseAddRunMerge(t *testing.T) {
+	ref := map[int64]int64{}
+	sp := NewSparse(schema.Int64)
+	apply := func(rows []int64, base int64) {
+		sp.AddRun(rows, func(i int) Value { return IntValue(base + rows[i]) })
+		for _, r := range rows {
+			ref[r] = base + r
+		}
+	}
+	// Selective first load: every third row.
+	var sel []int64
+	for r := int64(0); r < 120_000; r += 3 {
+		sel = append(sel, r)
+	}
+	apply(sel, 1_000_000)
+	// Wide second load: every row, newer values must win on overlap.
+	all := make([]int64, 120_000)
+	for i := range all {
+		all[i] = int64(i)
+	}
+	apply(all, 2_000_000)
+	// A trailing extension run (fast path).
+	apply([]int64{120_000, 120_001}, 0)
+
+	if sp.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", sp.Len(), len(ref))
+	}
+	prev := int64(-1)
+	for i := 0; i < sp.Len(); i++ {
+		row, v := sp.At(i)
+		if row <= prev {
+			t.Fatalf("rows not ascending/unique at ordinal %d: %d after %d", i, row, prev)
+		}
+		prev = row
+		if want := ref[row]; v.I != want {
+			t.Fatalf("row %d = %d, want %d", row, v.I, want)
+		}
+	}
+}

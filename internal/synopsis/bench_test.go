@@ -1,0 +1,81 @@
+package synopsis
+
+import (
+	"testing"
+
+	"nodb/internal/expr"
+	"nodb/internal/scan"
+	"nodb/internal/schema"
+	"nodb/internal/storage"
+)
+
+// benchLayout builds a 64-portion layout of 10k rows each.
+func benchLayout() []scan.PortionInfo {
+	ports := make([]scan.PortionInfo, 64)
+	for i := range ports {
+		ports[i] = scan.PortionInfo{
+			Index: i, Off: int64(i) * 1 << 20, End: int64(i+1) * 1 << 20,
+			FirstRow: int64(i) * 10_000, Rows: 10_000,
+		}
+	}
+	return ports
+}
+
+// BenchmarkSynopsisBuild measures the collection hot path: the per-value
+// Observe cost (paid once per parsed field during a tokenizing pass) plus
+// the per-portion commit, over a full 64-portion, 2-column pass.
+func BenchmarkSynopsisBuild(b *testing.B) {
+	ports := benchLayout()
+	var rowsTotal int64
+	for _, p := range ports {
+		rowsTotal += p.Rows
+	}
+	b.SetBytes(rowsTotal * 2 * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		s.AdoptLayout(ports)
+		c := NewCollector(s, []int{0, 3}, []schema.Type{schema.Int64, schema.Int64})
+		for _, p := range ports {
+			a := c.Begin(p)
+			base := p.FirstRow
+			for r := int64(0); r < p.Rows; r++ {
+				a.Observe(0, storage.IntValue(base+r))
+				a.Observe(1, storage.IntValue((base+r)*7%991))
+			}
+			c.Commit(p, p.Rows)
+		}
+		if _, bounds := s.Stats(); bounds != 2*len(ports) {
+			b.Fatalf("bounds = %d", bounds)
+		}
+	}
+}
+
+// BenchmarkSynopsisPrune measures building a Pruner (the per-query cost
+// of consulting the synopsis) over 64 portions with a selective range.
+func BenchmarkSynopsisPrune(b *testing.B) {
+	ports := benchLayout()
+	s := New()
+	s.AdoptLayout(ports)
+	c := NewCollector(s, []int{0}, []schema.Type{schema.Int64})
+	for _, p := range ports {
+		a := c.Begin(p)
+		for r := int64(0); r < p.Rows; r++ {
+			a.Observe(0, storage.IntValue(p.FirstRow+r))
+		}
+		c.Commit(p, p.Rows)
+	}
+	conj := expr.Conjunction{Preds: []expr.Pred{
+		{Col: 0, Op: expr.Ge, Val: storage.IntValue(300_000)},
+		{Col: 0, Op: expr.Lt, Val: storage.IntValue(306_400)},
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr := s.Pruner(conj)
+		if pr.Skipped() != 63 { // the range sits inside one 10k-row portion
+			b.Fatalf("skipped %d portions, want 63", pr.Skipped())
+		}
+	}
+}

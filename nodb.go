@@ -167,7 +167,9 @@ type Options struct {
 	// file degrades to a cold start — never a wrong answer. Empty
 	// disables the disk tier.
 	CacheDir string
-	// Workers is tokenization parallelism (default 1).
+	// Workers is tokenization parallelism; 0 (the default) uses one worker
+	// per CPU — raw-file scans are parallel by default. Set 1 (or any
+	// negative value) for a sequential scan.
 	Workers int
 	// ChunkSize overrides the raw-file streaming read size (default 1 MiB).
 	// Smaller chunks tighten the granularity of cancellation and of cursor
@@ -175,6 +177,11 @@ type Options struct {
 	ChunkSize int
 	// DisablePositionalMap turns the positional map off.
 	DisablePositionalMap bool
+	// DisableSynopsis turns off the per-portion scan synopsis: zone maps
+	// (per-portion min/max bounds) collected free during any tokenizing
+	// pass, which let later selective queries skip whole file portions
+	// without reading them. On by default; disable only for ablations.
+	DisableSynopsis bool
 	// DisableRevalidation skips per-query file-change detection.
 	DisableRevalidation bool
 }
@@ -233,6 +240,7 @@ func Open(opts Options) *DB {
 		Workers:              opts.Workers,
 		ChunkSize:            opts.ChunkSize,
 		DisablePositionalMap: opts.DisablePositionalMap,
+		DisableSynopsis:      opts.DisableSynopsis,
 		DisableRevalidation:  opts.DisableRevalidation,
 	})}
 }
