@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"nodb/internal/experiments"
 )
@@ -457,3 +458,140 @@ func BenchmarkSelectiveColdScan(b *testing.B) { selectiveColdScan(b, false) }
 // BenchmarkSelectiveColdScanNoSynopsis: the identical query with the
 // synopsis disabled — the pre-PR full re-scan, kept as the comparator.
 func BenchmarkSelectiveColdScanNoSynopsis(b *testing.B) { selectiveColdScan(b, true) }
+
+// --- Vectorized-execution benchmarks: the batch pipeline vs the
+// row-at-a-time path it replaced ---
+
+// batchPipelineBench measures a hot full-scan aggregate — the table fully
+// loaded, every row consumed — with the execution mode toggled. The
+// difference is pure execution machinery.
+func batchPipelineBench(b *testing.B, disableVector bool) {
+	const rows = 400_000
+	path := benchTable(b, rows, 4)
+	db := Open(Options{Policy: ColumnLoads, Workers: 1, DisableVectorExec: disableVector, DisableRevalidation: true})
+	defer db.Close()
+	if err := db.Link("t", path); err != nil {
+		b.Fatal(err)
+	}
+	q := fmt.Sprintf("select sum(a1), min(a2), count(*) from t where a2 < %d", rows)
+	if _, err := db.Query(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchPipeline: the vectorized operator pipeline (the default
+// execution path).
+func BenchmarkBatchPipeline(b *testing.B) { batchPipelineBench(b, false) }
+
+// BenchmarkBatchPipelineRowAtATime: the same query through the legacy
+// row-at-a-time path, kept as the comparator.
+func BenchmarkBatchPipelineRowAtATime(b *testing.B) { batchPipelineBench(b, true) }
+
+// --- NDJSON benchmarks: in-situ scans over newline-delimited JSON ---
+
+// ndjsonBenchTable writes rows of {"a1":...,...} with aCols integer
+// fields, reusing the file across runs.
+func ndjsonBenchTable(b *testing.B, rows, cols int) string {
+	b.Helper()
+	dir := filepath.Join(os.TempDir(), "nodb-bench-data")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("api_%dx%d.ndjson", rows, cols))
+	if st, err := os.Stat(path); err == nil && st.Size() > 0 {
+		return path
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < rows; i++ {
+		fmt.Fprint(f, "{")
+		for c := 0; c < cols; c++ {
+			if c > 0 {
+				fmt.Fprint(f, ",")
+			}
+			fmt.Fprintf(f, `"a%d":%d`, c+1, (i*(c*7+1)+c)%rows)
+		}
+		fmt.Fprintln(f, "}")
+	}
+	return path
+}
+
+// BenchmarkNDJSONColdScan measures the cold first query over an NDJSON
+// table: schema detection, line tokenization, delayed parsing of the two
+// queried fields, aggregate — the in-situ NDJSON headline path.
+func BenchmarkNDJSONColdScan(b *testing.B) {
+	path := ndjsonBenchTable(b, 200_000, 6)
+	st, _ := os.Stat(path)
+	b.SetBytes(st.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := Open(Options{Policy: ColumnLoads, DisableRevalidation: true})
+		if err := db.Link("t", path); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Query("select sum(a1), count(*) from t where a3 > 1000"); err != nil {
+			b.Fatal(err)
+		}
+		db.Close()
+	}
+}
+
+// BenchmarkNDJSONLazyVsEager pins delayed parsing: a narrow query over a
+// wide NDJSON table parses only the queried field's byte ranges (lazy),
+// against a query that touches every field (eager). The timed loop runs
+// the lazy scan; the eager scan is measured alongside and reported as the
+// eager-ns and speedup metrics. The parsing-work reduction is asserted
+// deterministically from the ValuesParsed counters: lazy must parse less
+// than half of what eager parses.
+func BenchmarkNDJSONLazyVsEager(b *testing.B) {
+	const rows, cols = 200_000, 6
+	path := ndjsonBenchTable(b, rows, cols)
+	st, _ := os.Stat(path)
+
+	scanOnce := func(query string) (time.Duration, int64) {
+		db := Open(Options{Policy: PartialLoadsV1, Workers: 1, DisableRevalidation: true})
+		defer db.Close()
+		if err := db.Link("t", path); err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		res, err := db.Query(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start), res.Stats.Work.ValuesParsed
+	}
+
+	lazyQ := "select sum(a1) from t"
+	eagerQ := "select sum(a1), sum(a2), sum(a3), sum(a4), sum(a5), sum(a6) from t"
+	var lazyNs, eagerNs, lazyParsed, eagerParsed int64
+	b.SetBytes(st.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lt, lp := scanOnce(lazyQ)
+		b.StopTimer()
+		et, ep := scanOnce(eagerQ)
+		b.StartTimer()
+		lazyNs += lt.Nanoseconds()
+		eagerNs += et.Nanoseconds()
+		lazyParsed, eagerParsed = lp, ep
+	}
+	b.StopTimer()
+	if lazyParsed*2 > eagerParsed {
+		b.Fatalf("lazy scan parsed %d values vs eager %d; delayed parsing should cut parsing by >= 2x", lazyParsed, eagerParsed)
+	}
+	b.ReportMetric(float64(eagerNs)/float64(b.N), "eager-ns/op")
+	if lazyNs > 0 {
+		b.ReportMetric(float64(eagerNs)/float64(lazyNs), "speedup")
+	}
+}

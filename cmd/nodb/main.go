@@ -6,7 +6,7 @@
 //
 //	nodb [-policy columns|full|partial-v1|partial-v2|splitfiles|external]
 //	     [-cracking] [-mem bytes] [-evict cost|lru] [-splitdir dir]
-//	     [-cachedir dir] [-workers n] [-chunksize bytes]
+//	     [-cachedir dir] [-workers n] [-chunksize bytes] [-batchsize rows]
 //	     [name=path.csv ...]
 //
 // With -cachedir, everything the session teaches the engine (positional
@@ -49,12 +49,14 @@ func main() {
 		cacheDir   = flag.String("cachedir", "", "persistent auxiliary-structure cache directory (empty = no disk tier)")
 		workers    = flag.Int("workers", 0, "tokenizer workers (0 = one per CPU; 1 = sequential)")
 		chunkSize  = flag.Int("chunksize", 0, "raw-file read chunk size in bytes (0 = default)")
+		batchSize  = flag.Int("batchsize", 0, "rows per vectorized execution batch (0 = default, 1024)")
 	)
 	flag.Parse()
 	cliutil.Exit(cliutil.CheckFlags(
 		cliutil.NonNegativeInt("nodb", "workers", *workers),
 		cliutil.NonNegativeInt("nodb", "chunksize", *chunkSize),
 		cliutil.NonNegativeInt64("nodb", "mem", *mem),
+		cliutil.NonNegativeInt("nodb", "batchsize", *batchSize),
 	))
 
 	pol, err := nodb.ParsePolicy(*policyName)
@@ -80,6 +82,7 @@ func main() {
 		CacheDir:       *cacheDir,
 		Workers:        *workers,
 		ChunkSize:      *chunkSize,
+		BatchSize:      *batchSize,
 	})
 	defer db.Close()
 

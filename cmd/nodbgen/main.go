@@ -1,11 +1,13 @@
-// Command nodbgen generates synthetic CSV data files: the workloads of the
-// paper's experiments (tables of unique random integers) plus skewed,
-// float, string and mixed-schema variants for the examples.
+// Command nodbgen generates synthetic flat data files: the workloads of
+// the paper's experiments (tables of unique random integers) plus skewed,
+// float, string and mixed-schema variants for the examples, as CSV or
+// newline-delimited JSON.
 //
 // Usage:
 //
 //	nodbgen -rows 1000000 -cols 4 -o table.csv
 //	nodbgen -rows 100000 -cols 3 -kinds seq,float,string -header -o mixed.csv
+//	nodbgen -rows 100000 -cols 3 -format ndjson -o events.ndjson
 package main
 
 import (
@@ -26,6 +28,7 @@ func main() {
 		header = flag.Bool("header", false, "emit a header line a1,a2,...")
 		delim  = flag.String("delim", ",", "field delimiter (one character)")
 		kinds  = flag.String("kinds", "", "comma-separated per-column kinds: unique,uniform,zipf,float,string,seq")
+		format = flag.String("format", "csv", "output format: csv or ndjson")
 	)
 	flag.Parse()
 
@@ -37,6 +40,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nodbgen: -delim must be a single character")
 		os.Exit(2)
 	}
+	var ofmt csvgen.Format
+	switch *format {
+	case "csv":
+		ofmt = csvgen.FormatCSV
+	case "ndjson":
+		ofmt = csvgen.FormatNDJSON
+	default:
+		fmt.Fprintf(os.Stderr, "nodbgen: -format must be csv or ndjson (got %q)\n", *format)
+		os.Exit(2)
+	}
 
 	spec := csvgen.Spec{
 		Rows:      *rows,
@@ -44,6 +57,7 @@ func main() {
 		Seed:      *seed,
 		Header:    *header,
 		Delimiter: (*delim)[0],
+		Format:    ofmt,
 	}
 	if *kinds != "" {
 		for _, k := range strings.Split(*kinds, ",") {

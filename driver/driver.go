@@ -21,6 +21,8 @@
 //	                      eviction spills instead of discarding
 //	workers=N             tokenization parallelism
 //	chunk=BYTES           raw-file read chunk size
+//	batchsize=N           rows per batch of the vectorized execution
+//	                      pipeline (0 = default, 1024)
 //
 // Values follow URL escaping rules; paths containing '&' or '%' must be
 // percent-encoded.
@@ -149,6 +151,12 @@ func ParseDSN(dsn string) (nodb.Options, []Link, error) {
 					return opts, nil, fmt.Errorf("nodb driver: invalid chunk %q", v)
 				}
 				opts.ChunkSize = n
+			case "batchsize":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					return opts, nil, fmt.Errorf("nodb driver: invalid batchsize %q", v)
+				}
+				opts.BatchSize = n
 			default:
 				return opts, nil, fmt.Errorf("nodb driver: unknown DSN key %q", key)
 			}

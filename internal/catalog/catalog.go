@@ -1440,7 +1440,10 @@ func (c *Catalog) Link(name, path string) (*Table, error) {
 		PosMap:   posmap.New(c.opts.PosMapBudget, c.opts.Counters),
 		Syn:      synopsis.New(),
 	}
-	if c.opts.SplitDir != "" {
+	// Vertical split files re-serialize rows as delimiter-separated column
+	// groups — a CSV-only layout. NDJSON tables skip the registry and rely
+	// on positional maps + the adaptive store instead.
+	if c.opts.SplitDir != "" && sch.Format == scan.FormatCSV {
 		dir := filepath.Join(c.opts.SplitDir, sanitizeName(name))
 		t.Splits = splitfile.NewRegistry(dir, path, len(sch.Columns), sch.Delimiter, c.opts.Counters)
 	}

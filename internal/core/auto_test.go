@@ -125,20 +125,35 @@ func TestFusedPathTaken(t *testing.T) {
 	if err := csvgen.WriteFile(path, csvgen.Spec{Rows: 1000, Cols: 2, Seed: 61}); err != nil {
 		t.Fatal(err)
 	}
+	// Default mode: the vectorized pipeline handles dense aggregates (its
+	// columnar loops outrun the fused single-pass operator).
 	e := newEngine(t, Options{Policy: plan.PolicyColumnLoads})
 	e.Link("G", path)
 	res, err := e.Query("select sum(a1), count(*) from G where a1 < 500")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(res.Stats.Plan, "fused") {
-		t.Errorf("plan should use the fused operator: %q", res.Stats.Plan)
+	if !strings.Contains(res.Stats.Plan, "vectorized pipeline") || strings.Contains(res.Stats.Plan, "fused") {
+		t.Errorf("default mode should aggregate through the pipeline: %q", res.Stats.Plan)
 	}
 	if res.Rows[0][1].I != 500 {
 		t.Errorf("count = %v", res.Rows[0][1])
 	}
+	// Row-at-a-time mode keeps the fused operator as its fast path.
+	el := newEngine(t, Options{Policy: plan.PolicyColumnLoads, DisableVectorExec: true})
+	el.Link("G", path)
+	resl, err := el.Query("select sum(a1), count(*) from G where a1 < 500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resl.Stats.Plan, "fused") {
+		t.Errorf("legacy mode should use the fused operator: %q", resl.Stats.Plan)
+	}
+	if resl.Rows[0][1].I != 500 {
+		t.Errorf("legacy count = %v", resl.Rows[0][1])
+	}
 	// Group-by queries must not take the fused path.
-	res2, err := e.Query("select a2, count(*) from G group by a2 limit 1")
+	res2, err := el.Query("select a2, count(*) from G group by a2 limit 1")
 	if err != nil {
 		t.Fatal(err)
 	}

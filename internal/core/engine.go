@@ -79,6 +79,14 @@ type Options struct {
 	// DisableRevalidation skips the per-query file-change check (for
 	// benchmarks that fix the data).
 	DisableRevalidation bool
+	// BatchSize is the rows-per-batch of the vectorized pipeline (0 =
+	// exec.DefaultBatchSize). Small sizes tighten LIMIT/cancellation
+	// granularity at the cost of per-batch overhead.
+	BatchSize int
+	// DisableVectorExec routes queries through the row-at-a-time
+	// execution paths instead of the vectorized operator pipeline (for
+	// ablations and differential testing).
+	DisableVectorExec bool
 }
 
 // ErrClosed is returned by every query or preparation attempt after the
@@ -349,6 +357,9 @@ func (e *Engine) ExplainContext(ctx context.Context, query string) (string, erro
 		return "", err
 	}
 	out := p.String()
+	if !e.opts.DisableVectorExec {
+		out += describePipeline(p, e.batchSize())
+	}
 	if !e.opts.DisableSynopsis {
 		for i := range p.Tables {
 			tp := &p.Tables[i]

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"nodb/internal/catalog"
+	"nodb/internal/exec"
+	"nodb/internal/loader"
+	"nodb/internal/plan"
+	"nodb/internal/storage"
+)
+
+// This file wires the vectorized operator pipeline (internal/exec's Batch
+// operators) into the engine: plans compile into Scan → Filter → Project →
+// Aggregate/Join → Sort → Limit trees, and the cursor drains the root.
+// The row-at-a-time paths survive behind Options.DisableVectorExec as the
+// differential-testing oracle.
+
+// batchSize returns the configured rows-per-batch (DefaultBatchSize when
+// unset).
+func (e *Engine) batchSize() int {
+	if e.opts.BatchSize > 0 {
+		return e.opts.BatchSize
+	}
+	return exec.DefaultBatchSize
+}
+
+// batchStream bridges a push-style batch scan (loader.ScanBatchesContext)
+// into the pull-based Operator interface. The scan runs in its own
+// goroutine under a cancellable child context; Close cancels it, which is
+// how a LIMIT cuts a raw-file pass short mid-stream.
+type batchStream struct {
+	stats  exec.OpStats
+	name   string
+	ch     chan *exec.Batch
+	errc   chan error
+	cancel context.CancelFunc
+	once   sync.Once
+	closed bool
+	done   bool
+	err    error
+}
+
+func newBatchStream(ctx context.Context, name string, run func(context.Context, func(*exec.Batch) error) error) *batchStream {
+	sctx, cancel := context.WithCancel(ctx)
+	s := &batchStream{
+		name:   name,
+		ch:     make(chan *exec.Batch, 2),
+		errc:   make(chan error, 1),
+		cancel: cancel,
+	}
+	go func() {
+		err := run(sctx, func(b *exec.Batch) error {
+			select {
+			case s.ch <- b:
+				return nil
+			case <-sctx.Done():
+				return sctx.Err()
+			}
+		})
+		s.errc <- err // buffered: never blocks, so Close cannot leak the goroutine
+		close(s.ch)
+	}()
+	return s
+}
+
+func (s *batchStream) Name() string              { return s.name }
+func (s *batchStream) Children() []exec.Operator { return nil }
+func (s *batchStream) Stats() exec.OpStats       { return s.stats }
+
+func (s *batchStream) Next() (*exec.Batch, error) {
+	if s.done {
+		return nil, s.err
+	}
+	b, ok := <-s.ch
+	if !ok {
+		s.done = true
+		err := <-s.errc
+		if s.closed && errors.Is(err, context.Canceled) {
+			err = nil // the cancellation Close itself caused, not a failure
+		}
+		s.err = err
+		return nil, err
+	}
+	s.stats.Batches++
+	s.stats.Rows += int64(b.Rows())
+	return b, nil
+}
+
+func (s *batchStream) Close() {
+	s.once.Do(func() {
+		s.closed = true
+		s.cancel()
+		for range s.ch { // discard until the producer exits
+		}
+	})
+}
+
+// buildPipeline compiles the plan into an operator tree. The returned
+// cleanup releases pins taken while building (it is safe to call exactly
+// once, after the tree is closed); on error the partially built tree is
+// already closed.
+func (e *Engine) buildPipeline(ctx context.Context, p *plan.Plan) (exec.Operator, func(), error) {
+	size := e.batchSize()
+	var cleanups []func()
+	cleanup := func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+
+	// Streaming scans keep raw-file row order only with one worker; the
+	// buffered loaders always deliver rowID order. Plans that fold rows
+	// into order-sensitive results (float sums accumulate in input order)
+	// take the buffered source so both execution modes agree bit-for-bit.
+	streamOK := len(p.Tables) == 1 && len(p.Joins) == 0 && !p.HasAggregates() &&
+		len(p.GroupBy) == 0 && len(p.OrderBy) == 0
+
+	srcs := make([]exec.Operator, 0, len(p.Tables))
+	fail := func(err error) (exec.Operator, func(), error) {
+		for _, s := range srcs {
+			s.Close()
+		}
+		cleanup()
+		return nil, func() {}, err
+	}
+	for i := range p.Tables {
+		op, cl, err := e.tableSource(ctx, &p.Tables[i], size, streamOK)
+		if cl != nil {
+			cleanups = append(cleanups, cl)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		srcs = append(srcs, op)
+	}
+
+	root := srcs[0]
+	for i, edge := range p.Joins {
+		root = exec.NewHashJoinOp(root, srcs[i+1], edge.Left, edge.Right, size)
+	}
+
+	switch {
+	case p.HasAggregates() && len(p.GroupBy) == 0:
+		out := make([]int, len(p.Slots))
+		for i, s := range p.Slots {
+			out[i] = s.Idx
+		}
+		root = exec.NewAggOp(root, p.Aggs, out)
+	case len(p.GroupBy) > 0:
+		slots := make([]exec.OutSlot, len(p.Slots))
+		for i, s := range p.Slots {
+			slots[i] = exec.OutSlot{Agg: s.Agg, Idx: s.Idx}
+		}
+		root = exec.NewGroupByOp(root, p.GroupBy, p.Aggs, slots, p.Project, size)
+	default:
+		root = exec.NewProjectOp(root, p.Project)
+	}
+	if len(p.OrderBy) > 0 {
+		root = exec.NewSortOp(root, p.OrderBy, len(p.Output), size)
+	}
+	root = exec.NewLimitOp(root, p.Limit)
+	return root, cleanup, nil
+}
+
+// tableSource builds one table's scan subtree: its adaptive load operator
+// runs (or streams) exactly as on the row-at-a-time paths, and the result
+// enters the pipeline as batches keyed under the table's ordinal.
+func (e *Engine) tableSource(ctx context.Context, tp *plan.TablePlan, size int, streamOK bool) (exec.Operator, func(), error) {
+	t, err := e.cat.Get(tp.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	t.Prepare(prepareCols(t, tp)) // lazy snapshot restore before the load operator runs
+
+	viewSrc := func(v *exec.View, err error) (exec.Operator, func(), error) {
+		if err != nil {
+			return nil, nil, err
+		}
+		return exec.NewViewScan(v, size), nil, nil
+	}
+
+	switch tp.LoadOp {
+	case plan.LoadNone, plan.LoadFull, plan.LoadColumns, plan.LoadSplit:
+		if err := e.runLoad(ctx, t, tp); err != nil {
+			return nil, nil, err
+		}
+		if e.opts.Cracking && !tp.Conj.Empty() {
+			// Cracking reorganizes columns as a selection side effect; the
+			// cracked select stays row-at-a-time and its (already filtered)
+			// view re-enters the pipeline as batches.
+			return viewSrc(e.denseSelect(ctx, t, tp))
+		}
+		src, unpin, err := e.ensureDensePinned(ctx, t, tp.Pins)
+		if err != nil {
+			return nil, nil, err
+		}
+		scan, err := exec.NewDenseScan(src, tp.Ordinal, tp.Pins, size)
+		if err != nil {
+			unpin()
+			return nil, nil, err
+		}
+		var op exec.Operator = scan
+		if !tp.Conj.Empty() {
+			op = exec.NewFilterOp(op, tp.Ordinal, tp.Conj)
+		}
+		return op, unpin, nil
+	case plan.LoadPartialEphemeral:
+		if streamOK {
+			return e.streamSource(ctx, e.ld, t, tp, size), nil, nil
+		}
+		return viewSrc(e.ld.PartialScanContext(ctx, t, tp.NeedCols, tp.Conj, tp.Ordinal))
+	case plan.LoadExternal:
+		if streamOK {
+			return e.streamSource(ctx, e.extLd, t, tp, size), nil, nil
+		}
+		return viewSrc(e.extLd.PartialScanContext(ctx, t, tp.NeedCols, tp.Conj, tp.Ordinal))
+	case plan.LoadPartialRetained:
+		return viewSrc(e.ld.PartialLoadV2Context(ctx, t, tp.NeedCols, tp.Conj, tp.Ordinal))
+	case plan.LoadAuto:
+		return viewSrc(e.autoLoad(ctx, t, tp))
+	default:
+		return nil, nil, fmt.Errorf("core: unknown load op %v", tp.LoadOp)
+	}
+}
+
+// streamSource wraps a predicate-pushing raw-file scan as a pipeline
+// source. Batches arrive post-filter, so no FilterOp follows.
+func (e *Engine) streamSource(ctx context.Context, ld *loader.Loader, t *catalog.Table, tp *plan.TablePlan, size int) exec.Operator {
+	name := fmt.Sprintf("StreamScan(%s t%d cols=%v)", tp.Name, tp.Ordinal, tp.NeedCols)
+	return newBatchStream(ctx, name, func(sctx context.Context, emit func(*exec.Batch) error) error {
+		return ld.ScanBatchesContext(sctx, t, tp.NeedCols, tp.Conj, tp.Ordinal, size, emit)
+	})
+}
+
+// executeVector compiles and drains the vectorized pipeline, and returns
+// the executed operator tree (with per-operator batch/row counters) as the
+// plan note.
+func (e *Engine) executeVector(ctx context.Context, p *plan.Plan, w *rowWriter) (string, error) {
+	root, cleanup, err := e.buildPipeline(ctx, p)
+	if err != nil {
+		cleanup()
+		return "", err
+	}
+	defer cleanup()
+	defer root.Close()
+
+	err = drainPipeline(ctx, root, len(p.Output), w)
+	note := "vectorized pipeline:\n" + indentTree(exec.ExplainTree(root))
+	return note, err
+}
+
+// drainPipeline pulls the root to exhaustion, flattening each batch's
+// output-keyed vectors into result rows for the cursor. Each batch backs
+// its rows with one flat value array, keeping the drain under one
+// allocation per row.
+func drainPipeline(ctx context.Context, root exec.Operator, arity int, w *rowWriter) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		b, err := root.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		cols := make([]*storage.DenseColumn, arity)
+		for j := 0; j < arity; j++ {
+			if cols[j] = b.Col(exec.OutKey(j)); cols[j] == nil {
+				return fmt.Errorf("core: output column %d not in batch", j)
+			}
+		}
+		rows := make([][]storage.Value, 0, b.Rows())
+		flat := make([]storage.Value, b.Rows()*arity)
+		fill := func(r, i int) {
+			row := flat[r*arity : (r+1)*arity : (r+1)*arity]
+			for j, c := range cols {
+				row[j] = c.Value(i)
+			}
+			rows = append(rows, row)
+		}
+		if b.Sel == nil {
+			for i := 0; i < b.N; i++ {
+				fill(i, i)
+			}
+		} else {
+			for r, i := range b.Sel {
+				fill(r, int(i))
+			}
+		}
+		if err := w.emitAll(rows); err != nil {
+			return err
+		}
+	}
+}
+
+// describePipeline renders the operator tree a plan would compile to,
+// without executing anything — ExplainContext shows it alongside the
+// logical plan. The shapes mirror buildPipeline exactly.
+func describePipeline(p *plan.Plan, batchSize int) string {
+	streamOK := len(p.Tables) == 1 && len(p.Joins) == 0 && !p.HasAggregates() &&
+		len(p.GroupBy) == 0 && len(p.OrderBy) == 0
+
+	src := func(tp *plan.TablePlan) string {
+		switch tp.LoadOp {
+		case plan.LoadNone, plan.LoadFull, plan.LoadColumns, plan.LoadSplit:
+			s := fmt.Sprintf("DenseScan(t%d cols=%v)", tp.Ordinal, tp.Pins)
+			if !tp.Conj.Empty() {
+				s = fmt.Sprintf("Filter(t%d %d preds)\n  %s", tp.Ordinal, len(tp.Conj.Preds), s)
+			}
+			return s
+		case plan.LoadPartialEphemeral, plan.LoadExternal:
+			if streamOK {
+				return fmt.Sprintf("StreamScan(%s t%d cols=%v)", tp.Name, tp.Ordinal, tp.NeedCols)
+			}
+			return fmt.Sprintf("ViewScan(%s t%d)", tp.Name, tp.Ordinal)
+		default:
+			return fmt.Sprintf("ViewScan(%s t%d)", tp.Name, tp.Ordinal)
+		}
+	}
+
+	tree := src(&p.Tables[0])
+	for i, edge := range p.Joins {
+		tree = fmt.Sprintf("HashJoin(%v=%v)\n%s\n%s",
+			edge.Left, edge.Right, indent(tree), indent(src(&p.Tables[i+1])))
+	}
+	switch {
+	case p.HasAggregates() && len(p.GroupBy) == 0:
+		tree = fmt.Sprintf("Aggregate(%d)\n%s", len(p.Aggs), indent(tree))
+	case len(p.GroupBy) > 0:
+		tree = fmt.Sprintf("GroupBy(%v aggs=%d)\n%s", p.GroupBy, len(p.Aggs), indent(tree))
+	default:
+		tree = fmt.Sprintf("Project(%v)\n%s", p.Project, indent(tree))
+	}
+	if len(p.OrderBy) > 0 {
+		tree = fmt.Sprintf("Sort(%v)\n%s", p.OrderBy, indent(tree))
+	}
+	if p.Limit < 0 {
+		tree = "Limit(none)\n" + indent(tree)
+	} else {
+		tree = fmt.Sprintf("Limit(%d)\n%s", p.Limit, indent(tree))
+	}
+	return fmt.Sprintf("pipeline (batch=%d):\n%s\n", batchSize, indent(tree))
+}
+
+func indent(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		lines[i] = "  " + l
+	}
+	return strings.Join(lines, "\n")
+}
+
+func indentTree(s string) string {
+	return indent(strings.TrimRight(s, "\n")) + "\n"
+}

@@ -475,12 +475,18 @@ func (e *Engine) pinPlan(p *plan.Plan) func() {
 	}
 }
 
-// execute dispatches the plan to the best execution path: the fused
+// execute dispatches the plan to its execution path. The default is the
+// vectorized batch-operator pipeline; with DisableVectorExec the plan
+// routes through the pre-pipeline row-at-a-time paths (the fused
 // select+aggregate operator, the streaming row pipeline, or the general
-// materializing path. It returns an EXPLAIN note for the stats plan.
+// materializing path), kept as the differential-testing oracle. It
+// returns an EXPLAIN note for the stats plan.
 func (e *Engine) execute(ctx context.Context, p *plan.Plan, w *rowWriter) (string, error) {
 	if p.Limit == 0 {
 		return "", nil
+	}
+	if !e.opts.DisableVectorExec {
+		return e.executeVector(ctx, p, w)
 	}
 	if row, ok, err := e.tryFusedAggregate(ctx, p); err != nil {
 		return "", err

@@ -18,6 +18,18 @@ import (
 	"strconv"
 )
 
+// Format selects the output encoding.
+type Format int
+
+// Output encodings.
+const (
+	// FormatCSV emits delimiter-separated rows (the default).
+	FormatCSV Format = iota
+	// FormatNDJSON emits one JSON object per line with fields a1, a2, ...
+	// Field names are self-describing, so Header is ignored.
+	FormatNDJSON
+)
+
 // Spec describes one synthetic table.
 type Spec struct {
 	// Rows is the number of tuples.
@@ -34,6 +46,8 @@ type Spec struct {
 	// ColSpecs optionally overrides the per-column value generator; when
 	// shorter than Cols the remaining columns use UniqueInts.
 	ColSpecs []ColSpec
+	// Format selects the output encoding (default FormatCSV).
+	Format Format
 }
 
 // Kind selects a per-column value distribution.
@@ -181,6 +195,9 @@ func Write(w io.Writer, s Spec) error {
 		return fmt.Errorf("csvgen: invalid spec rows=%d cols=%d", s.Rows, s.Cols)
 	}
 	bw := bufio.NewWriterSize(w, 1<<20)
+	if s.Format == FormatNDJSON {
+		return writeNDJSON(bw, s)
+	}
 	d := s.delim()
 	if s.Header {
 		for c := 0; c < s.Cols; c++ {
@@ -211,6 +228,42 @@ func Write(w io.Writer, s Spec) error {
 			buf = gens[c].next(buf)
 		}
 		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// writeNDJSON emits one {"a1":v,...} object per line. Generated string
+// values are lowercase letters, so quoting needs no escaping; numeric
+// kinds emit their text unquoted (valid JSON numbers).
+func writeNDJSON(bw *bufio.Writer, s Spec) error {
+	gens := make([]columnGen, s.Cols)
+	quoted := make([]bool, s.Cols)
+	for c := range gens {
+		gens[c] = s.newGen(c)
+		quoted[c] = s.colSpec(c).Kind == Strings
+	}
+	buf := make([]byte, 0, 256)
+	for r := 0; r < s.Rows; r++ {
+		buf = append(buf[:0], '{')
+		for c := 0; c < s.Cols; c++ {
+			if c > 0 {
+				buf = append(buf, ',')
+			}
+			buf = append(buf, '"', 'a')
+			buf = strconv.AppendInt(buf, int64(c+1), 10)
+			buf = append(buf, '"', ':')
+			if quoted[c] {
+				buf = append(buf, '"')
+				buf = gens[c].next(buf)
+				buf = append(buf, '"')
+			} else {
+				buf = gens[c].next(buf)
+			}
+		}
+		buf = append(buf, '}', '\n')
 		if _, err := bw.Write(buf); err != nil {
 			return err
 		}

@@ -1,0 +1,176 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"nodb/internal/schema"
+	"nodb/internal/storage"
+)
+
+// This file defines the vectorized execution core: a pull-based pipeline
+// of operators exchanging column-oriented Batches of ~1024 rows. Scans
+// emit zero-copy windows into dense columns; filters refine a selection
+// vector without moving values; only operators that must regroup rows
+// (joins, sorts, group-bys) materialize. The row-at-a-time path the
+// pipeline replaced survives behind Options.DisableVectorExec as the
+// differential-testing oracle.
+
+// DefaultBatchSize is the target rows per Batch. Large enough to amortize
+// per-batch overhead (virtual calls, map lookups, allocation) over ~1k
+// rows, small enough that a batch's working set stays cache-resident.
+const DefaultBatchSize = 1024
+
+// OutTab is the pseudo table ordinal of select-list output columns: once a
+// projection/aggregation shapes the result, columns are keyed OutKey(i)
+// for select-list position i, and downstream operators (sort, limit) plus
+// the cursor drain are source-agnostic.
+const OutTab = -1
+
+// OutKey returns the ColKey of select-list output position i.
+func OutKey(i int) ColKey { return ColKey{Tab: OutTab, Col: i} }
+
+// Batch is a column-oriented packet of rows flowing between operators.
+// The vectors hold N positions; Sel, when non-nil, lists the positions
+// that are still alive (ascending). Filters shrink Sel instead of copying
+// survivors — the batch's vectors are immutable windows shared with
+// upstream operators and must never be written through.
+type Batch struct {
+	N    int
+	Sel  []int32
+	Cols map[ColKey]*storage.DenseColumn
+}
+
+// Rows returns the number of live rows.
+func (b *Batch) Rows() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.N
+}
+
+// Col returns the column vector for key, or nil.
+func (b *Batch) Col(k ColKey) *storage.DenseColumn { return b.Cols[k] }
+
+// OpStats counts what one operator emitted.
+type OpStats struct {
+	Batches int64
+	Rows    int64
+}
+
+// Operator is one node of the vectorized pipeline. Next returns the next
+// batch, or (nil, nil) at end of stream; batches never have zero live
+// rows. Close releases resources early (a limit cutting off a raw scan);
+// it must be idempotent. Stats reports batches/rows emitted so far —
+// Explain renders them per node after execution.
+type Operator interface {
+	Name() string
+	Children() []Operator
+	Next() (*Batch, error)
+	Close()
+	Stats() OpStats
+}
+
+// opBase carries emission counters for operators to embed.
+type opBase struct {
+	stats OpStats
+}
+
+func (o *opBase) Stats() OpStats { return o.stats }
+
+func (o *opBase) observe(b *Batch) *Batch {
+	if b != nil {
+		o.stats.Batches++
+		o.stats.Rows += int64(b.Rows())
+	}
+	return b
+}
+
+// ExplainTree renders the operator tree with per-operator batch/row
+// counters, one node per line, children indented under parents.
+func ExplainTree(root Operator) string {
+	var sb strings.Builder
+	var walk func(op Operator, depth int)
+	walk = func(op Operator, depth int) {
+		st := op.Stats()
+		fmt.Fprintf(&sb, "%s%s  (batches=%d rows=%d)\n",
+			strings.Repeat("  ", depth), op.Name(), st.Batches, st.Rows)
+		for _, c := range op.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	return sb.String()
+}
+
+func newColMap(n int) map[ColKey]*storage.DenseColumn {
+	return make(map[ColKey]*storage.DenseColumn, n)
+}
+
+// window returns a zero-copy view of col's positions [lo, hi).
+func window(col *storage.DenseColumn, lo, hi int) *storage.DenseColumn {
+	w := &storage.DenseColumn{Typ: col.Typ}
+	switch col.Typ {
+	case schema.Int64:
+		w.Ints = col.Ints[lo:hi]
+	case schema.Float64:
+		w.Floats = col.Floats[lo:hi]
+	default:
+		w.Strs = col.Strs[lo:hi]
+	}
+	return w
+}
+
+// appendSelected appends the live positions of src (per sel) to dst.
+func appendSelected(dst, src *storage.DenseColumn, n int, sel []int32) {
+	switch src.Typ {
+	case schema.Int64:
+		if sel == nil {
+			dst.Ints = append(dst.Ints, src.Ints[:n]...)
+			return
+		}
+		for _, i := range sel {
+			dst.Ints = append(dst.Ints, src.Ints[i])
+		}
+	case schema.Float64:
+		if sel == nil {
+			dst.Floats = append(dst.Floats, src.Floats[:n]...)
+			return
+		}
+		for _, i := range sel {
+			dst.Floats = append(dst.Floats, src.Floats[i])
+		}
+	default:
+		if sel == nil {
+			dst.Strs = append(dst.Strs, src.Strs[:n]...)
+			return
+		}
+		for _, i := range sel {
+			dst.Strs = append(dst.Strs, src.Strs[i])
+		}
+	}
+}
+
+// DrainView pulls op to exhaustion and compacts every batch into a single
+// View (selection vectors applied). Join builds and materializing
+// operators use it.
+func DrainView(op Operator) (*View, error) {
+	v := NewView()
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return v, nil
+		}
+		for k, c := range b.Cols {
+			dst := v.Cols[k]
+			if dst == nil {
+				dst = storage.NewDense(c.Typ, b.Rows())
+				v.AddCol(k, dst)
+			}
+			appendSelected(dst, c, b.N, b.Sel)
+		}
+	}
+}

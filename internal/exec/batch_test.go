@@ -1,0 +1,427 @@
+package exec
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"nodb/internal/expr"
+	"nodb/internal/schema"
+	"nodb/internal/sql"
+	"nodb/internal/storage"
+)
+
+func mustDenseScan(t testing.TB, src DenseSource, tab int, cols []int, size int) *DenseScan {
+	t.Helper()
+	s, err := NewDenseScan(src, tab, cols, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func rowsEqual(t *testing.T, got, want [][]storage.Value) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("row %d arity = %d, want %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range got[i] {
+			g, w := got[i][j], want[i][j]
+			// NaN-safe comparison via the rendered form.
+			if g.Typ != w.Typ || g.String() != w.String() {
+				t.Fatalf("row %d col %d = %v (%v), want %v (%v)", i, j, g.String(), g.Typ, w.String(), w.Typ)
+			}
+		}
+	}
+}
+
+func TestDenseScanWindows(t *testing.T) {
+	src := mkSource(map[int][]int64{0: {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}})
+	s := mustDenseScan(t, src, 0, []int{0}, 3)
+	var total, batches int
+	for {
+		b, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		batches++
+		c := b.Col(ColKey{0, 0})
+		if c == nil || c.Len() != b.N {
+			t.Fatalf("batch %d: column len %d, N %d", batches, c.Len(), b.N)
+		}
+		// Zero-copy: the window aliases the source column.
+		if &c.Ints[0] != &src.Columns[0].Ints[total] {
+			t.Fatal("window is a copy, want alias into the source column")
+		}
+		total += b.Rows()
+	}
+	if batches != 4 || total != 10 {
+		t.Fatalf("batches=%d rows=%d, want 4 batches of 10 rows", batches, total)
+	}
+	st := s.Stats()
+	if st.Batches != 4 || st.Rows != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if _, err := NewDenseScan(src, 0, []int{7}, 0); err == nil {
+		t.Fatal("scan of a missing column should error at construction")
+	}
+}
+
+// TestPipelineMatchesSelectDense differentially pins Scan→Filter→Project
+// against the row-at-a-time SelectDense + ProjectRows on random data,
+// across batch sizes that do and don't divide the row count.
+func TestPipelineMatchesSelectDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 1000
+	a0 := make([]int64, n)
+	a1 := make([]int64, n)
+	for i := range a0 {
+		a0[i] = rng.Int63n(100)
+		a1[i] = rng.Int63n(1000)
+	}
+	src := mkSource(map[int][]int64{0: a0, 1: a1})
+	conj := expr.Conjunction{Preds: []expr.Pred{
+		intPred(0, expr.Ge, 20), intPred(0, expr.Lt, 80), intPred(1, expr.Ne, 500),
+	}}
+	proj := []ColKey{{0, 1}, {0, 0}}
+
+	v, err := SelectDense(src, conj, []int{0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ProjectRows(v, proj)
+
+	for _, size := range []int{1, 7, 256, 1024, 5000} {
+		scan := mustDenseScan(t, src, 0, []int{0, 1}, size)
+		p := NewProjectOp(NewFilterOp(scan, 0, conj), proj)
+		got, err := DrainRows(p, len(proj))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rowsEqual(t, got, want)
+	}
+}
+
+func TestAggOpMatchesAggregate(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const n = 777
+	ints := make([]int64, n)
+	for i := range ints {
+		ints[i] = rng.Int63n(500) - 250
+	}
+	fc := storage.NewDense(schema.Float64, n)
+	for i := 0; i < n; i++ {
+		fc.Floats = append(fc.Floats, float64(rng.Int63n(1000))/8)
+	}
+	src := mkSource(map[int][]int64{0: ints})
+	src.Columns[1] = fc
+
+	specs := []AggSpec{
+		{Kind: sql.AggCount, Star: true},
+		{Kind: sql.AggSum, Col: ColKey{0, 0}},
+		{Kind: sql.AggSum, Col: ColKey{0, 1}},
+		{Kind: sql.AggAvg, Col: ColKey{0, 0}},
+		{Kind: sql.AggAvg, Col: ColKey{0, 1}},
+		{Kind: sql.AggMin, Col: ColKey{0, 0}},
+		{Kind: sql.AggMax, Col: ColKey{0, 1}},
+		{Kind: sql.AggCount, Col: ColKey{0, 0}},
+	}
+	out := make([]int, len(specs))
+	for i := range out {
+		out[i] = i
+	}
+
+	for _, conj := range []expr.Conjunction{
+		{},
+		{Preds: []expr.Pred{intPred(0, expr.Gt, 0)}},
+		{Preds: []expr.Pred{intPred(0, expr.Gt, 10_000)}}, // empty result
+	} {
+		v, err := SelectDense(src, conj, []int{0, 1}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Aggregate(v, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scan := mustDenseScan(t, src, 0, []int{0, 1}, 128)
+		agg := NewAggOp(NewFilterOp(scan, 0, conj), specs, out)
+		got, err := DrainRows(agg, len(specs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rowsEqual(t, got, [][]storage.Value{want})
+	}
+}
+
+func TestGroupByOpMatchesGroupBy(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const n = 600
+	keys := make([]int64, n)
+	vals := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Int63n(12)
+		vals[i] = rng.Int63n(100)
+	}
+	src := mkSource(map[int][]int64{0: keys, 1: vals})
+	gkeys := []ColKey{{0, 0}}
+	specs := []AggSpec{
+		{Kind: sql.AggSum, Col: ColKey{0, 1}},
+		{Kind: sql.AggCount, Star: true},
+	}
+	// Select list: sum(c1), c0, count(*) — exercises slot reordering.
+	slots := []OutSlot{{Agg: true, Idx: 0}, {Agg: false, Idx: 0}, {Agg: true, Idx: 1}}
+	proj := []ColKey{{0, 0}}
+
+	v, err := SelectDense(src, expr.Conjunction{}, []int{0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := GroupBy(v, gkeys, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]storage.Value, len(legacy))
+	for i, r := range legacy {
+		want[i] = []storage.Value{r[1], r[0], r[2]}
+	}
+
+	scan := mustDenseScan(t, src, 0, []int{0, 1}, 64)
+	g := NewGroupByOp(scan, gkeys, specs, slots, proj, 5)
+	got, err := DrainRows(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsEqual(t, got, want)
+}
+
+func TestGroupByOpEmptyInput(t *testing.T) {
+	src := mkSource(map[int][]int64{0: {1, 2, 3}})
+	scan := mustDenseScan(t, src, 0, []int{0}, 2)
+	f := NewFilterOp(scan, 0, expr.Conjunction{Preds: []expr.Pred{intPred(0, expr.Gt, 99)}})
+	g := NewGroupByOp(f, []ColKey{{0, 0}}, []AggSpec{{Kind: sql.AggCount, Star: true}},
+		[]OutSlot{{Agg: false, Idx: 0}, {Agg: true, Idx: 0}}, []ColKey{{0, 0}}, 0)
+	rows, err := DrainRows(g, 2)
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("empty group-by = %d rows (%v), want 0", len(rows), err)
+	}
+}
+
+func TestHashJoinOpMatchesHashJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	mk := func(n int, mod int64) (DenseSource, *View) {
+		ks := make([]int64, n)
+		pay := make([]int64, n)
+		for i := range ks {
+			ks[i] = rng.Int63n(mod)
+			pay[i] = int64(i) * 7
+		}
+		return mkSource(map[int][]int64{0: ks, 1: pay}), nil
+	}
+	// Both shapes: probe side larger and build side larger, so the
+	// build-on-smaller-side choice is exercised in both directions.
+	for _, sizes := range [][2]int{{300, 80}, {80, 300}, {100, 100}} {
+		lsrc, _ := mk(sizes[0], 50)
+		rsrc, _ := mk(sizes[1], 50)
+		lv, err := SelectDense(lsrc, expr.Conjunction{}, []int{0, 1}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rv, err := SelectDense(rsrc, expr.Conjunction{}, []int{0, 1}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := HashJoin(lv, rv, ColKey{0, 0}, ColKey{1, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		proj := []ColKey{{0, 1}, {1, 1}, {0, 0}}
+		wantRows := ProjectRows(want, proj)
+
+		ls := mustDenseScan(t, lsrc, 0, []int{0, 1}, 97)
+		rs := mustDenseScan(t, rsrc, 1, []int{0, 1}, 97)
+		j := NewHashJoinOp(ls, rs, ColKey{0, 0}, ColKey{1, 0}, 128)
+		got, err := DrainRows(NewProjectOp(j, proj), len(proj))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rowsEqual(t, got, wantRows)
+	}
+}
+
+func TestHashJoinOpEmptySide(t *testing.T) {
+	lsrc := mkSource(map[int][]int64{0: {1, 2, 3}})
+	rsrc := mkSource(map[int][]int64{0: {1, 2}})
+	ls := mustDenseScan(t, lsrc, 0, []int{0}, 2)
+	rf := NewFilterOp(mustDenseScan(t, rsrc, 1, []int{0}, 2), 1,
+		expr.Conjunction{Preds: []expr.Pred{intPred(0, expr.Gt, 99)}})
+	j := NewHashJoinOp(ls, rf, ColKey{0, 0}, ColKey{1, 0}, 0)
+	b, err := j.Next()
+	if err != nil || b != nil {
+		t.Fatalf("join with empty build side = (%v, %v), want end of stream", b, err)
+	}
+}
+
+func TestSortOpAndLimitOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const n = 500
+	a0 := make([]int64, n)
+	a1 := make([]int64, n)
+	for i := range a0 {
+		a0[i] = rng.Int63n(40)
+		a1[i] = int64(i)
+	}
+	src := mkSource(map[int][]int64{0: a0, 1: a1})
+	proj := []ColKey{{0, 0}, {0, 1}}
+	sortKeys := []SortKey{{Index: 0, Desc: true}}
+
+	v, err := SelectDense(src, expr.Conjunction{}, []int{0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ProjectRows(v, proj)
+	SortRows(want, sortKeys)
+	want = LimitRows(want, 17)
+
+	scan := mustDenseScan(t, src, 0, []int{0, 1}, 33)
+	top := NewLimitOp(NewSortOp(NewProjectOp(scan, proj), sortKeys, 2, 9), 17)
+	got, err := DrainRows(top, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsEqual(t, got, want)
+}
+
+// pullCounter wraps an operator, counting pulls and Close calls, to prove
+// LimitOp stops its upstream early.
+type pullCounter struct {
+	opBase
+	child  Operator
+	pulls  int
+	closed int
+}
+
+func (p *pullCounter) Name() string         { return "pullCounter" }
+func (p *pullCounter) Children() []Operator { return []Operator{p.child} }
+func (p *pullCounter) Close()               { p.closed++; p.child.Close() }
+func (p *pullCounter) Next() (*Batch, error) {
+	p.pulls++
+	return p.child.Next()
+}
+
+func TestLimitStopsPullingAndClosesChild(t *testing.T) {
+	vals := make([]int64, 100)
+	src := mkSource(map[int][]int64{0: vals})
+	pc := &pullCounter{child: mustDenseScan(t, src, 0, []int{0}, 10)}
+	lim := NewLimitOp(pc, 25)
+	rows := 0
+	for {
+		b, err := lim.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		rows += b.Rows()
+	}
+	if rows != 25 {
+		t.Fatalf("limit emitted %d rows, want 25", rows)
+	}
+	if pc.pulls != 3 {
+		t.Fatalf("limit pulled %d batches, want 3 (of 10 available)", pc.pulls)
+	}
+	if pc.closed == 0 {
+		t.Fatal("limit did not close its child after satisfying the quota")
+	}
+}
+
+func TestLimitZero(t *testing.T) {
+	src := mkSource(map[int][]int64{0: {1, 2, 3}})
+	lim := NewLimitOp(mustDenseScan(t, src, 0, []int{0}, 2), 0)
+	if b, err := lim.Next(); err != nil || b != nil {
+		t.Fatalf("limit 0 emitted %v (%v)", b, err)
+	}
+}
+
+func TestExplainTreeShape(t *testing.T) {
+	src := mkSource(map[int][]int64{0: {1, 2, 3, 4}})
+	scan := mustDenseScan(t, src, 0, []int{0}, 2)
+	f := NewFilterOp(scan, 0, expr.Conjunction{Preds: []expr.Pred{intPred(0, expr.Gt, 1)}})
+	agg := NewAggOp(f, []AggSpec{{Kind: sql.AggCount, Star: true}}, []int{0})
+	if _, err := DrainRows(agg, 1); err != nil {
+		t.Fatal(err)
+	}
+	tree := ExplainTree(agg)
+	lines := strings.Split(strings.TrimRight(tree, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("tree = %q", tree)
+	}
+	if !strings.HasPrefix(lines[0], "Aggregate") || !strings.Contains(lines[0], "rows=1") {
+		t.Errorf("root line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  Filter") || !strings.Contains(lines[1], "rows=3") {
+		t.Errorf("filter line = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "    DenseScan") || !strings.Contains(lines[2], "rows=4") {
+		t.Errorf("scan line = %q", lines[2])
+	}
+}
+
+func TestDrainRowsAllocs(t *testing.T) {
+	const n = 4096
+	vals := make([]int64, n)
+	src := mkSource(map[int][]int64{0: vals, 1: vals})
+	proj := []ColKey{{0, 0}, {0, 1}}
+	allocs := testing.AllocsPerRun(10, func() {
+		scan, err := NewDenseScan(src, 0, []int{0, 1}, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := DrainRows(NewProjectOp(scan, proj), 2)
+		if err != nil || len(rows) != n {
+			t.Fatalf("drain: %d rows, %v", len(rows), err)
+		}
+	})
+	if perRow := allocs / n; perRow >= 1 {
+		t.Fatalf("drain allocates %.2f per row (%.0f total), want < 1", perRow, allocs)
+	}
+}
+
+// BenchmarkBatchPipeline measures the vectorized filter+aggregate chain
+// that replaced the row-at-a-time SelectDense/Aggregate pair (compare
+// with BenchmarkSelectDense1M).
+func BenchmarkBatchPipeline(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1_000_000
+	a1 := make([]int64, n)
+	a2 := make([]int64, n)
+	for i := range a1 {
+		a1[i] = rng.Int63n(int64(n))
+		a2[i] = rng.Int63n(int64(n))
+	}
+	src := mkSource(map[int][]int64{0: a1, 1: a2})
+	conj := expr.Conjunction{Preds: []expr.Pred{
+		intPred(0, expr.Gt, 100_000), intPred(0, expr.Lt, 200_000),
+		intPred(1, expr.Gt, 0), intPred(1, expr.Lt, 900_000),
+	}}
+	specs := []AggSpec{{Kind: sql.AggSum, Col: ColKey{0, 0}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scan, err := NewDenseScan(src, 0, []int{0, 1}, DefaultBatchSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		agg := NewAggOp(NewFilterOp(scan, 0, conj), specs, []int{0})
+		if _, err := DrainRows(agg, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package exec
+
+import (
+	"fmt"
+
+	"nodb/internal/expr"
+	"nodb/internal/storage"
+)
+
+// DenseScan emits zero-copy windows over a fully loaded table's dense
+// columns. Nothing is copied: each batch's vectors are subslices of the
+// store's columns, so a full-table scan allocates one small Batch header
+// per ~1024 rows.
+type DenseScan struct {
+	opBase
+	src  DenseSource
+	tab  int
+	cols []int
+	size int
+	pos  int64
+}
+
+// NewDenseScan builds a scan of cols (attribute indices) from src under
+// table ordinal tab.
+func NewDenseScan(src DenseSource, tab int, cols []int, batchSize int) (*DenseScan, error) {
+	for _, c := range cols {
+		if src.Columns[c] == nil {
+			return nil, fmt.Errorf("exec: scan column %d not loaded", c)
+		}
+	}
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	return &DenseScan{src: src, tab: tab, cols: cols, size: batchSize}, nil
+}
+
+func (s *DenseScan) Name() string {
+	return fmt.Sprintf("DenseScan(t%d cols=%v)", s.tab, s.cols)
+}
+func (s *DenseScan) Children() []Operator { return nil }
+func (s *DenseScan) Close()               {}
+
+func (s *DenseScan) Next() (*Batch, error) {
+	if s.pos >= s.src.NumRows {
+		return nil, nil
+	}
+	lo := s.pos
+	hi := lo + int64(s.size)
+	if hi > s.src.NumRows {
+		hi = s.src.NumRows
+	}
+	s.pos = hi
+	out := &Batch{N: int(hi - lo), Cols: newColMap(len(s.cols))}
+	for _, c := range s.cols {
+		out.Cols[ColKey{Tab: s.tab, Col: c}] = window(s.src.Columns[c], int(lo), int(hi))
+	}
+	s.src.countScanBytes(s.cols, hi-lo)
+	return s.observe(out), nil
+}
+
+// ViewScan emits windows over an already-materialized View (partial loads,
+// cached regions, adaptive-store results). Column keys pass through
+// unchanged.
+type ViewScan struct {
+	opBase
+	v    *View
+	size int
+	pos  int
+}
+
+func NewViewScan(v *View, batchSize int) *ViewScan {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	return &ViewScan{v: v, size: batchSize}
+}
+
+func (s *ViewScan) Name() string         { return fmt.Sprintf("ViewScan(rows=%d)", s.v.Len()) }
+func (s *ViewScan) Children() []Operator { return nil }
+func (s *ViewScan) Close()               {}
+
+func (s *ViewScan) Next() (*Batch, error) {
+	n := s.v.Len()
+	if s.pos >= n {
+		return nil, nil
+	}
+	lo := s.pos
+	hi := lo + s.size
+	if hi > n {
+		hi = n
+	}
+	s.pos = hi
+	b := &Batch{N: hi - lo, Cols: newColMap(len(s.v.Cols))}
+	for k, c := range s.v.Cols {
+		b.Cols[k] = window(c, lo, hi)
+	}
+	return s.observe(b), nil
+}
+
+// FilterOp refines each batch's selection vector by a conjunction over
+// table tab's columns. Survivor positions are recorded in Sel — values
+// never move. Batches left with zero survivors are absorbed, not emitted.
+type FilterOp struct {
+	opBase
+	child Operator
+	tab   int
+	conj  expr.Conjunction
+}
+
+func NewFilterOp(child Operator, tab int, conj expr.Conjunction) *FilterOp {
+	return &FilterOp{child: child, tab: tab, conj: conj}
+}
+
+func (f *FilterOp) Name() string {
+	return fmt.Sprintf("Filter(t%d %d preds)", f.tab, len(f.conj.Preds))
+}
+func (f *FilterOp) Children() []Operator { return []Operator{f.child} }
+func (f *FilterOp) Close()               { f.child.Close() }
+
+func (f *FilterOp) Next() (*Batch, error) {
+	for {
+		b, err := f.child.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		for _, p := range f.conj.Preds {
+			if b.Cols[ColKey{Tab: f.tab, Col: p.Col}] == nil {
+				return nil, fmt.Errorf("exec: predicate column %d not in batch", p.Col)
+			}
+		}
+		sel := b.Sel
+		dense := sel == nil
+		if dense {
+			// A fresh selection vector per batch: downstream operators may
+			// buffer batches (join build, sort), so scratch reuse would alias.
+			sel = make([]int32, b.N)
+			for i := range sel {
+				sel[i] = int32(i)
+			}
+		}
+		b.Sel = f.conj.FilterBatch(func(col int) *storage.DenseColumn {
+			return b.Cols[ColKey{Tab: f.tab, Col: col}]
+		}, sel)
+		if len(b.Sel) == 0 {
+			continue
+		}
+		if dense && len(b.Sel) == b.N {
+			// Every row survived a dense batch: restore Sel = nil so
+			// downstream loops run without the indirection.
+			b.Sel = nil
+		}
+		return f.observe(b), nil
+	}
+}
+
+// ProjectOp reshapes batches to the select list: output position i aliases
+// the source column keys[i] under OutKey(i). Zero-copy — vectors and the
+// selection vector pass through.
+type ProjectOp struct {
+	opBase
+	child Operator
+	keys  []ColKey
+}
+
+func NewProjectOp(child Operator, keys []ColKey) *ProjectOp {
+	return &ProjectOp{child: child, keys: keys}
+}
+
+func (p *ProjectOp) Name() string         { return fmt.Sprintf("Project(%v)", p.keys) }
+func (p *ProjectOp) Children() []Operator { return []Operator{p.child} }
+func (p *ProjectOp) Close()               { p.child.Close() }
+
+func (p *ProjectOp) Next() (*Batch, error) {
+	b, err := p.child.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	out := &Batch{N: b.N, Sel: b.Sel, Cols: newColMap(len(p.keys))}
+	for i, k := range p.keys {
+		c := b.Cols[k]
+		if c == nil {
+			return nil, fmt.Errorf("exec: projected column %v not in batch", k)
+		}
+		out.Cols[OutKey(i)] = c
+	}
+	return p.observe(out), nil
+}
+
+// LimitOp truncates the stream after n live rows and closes its child so
+// upstream producers (raw-file scans) stop early. n < 0 means no limit.
+type LimitOp struct {
+	opBase
+	child     Operator
+	remaining int
+	unlimited bool
+	done      bool
+}
+
+func NewLimitOp(child Operator, n int) *LimitOp {
+	return &LimitOp{child: child, remaining: n, unlimited: n < 0}
+}
+
+func (l *LimitOp) Name() string {
+	if l.unlimited {
+		return "Limit(none)"
+	}
+	return fmt.Sprintf("Limit(%d)", l.remaining)
+}
+func (l *LimitOp) Children() []Operator { return []Operator{l.child} }
+func (l *LimitOp) Close()               { l.child.Close() }
+
+func (l *LimitOp) Next() (*Batch, error) {
+	if l.done {
+		return nil, nil
+	}
+	if !l.unlimited && l.remaining == 0 {
+		l.done = true
+		l.child.Close()
+		return nil, nil
+	}
+	b, err := l.child.Next()
+	if err != nil || b == nil {
+		l.done = b == nil && err == nil
+		return nil, err
+	}
+	if l.unlimited {
+		return l.observe(b), nil
+	}
+	if r := b.Rows(); r >= l.remaining {
+		if b.Sel != nil {
+			b.Sel = b.Sel[:l.remaining]
+		} else if b.N > l.remaining {
+			// Truncating a dense batch needs an explicit selection: vectors
+			// are shared windows and must not be re-sliced in place.
+			sel := make([]int32, l.remaining)
+			for i := range sel {
+				sel[i] = int32(i)
+			}
+			b.Sel = sel
+		}
+		l.remaining = 0
+		l.done = true
+		l.child.Close()
+		return l.observe(b), nil
+	} else {
+		l.remaining -= r
+	}
+	return l.observe(b), nil
+}

@@ -7,10 +7,16 @@ import (
 	"nodb/internal/storage"
 )
 
+// selectRowsChunk is how many emitted rows share one flat backing array in
+// SelectDenseRows: the per-row slice header subslices the chunk, so the
+// amortized allocation cost stays well under one allocation per row.
+const selectRowsChunk = 256
+
 // SelectDenseRows is the streaming counterpart of SelectDense: it scans the
 // dense predicate columns in row order and, for every qualifying row, emits
 // the values of outCols (in outCols order) without materializing a View.
-// The emitted slice is freshly allocated per row; emit takes ownership.
+// Each emitted slice is a distinct sub-range of a shared backing chunk —
+// never reused — so emit takes ownership and may retain it indefinitely.
 //
 // An error from emit aborts the scan and is returned as-is, which is how a
 // cursor's LIMIT or early Close stops the pass mid-way.
@@ -35,6 +41,8 @@ func SelectDenseRows(src DenseSource, conj expr.Conjunction, outCols []int, emit
 	}()
 
 	fast, fastOK := intOnlyPreds(conj, src)
+	arity := len(outCols)
+	var flat []storage.Value
 	for i := 0; i < n; i++ {
 		scanned = i + 1
 		var ok bool
@@ -46,7 +54,11 @@ func SelectDenseRows(src DenseSource, conj expr.Conjunction, outCols []int, emit
 		if !ok {
 			continue
 		}
-		vals := make([]storage.Value, len(outCols))
+		if len(flat) < arity {
+			flat = make([]storage.Value, selectRowsChunk*arity)
+		}
+		vals := flat[:arity:arity]
+		flat = flat[arity:]
 		for j, c := range outCols {
 			vals[j] = src.Columns[c].Value(i)
 		}

@@ -1,0 +1,93 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"nodb/internal/expr"
+	"nodb/internal/storage"
+)
+
+// TestSelectDenseRowsAllocs pins the streaming emit path's allocation
+// behavior: rows subslice a shared flat chunk, so the per-row cost must
+// stay (well) under one allocation per emitted row.
+func TestSelectDenseRowsAllocs(t *testing.T) {
+	n := 4096
+	a := make([]int64, n)
+	for i := range a {
+		a[i] = int64(i)
+	}
+	src := mkSource(map[int][]int64{0: a, 1: a})
+	conj := expr.Conjunction{Preds: []expr.Pred{intPred(0, expr.Ge, 0)}}
+	sink := make([]storage.Value, 2)
+
+	allocs := testing.AllocsPerRun(10, func() {
+		rows := 0
+		err := SelectDenseRows(src, conj, []int{0, 1}, func(rowID int64, vals []storage.Value) error {
+			copy(sink, vals)
+			rows++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows != n {
+			t.Fatalf("emitted %d rows, want %d", rows, n)
+		}
+	})
+	if perRow := allocs / float64(n); perRow >= 1 {
+		t.Fatalf("SelectDenseRows allocates %.2f/row (%.0f for %d rows), want < 1",
+			perRow, allocs, n)
+	}
+}
+
+// TestSelectDenseRowsOwnership checks that emitted slices stay valid after
+// further emits — each row must be a distinct sub-range, never reused.
+func TestSelectDenseRowsOwnership(t *testing.T) {
+	n := selectRowsChunk*2 + 17 // spans several backing chunks
+	a := make([]int64, n)
+	for i := range a {
+		a[i] = int64(i)
+	}
+	src := mkSource(map[int][]int64{0: a})
+	var held [][]storage.Value
+	err := SelectDenseRows(src, expr.Conjunction{}, []int{0}, func(rowID int64, vals []storage.Value) error {
+		held = append(held, vals)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, vals := range held {
+		if got := vals[0].I; got != int64(i) {
+			t.Fatalf("retained row %d = %d, want %d (backing array reused?)", i, got, i)
+		}
+	}
+}
+
+func BenchmarkSelectDenseRows1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1_000_000
+	a1 := make([]int64, n)
+	a2 := make([]int64, n)
+	for i := range a1 {
+		a1[i] = rng.Int63n(int64(n))
+		a2[i] = rng.Int63n(int64(n))
+	}
+	src := mkSource(map[int][]int64{0: a1, 1: a2})
+	conj := expr.Conjunction{Preds: []expr.Pred{
+		intPred(0, expr.Gt, 100_000), intPred(0, expr.Lt, 200_000),
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum int64
+		err := SelectDenseRows(src, conj, []int{0, 1}, func(rowID int64, vals []storage.Value) error {
+			sum += vals[1].I
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -260,6 +260,7 @@ func All() []Runner {
 		{"conc", "Concurrent clients: fixed workload wall-clock vs client count over one shared engine", Concurrency},
 		{"warm-restart", "Warm vs cold restart: the adaptive learning curve with and without the snapshot cache", WarmRestart},
 		{"synopsis", "Adaptive scan synopses: selectivity sweep with and without portion skipping", SynopsisSweep},
+		{"vectorized", "Vectorized batch execution vs row-at-a-time on hot full-scan aggregates", Vectorized},
 	}
 }
 

@@ -1,0 +1,227 @@
+package expr
+
+import (
+	"nodb/internal/schema"
+	"nodb/internal/storage"
+)
+
+// This file is the vectorized half of the package: predicates applied to
+// whole column vectors through selection vectors. A selection vector holds
+// the positions (within a batch) that are still alive; filtering shrinks
+// it in place and never copies or moves values. The per-type inner loops
+// are deliberately branch-free of Value boxing — they compare raw
+// int64/float64/string slices against an unboxed literal, which is where
+// the batch engine's throughput over per-row Eval comes from.
+
+// FilterBatch refines sel — positions into the batch's column vectors —
+// keeping only rows that satisfy every predicate. get maps a predicate's
+// column index to its vector. Predicates apply in order, so sel shrinks
+// monotonically and later predicates touch only surviving positions.
+func (c Conjunction) FilterBatch(get func(col int) *storage.DenseColumn, sel []int32) []int32 {
+	for _, p := range c.Preds {
+		if len(sel) == 0 {
+			return sel
+		}
+		sel = p.FilterColumn(get(p.Col), sel)
+	}
+	return sel
+}
+
+// FilterColumn refines sel in place, keeping positions of col that satisfy
+// p. Same-type-family comparisons run tight typed loops; mixed-type
+// literals (e.g. an int column against a float literal) fall back to the
+// boxed Eval, whose semantics the loops replicate exactly.
+func (p Pred) FilterColumn(col *storage.DenseColumn, sel []int32) []int32 {
+	switch col.Typ {
+	case schema.Int64:
+		if p.Between {
+			if p.Val.Typ == schema.Int64 && p.Val2.Typ == schema.Int64 {
+				return filterBetweenInt(col.Ints, sel, p.Val.I, p.Val2.I)
+			}
+		} else if p.Val.Typ == schema.Int64 {
+			return filterCmpInt(col.Ints, sel, p.Op, p.Val.I)
+		}
+	case schema.Float64:
+		if p.Between {
+			if p.Val.Typ != schema.String && p.Val2.Typ != schema.String {
+				return filterBetweenFloat(col.Floats, sel, p.Val.AsFloat(), p.Val2.AsFloat())
+			}
+		} else if p.Val.Typ != schema.String {
+			return filterCmpFloat(col.Floats, sel, p.Op, p.Val.AsFloat())
+		}
+	case schema.String:
+		if p.Between {
+			if p.Val.Typ == schema.String && p.Val2.Typ == schema.String {
+				return filterBetweenString(col.Strs, sel, p.Val.S, p.Val2.S)
+			}
+		} else if p.Val.Typ == schema.String {
+			return filterCmpString(col.Strs, sel, p.Op, p.Val.S)
+		}
+	}
+	out := sel[:0]
+	for _, i := range sel {
+		if p.Eval(col.Value(int(i))) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func filterCmpInt(v []int64, sel []int32, op CmpOp, x int64) []int32 {
+	out := sel[:0]
+	switch op {
+	case Lt:
+		for _, i := range sel {
+			if v[i] < x {
+				out = append(out, i)
+			}
+		}
+	case Le:
+		for _, i := range sel {
+			if v[i] <= x {
+				out = append(out, i)
+			}
+		}
+	case Gt:
+		for _, i := range sel {
+			if v[i] > x {
+				out = append(out, i)
+			}
+		}
+	case Ge:
+		for _, i := range sel {
+			if v[i] >= x {
+				out = append(out, i)
+			}
+		}
+	case Eq:
+		for _, i := range sel {
+			if v[i] == x {
+				out = append(out, i)
+			}
+		}
+	case Ne:
+		for _, i := range sel {
+			if v[i] != x {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+func filterBetweenInt(v []int64, sel []int32, lo, hi int64) []int32 {
+	out := sel[:0]
+	for _, i := range sel {
+		if x := v[i]; x >= lo && x <= hi {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func filterCmpFloat(v []float64, sel []int32, op CmpOp, x float64) []int32 {
+	out := sel[:0]
+	switch op {
+	case Lt:
+		for _, i := range sel {
+			if v[i] < x {
+				out = append(out, i)
+			}
+		}
+	case Le:
+		for _, i := range sel {
+			if v[i] <= x {
+				out = append(out, i)
+			}
+		}
+	case Gt:
+		for _, i := range sel {
+			if v[i] > x {
+				out = append(out, i)
+			}
+		}
+	case Ge:
+		for _, i := range sel {
+			if v[i] >= x {
+				out = append(out, i)
+			}
+		}
+	case Eq:
+		for _, i := range sel {
+			if v[i] == x {
+				out = append(out, i)
+			}
+		}
+	case Ne:
+		for _, i := range sel {
+			if v[i] != x {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+func filterBetweenFloat(v []float64, sel []int32, lo, hi float64) []int32 {
+	out := sel[:0]
+	for _, i := range sel {
+		if x := v[i]; x >= lo && x <= hi {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func filterCmpString(v []string, sel []int32, op CmpOp, x string) []int32 {
+	out := sel[:0]
+	switch op {
+	case Lt:
+		for _, i := range sel {
+			if v[i] < x {
+				out = append(out, i)
+			}
+		}
+	case Le:
+		for _, i := range sel {
+			if v[i] <= x {
+				out = append(out, i)
+			}
+		}
+	case Gt:
+		for _, i := range sel {
+			if v[i] > x {
+				out = append(out, i)
+			}
+		}
+	case Ge:
+		for _, i := range sel {
+			if v[i] >= x {
+				out = append(out, i)
+			}
+		}
+	case Eq:
+		for _, i := range sel {
+			if v[i] == x {
+				out = append(out, i)
+			}
+		}
+	case Ne:
+		for _, i := range sel {
+			if v[i] != x {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+func filterBetweenString(v []string, sel []int32, lo, hi string) []int32 {
+	out := sel[:0]
+	for _, i := range sel {
+		if x := v[i]; x >= lo && x <= hi {
+			out = append(out, i)
+		}
+	}
+	return out
+}

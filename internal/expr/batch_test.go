@@ -1,0 +1,112 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"nodb/internal/schema"
+	"nodb/internal/storage"
+)
+
+// TestFilterColumnMatchesEval differentially pins the vectorized loops to
+// the boxed per-row Eval across every operator, column type and literal
+// type combination (including mixed-type literals that take the fallback).
+func TestFilterColumnMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 257
+
+	ints := storage.NewDense(schema.Int64, n)
+	floats := storage.NewDense(schema.Float64, n)
+	strs := storage.NewDense(schema.String, n)
+	alpha := []string{"a", "ab", "b", "ba", "c", "z", ""}
+	for i := 0; i < n; i++ {
+		ints.Append(storage.IntValue(rng.Int63n(21) - 10))
+		floats.Append(storage.FloatValue(float64(rng.Int63n(41)-20) / 4))
+		strs.Append(storage.StringValue(alpha[rng.Intn(len(alpha))]))
+	}
+
+	lits := []storage.Value{
+		storage.IntValue(0), storage.IntValue(-3), storage.IntValue(10),
+		storage.FloatValue(1.25), storage.FloatValue(-0.5),
+		storage.StringValue("b"), storage.StringValue(""),
+	}
+	cols := []*storage.DenseColumn{ints, floats, strs}
+	ops := []CmpOp{Lt, Le, Gt, Ge, Eq, Ne}
+
+	check := func(p Pred, col *storage.DenseColumn) {
+		t.Helper()
+		sel := make([]int32, n)
+		for i := range sel {
+			sel[i] = int32(i)
+		}
+		got := p.FilterColumn(col, sel)
+		var want []int32
+		for i := 0; i < n; i++ {
+			if p.Eval(col.Value(i)) {
+				want = append(want, int32(i))
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v over %v column: %d survivors, want %d", p, col.Typ, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%v over %v column: survivor %d = %d, want %d", p, col.Typ, i, got[i], want[i])
+			}
+		}
+	}
+
+	for _, col := range cols {
+		for _, lit := range lits {
+			for _, op := range ops {
+				check(Pred{Col: 0, Op: op, Val: lit}, col)
+			}
+			for _, lit2 := range lits {
+				check(Pred{Col: 0, Val: lit, Val2: lit2, Between: true}, col)
+			}
+		}
+	}
+}
+
+func TestFilterBatchConjunction(t *testing.T) {
+	const n = 100
+	a := storage.NewDense(schema.Int64, n)
+	b := storage.NewDense(schema.String, n)
+	for i := 0; i < n; i++ {
+		a.Append(storage.IntValue(int64(i)))
+		if i%2 == 0 {
+			b.Append(storage.StringValue("even"))
+		} else {
+			b.Append(storage.StringValue("odd"))
+		}
+	}
+	c := Conjunction{Preds: []Pred{
+		{Col: 0, Op: Ge, Val: storage.IntValue(10)},
+		{Col: 0, Op: Lt, Val: storage.IntValue(20)},
+		{Col: 1, Op: Eq, Val: storage.StringValue("even")},
+	}}
+	sel := make([]int32, n)
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	get := func(col int) *storage.DenseColumn {
+		if col == 0 {
+			return a
+		}
+		return b
+	}
+	out := c.FilterBatch(get, sel)
+	if len(out) != 5 {
+		t.Fatalf("survivors = %v, want the 5 even rows in [10,20)", out)
+	}
+	for i, idx := range out {
+		if want := int32(10 + 2*i); idx != want {
+			t.Fatalf("survivor %d = %d, want %d", i, idx, want)
+		}
+	}
+	// An empty conjunction keeps everything.
+	sel2 := []int32{3, 7}
+	if out := (Conjunction{}).FilterBatch(get, sel2); len(out) != 2 {
+		t.Fatalf("empty conjunction filtered rows: %v", out)
+	}
+}

@@ -164,18 +164,46 @@ func (l *Loader) finish(ps *portionedScan, t *catalog.Table) {
 }
 
 func (l *Loader) scanOpts(ctx context.Context, t *catalog.Table) scan.Options {
+	sch := t.Schema()
 	return scan.Options{
-		Delimiter:  t.Schema().Delimiter,
+		Delimiter:  sch.Delimiter,
+		Format:     sch.Format,
+		FieldNames: sch.FieldNames(),
 		Workers:    l.Workers,
 		ChunkSize:  l.ChunkSize,
-		SkipHeader: t.Schema().HasHeader,
+		SkipHeader: sch.HasHeader,
 		Counters:   l.Counters,
 		Context:    ctx,
 	}
 }
 
-// parseField converts one raw field to a typed value.
-func parseField(b []byte, typ schema.Type) (storage.Value, error) {
+// parseField converts one raw field to a typed value. NDJSON fields are
+// raw JSON tokens (delayed parsing leaves them untouched until here):
+// strings unquote, numbers parse from their textual form, and composite
+// values keep their raw JSON text.
+func parseField(b []byte, typ schema.Type, format scan.Format) (storage.Value, error) {
+	if format == scan.FormatNDJSON {
+		switch typ {
+		case schema.Int64:
+			v, err := scan.ParseJSONInt64(b)
+			if err != nil {
+				return storage.Value{}, err
+			}
+			return storage.IntValue(v), nil
+		case schema.Float64:
+			v, err := scan.ParseJSONFloat64(b)
+			if err != nil {
+				return storage.Value{}, err
+			}
+			return storage.FloatValue(v), nil
+		default:
+			s, err := scan.ParseJSONString(b)
+			if err != nil {
+				return storage.Value{}, err
+			}
+			return storage.StringValue(s), nil
+		}
+	}
 	switch typ {
 	case schema.Int64:
 		v, err := scan.ParseInt64(b)
@@ -279,7 +307,7 @@ func (l *Loader) columnLoadLocked(ctx context.Context, t *catalog.Table, cols []
 	mkHandler := func(pc *synopsis.PortionAcc) scan.RowHandler {
 		return func(rowID int64, fields []scan.FieldRef) error {
 			for i, f := range fields {
-				v, err := parseField(f.Bytes, sch.Columns[missing[i]].Type)
+				v, err := parseField(f.Bytes, sch.Columns[missing[i]].Type, sch.Format)
 				if err != nil {
 					return fmt.Errorf("loader: row %d col %d: %w", rowID, missing[i], err)
 				}

@@ -103,7 +103,7 @@ func (l *Loader) PartialScanContext(ctx context.Context, t *catalog.Table, needC
 				return false
 			}
 			// Parse once, remember for the handler.
-			v, err := parseField(f.Bytes, sch.Columns[loadCols[idx]].Type)
+			v, err := parseField(f.Bytes, sch.Columns[loadCols[idx]].Type, sch.Format)
 			if err != nil {
 				return true // unparseable under predicate: treat as non-qualifying
 			}
@@ -122,7 +122,7 @@ func (l *Loader) PartialScanContext(ctx context.Context, t *catalog.Table, needC
 		return func(rowID int64, fields []scan.FieldRef) error {
 			vals := make([]storage.Value, len(loadCols))
 			for i, f := range fields {
-				v, err := parseField(f.Bytes, sch.Columns[loadCols[i]].Type)
+				v, err := parseField(f.Bytes, sch.Columns[loadCols[i]].Type, sch.Format)
 				if err != nil {
 					return fmt.Errorf("loader: row %d col %d: %w", rowID, loadCols[i], err)
 				}

@@ -19,7 +19,14 @@ import (
 // j <= min(missing) for every row of the table; tokenization then costs
 // (max(missing) - j + 1) attributes per row instead of (max(missing) + 1).
 // Returns true when it handled the load.
+//
+// The anchor walk is CSV-specific (it delimiter-tokenizes rightward from
+// the anchor); NDJSON tables dispatch to the direct-offset variant, whose
+// recorded positions point at the value tokens themselves.
 func (l *Loader) tryPositionalColumnLoad(ctx context.Context, t *catalog.Table, missing []int) bool {
+	if t.Schema().Format == scan.FormatNDJSON {
+		return l.tryPositionalColumnLoadJSON(ctx, t, missing)
+	}
 	pm := t.PosMap
 	rows := t.NumRows()
 	if pm == nil || rows <= 0 {
@@ -55,7 +62,7 @@ func (l *Loader) tryPositionalColumnLoad(ctx context.Context, t *catalog.Table, 
 
 	err := l.positionalScan(ctx, t.Path(), t.Schema().Delimiter, offs, relCols, func(rowID int64, fields []scan.FieldRef) error {
 		for i, f := range fields {
-			v, err := parseField(f.Bytes, sch.Columns[missing[i]].Type)
+			v, err := parseField(f.Bytes, sch.Columns[missing[i]].Type, sch.Format)
 			if err != nil {
 				return fmt.Errorf("loader: row %d col %d: %w", rowID, missing[i], err)
 			}
@@ -86,10 +93,12 @@ func (l *Loader) tryPositionalColumnLoad(ctx context.Context, t *catalog.Table, 
 	return true
 }
 
-// positionalScan streams the file sequentially but tokenizes each row from
-// the given per-row anchor offset (ascending). relCols are attribute
-// indices relative to the anchor attribute.
-func (l *Loader) positionalScan(ctx context.Context, path string, delim byte, offs []int64, relCols []int, handler scan.RowHandler) error {
+// eachLineAt streams the file sequentially, handing fn the tail of each
+// row starting at the given per-row offset (ascending) and running to the
+// row's newline (CR stripped). It is the shared chassis of the positional
+// loads: CSV tokenizes rightward from an anchor attribute, NDJSON
+// delimits one value token in place.
+func (l *Loader) eachLineAt(ctx context.Context, path string, offs []int64, fn func(rowID int64, off int64, line []byte) error) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("loader: %w", err)
@@ -102,16 +111,6 @@ func (l *Loader) positionalScan(ctx context.Context, path string, delim byte, of
 	}
 	buf := make([]byte, 0, chunk)
 	var bufStart int64
-	maxRel := 0
-	for _, c := range relCols {
-		if c > maxRel {
-			maxRel = c
-		}
-	}
-	sortedRel := append([]int(nil), relCols...)
-	sort.Ints(sortedRel)
-
-	fields := make([]scan.FieldRef, len(relCols))
 
 	// refill loads the buffer so it covers [off, off+chunk). It doubles as
 	// the cancellation checkpoint: one check per buffer refill costs
@@ -177,7 +176,22 @@ func (l *Loader) positionalScan(ctx context.Context, path string, delim byte, of
 		if len(line) > 0 && line[len(line)-1] == '\r' {
 			line = line[:len(line)-1]
 		}
+		if err := fn(int64(rowID), off, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
+// positionalScan streams the file sequentially but tokenizes each row from
+// the given per-row anchor offset (ascending). relCols are attribute
+// indices relative to the anchor attribute.
+func (l *Loader) positionalScan(ctx context.Context, path string, delim byte, offs []int64, relCols []int, handler scan.RowHandler) error {
+	sortedRel := append([]int(nil), relCols...)
+	sort.Ints(sortedRel)
+	fields := make([]scan.FieldRef, len(relCols))
+
+	return l.eachLineAt(ctx, path, offs, func(rowID, off int64, line []byte) error {
 		// Tokenize relCols within the line (relative attribute 0 starts
 		// at position 0 of the anchor offset).
 		fieldIdx, pos := 0, 0
@@ -217,9 +231,66 @@ func (l *Loader) positionalScan(ctx context.Context, path string, delim byte, of
 			l.Counters.AddRowsTokenized(1)
 			l.Counters.AddAttrsTokenized(attrs)
 		}
-		if err := handler(int64(rowID), fields); err != nil {
-			return err
+		return handler(rowID, fields)
+	})
+}
+
+// tryPositionalColumnLoadJSON loads missing NDJSON columns straight from
+// recorded value-token offsets. NDJSON positions are per-field, not
+// per-anchor: the map stores where each queried field's value token
+// starts, learned on first touch, so a covered column loads by jumping to
+// every offset and delimiting the token in place — no key scanning, no
+// neighboring tokenization at all. Applies only when the map covers every
+// missing column for every row; otherwise the plain scan runs.
+func (l *Loader) tryPositionalColumnLoadJSON(ctx context.Context, t *catalog.Table, missing []int) bool {
+	pm := t.PosMap
+	rows := t.NumRows()
+	if pm == nil || rows <= 0 {
+		return false
+	}
+	for _, c := range missing {
+		if !pm.Covers(c, 0, rows) {
+			return false
 		}
 	}
-	return nil
+	sch := t.Schema()
+	dense := make([]*storage.DenseColumn, len(missing))
+	for i, c := range missing {
+		_, offs := pm.Pairs(c)
+		if int64(len(offs)) != rows {
+			return false
+		}
+		col := storage.NewDenseSized(sch.Columns[c].Type, int(rows))
+		err := l.eachLineAt(ctx, t.Path(), offs, func(rowID, off int64, line []byte) error {
+			end, err := scan.ScanJSONValue(line, 0)
+			if err != nil {
+				return fmt.Errorf("loader: row %d col %d: %w", rowID, c, err)
+			}
+			v, err := parseField(line[:end], sch.Columns[c].Type, sch.Format)
+			if err != nil {
+				return fmt.Errorf("loader: row %d col %d: %w", rowID, c, err)
+			}
+			col.Set(int(rowID), v)
+			if l.Counters != nil {
+				l.Counters.AddRowsTokenized(1)
+				l.Counters.AddAttrsTokenized(1)
+				l.Counters.AddValuesParsed(1)
+			}
+			return nil
+		})
+		if err != nil {
+			return false // fall back to the plain scan
+		}
+		dense[i] = col
+	}
+
+	var written int64
+	for i, c := range missing {
+		t.SetDense(c, dense[i])
+		written += dense[i].MemSize()
+	}
+	if l.Counters != nil {
+		l.Counters.AddInternalBytesWritten(written)
+	}
+	return true
 }

@@ -142,7 +142,7 @@ func (l *Loader) loadGroup(ctx context.Context, t *catalog.Table, src splitfile.
 		parsed := int64(0)
 		for i, f := range fields {
 			if pi := parseAt[i]; pi >= 0 {
-				v, err := parseField(f.Bytes, sch.Columns[origs[pi]].Type)
+				v, err := parseField(f.Bytes, sch.Columns[origs[pi]].Type, sch.Format)
 				if err != nil {
 					return fmt.Errorf("loader: row %d col %d: %w", rowID, origs[pi], err)
 				}
@@ -199,7 +199,7 @@ func (l *Loader) checkSplitRows(t *catalog.Table, src splitfile.Source, rows int
 func (l *Loader) loadSidecar(t *catalog.Table, sc *scan.Scanner, src splitfile.Source, orig int, dense *storage.DenseColumn) error {
 	sch := t.Schema()
 	err := sc.ScanColumns([]int{0}, func(rowID int64, fields []scan.FieldRef) error {
-		v, err := parseField(fields[0].Bytes, sch.Columns[orig].Type)
+		v, err := parseField(fields[0].Bytes, sch.Columns[orig].Type, sch.Format)
 		if err != nil {
 			return fmt.Errorf("loader: sidecar %s row %d: %w", src.Path, rowID, err)
 		}

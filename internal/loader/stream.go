@@ -3,8 +3,10 @@ package loader
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"nodb/internal/catalog"
+	"nodb/internal/exec"
 	"nodb/internal/expr"
 	"nodb/internal/scan"
 	"nodb/internal/storage"
@@ -66,7 +68,7 @@ func (l *Loader) ScanRowsContext(ctx context.Context, t *catalog.Table, outCols 
 			if len(predsAt[idx]) == 0 {
 				return false
 			}
-			v, err := parseField(f.Bytes, sch.Columns[loadCols[idx]].Type)
+			v, err := parseField(f.Bytes, sch.Columns[loadCols[idx]].Type, sch.Format)
 			if err != nil {
 				return true // unparseable under predicate: treat as non-qualifying
 			}
@@ -84,7 +86,7 @@ func (l *Loader) ScanRowsContext(ctx context.Context, t *catalog.Table, outCols 
 		return func(rowID int64, fields []scan.FieldRef) error {
 			parsed := make([]storage.Value, len(loadCols))
 			for i, f := range fields {
-				v, err := parseField(f.Bytes, sch.Columns[loadCols[i]].Type)
+				v, err := parseField(f.Bytes, sch.Columns[loadCols[i]].Type, sch.Format)
 				if err != nil {
 					return fmt.Errorf("loader: row %d col %d: %w", rowID, loadCols[i], err)
 				}
@@ -118,4 +120,61 @@ func (l *Loader) ScanRowsContext(ctx context.Context, t *catalog.Table, outCols 
 	}
 	l.finish(ps, t)
 	return nil
+}
+
+// ScanBatchesContext is ScanRowsContext's vectorized sibling: qualifying
+// rows accumulate into column-oriented batches of batchSize rows (keyed
+// under table ordinal tab), and emit receives each full batch plus the
+// final partial one. Predicates are pushed into tokenization exactly as
+// in the row form — emitted batches are post-filter, dense (no selection
+// vector), and nothing is retained in the adaptive store.
+//
+// An emit error aborts the scan and is returned as-is (the LIMIT
+// early-termination hook). emit is always called from the scan's own
+// goroutines but never concurrently; with Workers > 1 rows land in
+// batches out of file order.
+func (l *Loader) ScanBatchesContext(ctx context.Context, t *catalog.Table, outCols []int, conj expr.Conjunction, tab, batchSize int, emit func(*exec.Batch) error) error {
+	if batchSize <= 0 {
+		batchSize = exec.DefaultBatchSize
+	}
+	sch := t.Schema()
+
+	var mu sync.Mutex
+	cols := make([]*storage.DenseColumn, len(outCols))
+	reset := func() {
+		for i, c := range outCols {
+			cols[i] = storage.NewDense(sch.Columns[c].Type, batchSize)
+		}
+	}
+	reset()
+	n := 0
+	flush := func() error {
+		if n == 0 {
+			return nil
+		}
+		b := &exec.Batch{N: n, Cols: make(map[exec.ColKey]*storage.DenseColumn, len(outCols))}
+		for i, c := range outCols {
+			b.Cols[exec.ColKey{Tab: tab, Col: c}] = cols[i]
+		}
+		reset()
+		n = 0
+		return emit(b)
+	}
+
+	err := l.ScanRowsContext(ctx, t, outCols, conj, func(rowID int64, vals []storage.Value) error {
+		mu.Lock()
+		defer mu.Unlock()
+		for i, v := range vals {
+			cols[i].Append(v)
+		}
+		n++
+		if n >= batchSize {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return flush()
 }

@@ -13,6 +13,7 @@ import (
 
 	"nodb/internal/exec"
 	"nodb/internal/expr"
+	"nodb/internal/scan"
 	"nodb/internal/schema"
 	"nodb/internal/sql"
 )
@@ -375,6 +376,12 @@ func rewriteLoadOp(policy Policy, cat CatalogInfo, t *TablePlan) LoadOp {
 	case PolicySplitFiles:
 		if cat.DenseAll(t.Name, t.NeedCols) {
 			return LoadNone
+		}
+		if t.Schema.Format != scan.FormatCSV {
+			// Split files re-serialize rows as delimiter-separated column
+			// groups — a CSV-only layout. Other formats degrade to plain
+			// column loads.
+			return LoadColumns
 		}
 		return LoadSplit
 	case PolicyExternal:

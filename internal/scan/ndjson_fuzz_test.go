@@ -1,0 +1,162 @@
+package scan
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzScanVsJSON differentially tests the NDJSON tokenizer against
+// encoding/json. The tokenizer is deliberately lazier than the oracle — it
+// skips unrequested values structurally and never validates what it does
+// not return — so the contract is one-directional: whenever the oracle
+// accepts every line of the input as a JSON object containing the
+// requested keys, the tokenizer must also accept it and return byte- and
+// value-identical fields. Inputs the oracle rejects are skipped (the
+// tokenizer may accept a superset). Lines with duplicate keys are skipped
+// too: the tokenizer keeps the first occurrence (it stops reading the
+// moment it has what it needs) while encoding/json keeps the last.
+func FuzzScanVsJSON(f *testing.F) {
+	f.Add(`{"a":1,"b":2}` + "\n")
+	f.Add(`{"a":1,"b":2}` + "\r\n" + `{"b":-3,"a":"x"}` + "\r\n") // CRLF + key order
+	f.Add(`{"a":"q\"uo\\te","b":"A😀"}` + "\n")                    // escapes
+	f.Add(`{"a":{"n":[1,{"d":"}"}]},"b":[[]]}` + "\n")            // nested composites
+	f.Add(`{ "a" : 1.5e-3 , "b" : null }` + "\n")                 // whitespace
+	f.Add(`{"a":true,"b":false,"c":0}` + "\n")                    // extra keys
+	f.Add(`{"c":"skipped","a":0,"b":""}` + "\n")                  // unrequested first
+	f.Add(`{"a":1,"b":2}`)                                        // no trailing newline
+
+	f.Fuzz(func(t *testing.T, input string) {
+		if input == "" || len(input) > 1<<16 {
+			t.Skip()
+		}
+		lines := splitFuzzLines(input)
+		if len(lines) == 0 {
+			t.Skip()
+		}
+		type row struct{ a, b json.RawMessage }
+		var want []row
+		for _, l := range lines {
+			vals, ok := oracleObject(l)
+			if !ok {
+				t.Skip() // oracle rejects (or duplicate keys): out of contract
+			}
+			av, aok := vals["a"]
+			bv, bok := vals["b"]
+			if !aok || !bok {
+				t.Skip()
+			}
+			want = append(want, row{a: av, b: bv})
+		}
+
+		path := filepath.Join(t.TempDir(), "fuzz.ndjson")
+		if err := os.WriteFile(path, []byte(input), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(path, Options{Format: FormatNDJSON, FieldNames: []string{"a", "b"}, Workers: 1, ChunkSize: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []row
+		err = s.ScanColumns([]int{0, 1}, func(rowID int64, fields []FieldRef) error {
+			got = append(got, row{
+				a: append(json.RawMessage(nil), fields[0].Bytes...),
+				b: append(json.RawMessage(nil), fields[1].Bytes...),
+			})
+			return nil
+		}, nil)
+		if err != nil {
+			t.Fatalf("tokenizer rejected oracle-clean input %q: %v", input, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("input %q: tokenizer saw %d rows, oracle %d", input, len(got), len(want))
+		}
+		for i := range got {
+			compareToken(t, input, i, "a", got[i].a, want[i].a)
+			compareToken(t, input, i, "b", got[i].b, want[i].b)
+		}
+	})
+}
+
+// compareToken checks the tokenizer's raw field token against the oracle's
+// RawMessage, byte-wise, and — for string tokens — that UnquoteJSON agrees
+// with encoding/json's decoded value.
+func compareToken(t *testing.T, input string, i int, key string, got, want json.RawMessage) {
+	t.Helper()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("input %q row %d key %s: token %q, oracle %q", input, i, key, got, want)
+	}
+	if len(got) > 0 && got[0] == '"' {
+		var wantS string
+		if err := json.Unmarshal(want, &wantS); err != nil {
+			return
+		}
+		gotS, err := UnquoteJSON(got)
+		if err != nil {
+			t.Fatalf("input %q row %d key %s: UnquoteJSON(%q): %v", input, i, key, got, err)
+		}
+		if gotS != wantS {
+			t.Fatalf("input %q row %d key %s: unquoted %q, oracle %q", input, i, key, gotS, wantS)
+		}
+	}
+}
+
+// oracleObject decodes one line as a strict single JSON object via
+// encoding/json, returning its raw values by key. ok is false when the
+// line is not exactly one valid object (json.Unmarshal rejects trailing
+// content itself) or repeats a key.
+func oracleObject(line []byte) (map[string]json.RawMessage, bool) {
+	var vals map[string]json.RawMessage
+	if err := json.Unmarshal(line, &vals); err != nil || vals == nil {
+		return nil, false
+	}
+	// Token walk to reject duplicate keys (Unmarshal keeps the last, the
+	// lazy tokenizer the first).
+	dec := json.NewDecoder(bytes.NewReader(line))
+	if tok, err := dec.Token(); err != nil {
+		return nil, false
+	} else if d, _ := tok.(json.Delim); d != '{' {
+		return nil, false
+	}
+	seen := map[string]bool{}
+	for dec.More() {
+		kt, err := dec.Token()
+		if err != nil {
+			return nil, false
+		}
+		k, _ := kt.(string)
+		if seen[k] {
+			return nil, false
+		}
+		seen[k] = true
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			return nil, false
+		}
+	}
+	return vals, true
+}
+
+func splitFuzzLines(input string) [][]byte {
+	var lines [][]byte
+	data := []byte(input)
+	for len(data) > 0 {
+		i := bytes.IndexByte(data, '\n')
+		var line []byte
+		if i < 0 {
+			line, data = data, nil
+		} else {
+			line, data = data[:i], data[i+1:]
+		}
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		if len(line) == 0 && len(data) == 0 {
+			break // trailing newline, not an empty row
+		}
+		lines = append(lines, line)
+	}
+	return lines
+}

@@ -1,4 +1,4 @@
-// Package scan implements tokenization of raw flat files (CSV).
+// Package scan implements tokenization of raw flat files (CSV and NDJSON).
 //
 // It follows the design of the paper's adaptive loading operators (§3.2):
 // the file is split into horizontal portions; tokenization happens in two
@@ -7,6 +7,13 @@
 // stops as soon as all attributes a query needs have been found, and a
 // pushed-down predicate can abandon the rest of a row the moment it fails
 // ("early tuple elimination").
+//
+// Both supported formats are newline-delimited, so portioning, row
+// counting, parallel scheduling and positional maps are shared; only the
+// per-row attribute locator differs (the rowTokenizer interface). The
+// NDJSON locator practices *delayed parsing*: it finds the byte ranges of
+// just the requested fields and skips every other value structurally,
+// without decoding it.
 //
 // Field bytes handed to callbacks alias the scanner's internal buffer and
 // are only valid for the duration of the callback; parse or copy them
@@ -40,8 +47,37 @@ const (
 	minPortionBytes = 64 << 10
 )
 
+// Format identifies the on-disk layout of a raw file. Every format the
+// engine queries in situ is newline-delimited, so the scanner's portioning
+// and row-boundary machinery applies to all of them; the Format selects
+// the per-row attribute locator.
+type Format int
+
+const (
+	// FormatCSV is delimiter-separated fields, one row per line.
+	FormatCSV Format = iota
+	// FormatNDJSON is one JSON object per line. Attribute indices map to
+	// Options.FieldNames; values are located by key and handed to callbacks
+	// as raw JSON tokens (strings keep their quotes) for delayed parsing.
+	FormatNDJSON
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatNDJSON:
+		return "ndjson"
+	default:
+		return "csv"
+	}
+}
+
 // Options configures a Scanner.
 type Options struct {
+	// Format selects the per-row attribute locator; defaults to FormatCSV.
+	Format Format
+	// FieldNames maps attribute indices to JSON object keys. Required for
+	// FormatNDJSON (the schema supplies it); ignored for CSV.
+	FieldNames []string
 	// Delimiter separates attributes; defaults to ','.
 	Delimiter byte
 	// Workers is the number of parallel tokenization workers; 0 (the
@@ -653,7 +689,6 @@ func (s *Scanner) scanPortion(p portion, cols []int, handler RowHandler, tailH R
 	defer f.Close()
 	var portionRows int64
 
-	delim := s.opts.delim()
 	c := s.opts.Counters
 	chunk := s.opts.chunkSize()
 	buf := make([]byte, chunk+4096)
@@ -661,7 +696,10 @@ func (s *Scanner) scanPortion(p portion, cols []int, handler RowHandler, tailH R
 	pos := p.off
 	rowID := p.firstRow
 
-	tok := newTokenizer(delim, cols)
+	tok, err := s.opts.newRowTokenizer(cols)
+	if err != nil {
+		return 0, err
+	}
 
 	for pos < p.end || carry > 0 {
 		if err := s.opts.canceled(); err != nil {
@@ -751,6 +789,25 @@ func (s *Scanner) scanPortion(p portion, cols []int, handler RowHandler, tailH R
 		}
 	}
 	return portionRows, nil
+}
+
+// rowTokenizer locates requested attributes within one line. The CSV
+// tokenizer and the NDJSON tokenizer both satisfy it; everything above a
+// single row — chunked reads, portion scheduling, row ids, carry buffers —
+// is format-agnostic and shared.
+type rowTokenizer interface {
+	row(line []byte, lineOff, rowID int64, handler RowHandler, tailH RowTailHandler, abandon AbandonFunc, c *metrics.Counters) error
+}
+
+// newRowTokenizer builds the per-row attribute locator for the configured
+// format.
+func (o Options) newRowTokenizer(cols []int) (rowTokenizer, error) {
+	switch o.Format {
+	case FormatNDJSON:
+		return newJSONTokenizer(o.FieldNames, cols)
+	default:
+		return newTokenizer(o.delim(), cols), nil
+	}
 }
 
 // tokenizer locates requested columns within rows.
@@ -931,6 +988,9 @@ func (s *Scanner) ReadRowAt(rowOff int64, rowID int64, cols []int, handler RowHa
 	if s.opts.Counters != nil {
 		s.opts.Counters.AddRowsTokenized(1)
 	}
-	tok := newTokenizer(s.opts.delim(), cols)
+	tok, err := s.opts.newRowTokenizer(cols)
+	if err != nil {
+		return err
+	}
 	return tok.row(line, rowOff, rowID, handler, nil, nil, s.opts.Counters)
 }

@@ -56,9 +56,22 @@ type Column struct {
 
 // Schema describes a flat file's structure.
 type Schema struct {
+	// Format is the file's on-disk layout. Delimiter and HasHeader only
+	// apply to CSV; NDJSON columns are located by name per row.
+	Format    scan.Format
 	Delimiter byte
 	HasHeader bool
 	Columns   []Column
+}
+
+// FieldNames returns the column names in attribute order — the key set an
+// NDJSON scan locates fields by.
+func (s *Schema) FieldNames() []string {
+	names := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		names[i] = c.Name
+	}
+	return names
 }
 
 // NumCols returns the number of attributes.
@@ -124,11 +137,18 @@ func Detect(path string, opts DetectOptions) (*Schema, error) {
 	return DetectBytes(buf[:n], opts)
 }
 
-// DetectBytes infers a schema from a sample of file content.
+// DetectBytes infers a schema from a sample of file content. A sample
+// whose first non-whitespace byte opens a JSON object is detected as
+// NDJSON (one object per line, columns named by keys); everything else
+// goes through delimiter sniffing as CSV.
 func DetectBytes(sample []byte, opts DetectOptions) (*Schema, error) {
 	lines := splitSampleLines(sample, opts.sampleRows()+1)
 	if len(lines) == 0 {
 		return nil, fmt.Errorf("schema: empty file")
+	}
+
+	if opts.Delimiter == 0 && scan.LooksLikeJSONObject(sample) {
+		return detectNDJSON(lines)
 	}
 
 	delim := opts.Delimiter
@@ -210,6 +230,53 @@ func DetectBytes(sample []byte, opts DetectOptions) (*Schema, error) {
 		}
 	}
 	return &Schema{Delimiter: delim, HasHeader: hasHeader, Columns: cols}, nil
+}
+
+// detectNDJSON infers an NDJSON schema: columns are the keys of the
+// sampled objects in first-appearance order; types come from the raw value
+// tokens (integers narrow to Int64, other numbers to Float64, everything
+// else — strings, literals, nested composites — is String).
+func detectNDJSON(lines [][]byte) (*Schema, error) {
+	var cols []Column
+	index := map[string]int{}
+	for _, l := range lines {
+		if len(l) == 0 {
+			continue
+		}
+		err := scan.WalkJSONObject(l, func(key string, value []byte) bool {
+			t := jsonFieldType(value)
+			if i, ok := index[key]; ok {
+				cols[i].Type = widen(cols[i].Type, t)
+				return true
+			}
+			index[key] = len(cols)
+			cols = append(cols, Column{Name: key, Type: t})
+			return true
+		})
+		if err != nil {
+			return nil, fmt.Errorf("schema: %w", err)
+		}
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("schema: no keys in NDJSON sample")
+	}
+	return &Schema{Format: scan.FormatNDJSON, Columns: cols}, nil
+}
+
+// jsonFieldType classifies a raw JSON value token.
+func jsonFieldType(b []byte) Type {
+	if len(b) == 0 {
+		return String
+	}
+	if b[0] == '-' || (b[0] >= '0' && b[0] <= '9') {
+		if scan.LooksLikeInt(b) {
+			return Int64
+		}
+		if scan.LooksLikeFloat(b) {
+			return Float64
+		}
+	}
+	return String
 }
 
 // fieldType classifies a single field.

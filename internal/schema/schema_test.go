@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"nodb/internal/scan"
 )
 
 func detect(t *testing.T, content string, opts DetectOptions) *Schema {
@@ -186,5 +188,48 @@ func TestTypeString(t *testing.T) {
 	}
 	if Type(99).String() == "" {
 		t.Error("unknown type should still render")
+	}
+}
+
+func TestDetectNDJSON(t *testing.T) {
+	s := detect(t, `{"id":1,"score":2.5,"name":"a"}
+{"name":"b","id":2,"score":3,"extra":true}
+`, DetectOptions{})
+	if s.Format != scan.FormatNDJSON {
+		t.Fatalf("Format = %v, want ndjson", s.Format)
+	}
+	want := []Column{
+		{Name: "id", Type: Int64},
+		{Name: "score", Type: Float64},
+		{Name: "name", Type: String},
+		{Name: "extra", Type: String},
+	}
+	if len(s.Columns) != len(want) {
+		t.Fatalf("columns = %v, want %v", s.Columns, want)
+	}
+	for i, c := range s.Columns {
+		if c != want[i] {
+			t.Errorf("col %d = %v, want %v", i, c, want[i])
+		}
+	}
+	if got := s.FieldNames(); got[0] != "id" || got[3] != "extra" {
+		t.Errorf("FieldNames = %v", got)
+	}
+}
+
+func TestDetectNDJSONTypeWidening(t *testing.T) {
+	s := detect(t, `{"v":1}
+{"v":2.5}
+{"v":"three"}
+`, DetectOptions{})
+	if s.Format != scan.FormatNDJSON || len(s.Columns) != 1 || s.Columns[0].Type != String {
+		t.Fatalf("schema = %v (format %v)", s.Columns, s.Format)
+	}
+}
+
+func TestDetectCSVStaysCSV(t *testing.T) {
+	s := detect(t, "1,2\n3,4\n", DetectOptions{})
+	if s.Format != scan.FormatCSV {
+		t.Fatalf("Format = %v, want csv", s.Format)
 	}
 }

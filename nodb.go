@@ -184,6 +184,15 @@ type Options struct {
 	DisableSynopsis bool
 	// DisableRevalidation skips per-query file-change detection.
 	DisableRevalidation bool
+	// BatchSize is the rows-per-batch of the vectorized execution
+	// pipeline (0 = the default, 1024). Smaller batches tighten LIMIT and
+	// cancellation granularity at the cost of per-batch overhead.
+	BatchSize int
+	// DisableVectorExec routes queries through the row-at-a-time
+	// execution paths instead of the vectorized operator pipeline. The
+	// two produce identical results; the row paths are kept as the
+	// differential-testing oracle and for ablations.
+	DisableVectorExec bool
 }
 
 // Value is one typed scalar in a result row.
@@ -242,6 +251,8 @@ func Open(opts Options) *DB {
 		DisablePositionalMap: opts.DisablePositionalMap,
 		DisableSynopsis:      opts.DisableSynopsis,
 		DisableRevalidation:  opts.DisableRevalidation,
+		BatchSize:            opts.BatchSize,
+		DisableVectorExec:    opts.DisableVectorExec,
 	})}
 }
 

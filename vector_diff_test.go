@@ -1,0 +1,310 @@
+package nodb
+
+// Differential tests for the vectorized execution pipeline: every query
+// must produce byte-identical results with DisableVectorExec on and off,
+// across loading policies, batch sizes, LIMIT shapes and cancellation.
+// The row-at-a-time paths are the oracle; the batch pipeline is pure
+// mechanism.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// resultTable renders a full result table (all rows, all columns) for
+// byte-level comparison.
+func resultTable(res *Result) string {
+	var sb strings.Builder
+	for _, row := range res.Rows {
+		for ci, v := range row {
+			if ci > 0 {
+				sb.WriteByte('|')
+			}
+			sb.WriteString(v.String())
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// vectorDiffQueries covers every pipeline shape: plain projections,
+// LIMIT with and without ORDER BY, aggregates, GROUP BY, joins.
+func vectorDiffQueries() []string {
+	return []string{
+		"select a1, a2 from t",
+		"select * from t where a2 > 300",
+		"select a1 from t where a1 > 100 and a1 < 900 limit 7",
+		"select a1, a3 from t where a3 < 250 order by a1 limit 10",
+		"select a2, a1 from t order by a2 desc, a1 limit 25",
+		"select count(*) from t",
+		"select sum(a1), min(a2), max(a3), avg(a1), count(a2) from t where a2 < 700",
+		"select sum(a1) from t where a1 = 123456", // empty input: sum = 0, avg NaN semantics
+		"select avg(a3), count(*) from t where a3 between 100 and 400",
+		"select a1, count(*), sum(a2) from t where a2 < 800 group by a1 order by a1 limit 20",
+		"select count(*), a1 from t group by a1 order by a1 desc limit 5",
+		"select a1 from t limit 0",
+		"select a1 from t limit 100000",
+	}
+}
+
+func vectorDiffJoinQueries() []string {
+	return []string{
+		"select count(*) from l join r on l.a1 = r.a1",
+		"select sum(l.a2), max(r.a2) from l join r on l.a1 = r.a1 where l.a3 < 150",
+		"select l.a1, r.a2 from l join r on l.a1 = r.a1 where r.a2 < 100 order by l.a1, r.a2 limit 15",
+		"select l.a1, count(*) from l join r on l.a1 = r.a1 group by l.a1 order by l.a1 limit 10",
+	}
+}
+
+// TestVectorVsLegacyPolicies demands byte-identical result tables between
+// the batch pipeline and the row-at-a-time paths, for every loading
+// policy and several batch sizes. Workers is pinned to 1 so streaming
+// scans deliver rows in file order in both modes.
+func TestVectorVsLegacyPolicies(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	writeRandomTable(t, path, 1500, 3, 1000, 42)
+
+	queries := vectorDiffQueries()
+	for _, cfg := range diffConfigs(dir) {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			legacyOpts := cfg.opts
+			legacyOpts.Workers = 1
+			legacyOpts.DisableVectorExec = true
+			legacy := Open(legacyOpts)
+			defer legacy.Close()
+			if err := legacy.Link("t", path); err != nil {
+				t.Fatal(err)
+			}
+
+			for _, batch := range []int{0, 1, 7, 64} {
+				vecOpts := cfg.opts
+				vecOpts.Workers = 1
+				vecOpts.BatchSize = batch
+				// Split dirs are per-engine state; give each vector engine
+				// its own so the two runs cannot share split files.
+				if vecOpts.SplitDir != "" {
+					vecOpts.SplitDir = filepath.Join(dir, fmt.Sprintf("sf-vec-%d", batch))
+				}
+				vec := Open(vecOpts)
+				if err := vec.Link("t", path); err != nil {
+					t.Fatal(err)
+				}
+				for qi, q := range queries {
+					want, err := legacy.Query(q)
+					if err != nil {
+						t.Fatalf("legacy query %d (%s): %v", qi, q, err)
+					}
+					got, err := vec.Query(q)
+					if err != nil {
+						t.Fatalf("vector(batch=%d) query %d (%s): %v", batch, qi, q, err)
+					}
+					if g, w := resultTable(got), resultTable(want); g != w {
+						t.Errorf("batch=%d query %d (%s):\nvector:\n%slegacy:\n%s", batch, qi, q, g, w)
+					}
+				}
+				vec.Close()
+			}
+		})
+	}
+}
+
+// TestVectorVsLegacyJoins covers multi-table pipelines (HashJoinOp builds
+// on the smaller side exactly like the legacy join).
+func TestVectorVsLegacyJoins(t *testing.T) {
+	dir := t.TempDir()
+	lp := filepath.Join(dir, "l.csv")
+	rp := filepath.Join(dir, "r.csv")
+	writeRandomTable(t, lp, 900, 3, 300, 21)
+	writeRandomTable(t, rp, 400, 2, 300, 22)
+
+	for _, cfg := range []diffConfig{
+		{"columns", Options{Policy: ColumnLoads}},
+		{"partial-v1", Options{Policy: PartialLoadsV1}},
+		{"partial-v2", Options{Policy: PartialLoadsV2}},
+		{"external", Options{Policy: External}},
+	} {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			legacyOpts := cfg.opts
+			legacyOpts.Workers = 1
+			legacyOpts.DisableVectorExec = true
+			vecOpts := cfg.opts
+			vecOpts.Workers = 1
+			legacy, vec := Open(legacyOpts), Open(vecOpts)
+			defer legacy.Close()
+			defer vec.Close()
+			for _, db := range []*DB{legacy, vec} {
+				if err := db.Link("l", lp); err != nil {
+					t.Fatal(err)
+				}
+				if err := db.Link("r", rp); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for qi, q := range vectorDiffJoinQueries() {
+				want, err := legacy.Query(q)
+				if err != nil {
+					t.Fatalf("legacy query %d (%s): %v", qi, q, err)
+				}
+				got, err := vec.Query(q)
+				if err != nil {
+					t.Fatalf("vector query %d (%s): %v", qi, q, err)
+				}
+				if g, w := resultTable(got), resultTable(want); g != w {
+					t.Errorf("query %d (%s):\nvector:\n%slegacy:\n%s", qi, q, g, w)
+				}
+			}
+		})
+	}
+}
+
+// TestVectorVsLegacyRandom cross-checks the two modes on a randomized
+// aggregate workload (the same generator the policy differential uses).
+func TestVectorVsLegacyRandom(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	const rows, cols = 1200, 4
+	const maxVal = 600
+	writeRandomTable(t, path, rows, cols, maxVal, 314)
+
+	legacy := Open(Options{Policy: PartialLoadsV2, Workers: 1, DisableVectorExec: true})
+	vec := Open(Options{Policy: PartialLoadsV2, Workers: 1})
+	defer legacy.Close()
+	defer vec.Close()
+	for _, db := range []*DB{legacy, vec} {
+		if err := db.Link("t", path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(2718))
+	for qi := 0; qi < 40; qi++ {
+		q := randomQuery(rng, cols, maxVal)
+		want, err := legacy.Query(q)
+		if err != nil {
+			t.Fatalf("legacy query %d (%s): %v", qi, q, err)
+		}
+		got, err := vec.Query(q)
+		if err != nil {
+			t.Fatalf("vector query %d (%s): %v", qi, q, err)
+		}
+		if g, w := resultTable(got), resultTable(want); g != w {
+			t.Errorf("query %d (%s):\nvector:\n%slegacy:\n%s", qi, q, g, w)
+		}
+	}
+}
+
+// TestVectorCancellation pins cancellation behavior parity: a cancelled
+// context aborts the query in both modes, and an early cursor Close stops
+// a streaming scan cleanly (no error) in both modes.
+func TestVectorCancellation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	writeRandomTable(t, path, 5000, 3, 5000, 77)
+
+	for _, disable := range []bool{false, true} {
+		name := "vector"
+		if disable {
+			name = "legacy"
+		}
+		t.Run(name, func(t *testing.T) {
+			db := Open(Options{Policy: PartialLoadsV1, Workers: 1, DisableVectorExec: disable, BatchSize: 16})
+			defer db.Close()
+			if err := db.Link("t", path); err != nil {
+				t.Fatal(err)
+			}
+
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			if _, err := db.QueryContext(ctx, "select sum(a1) from t"); err == nil {
+				t.Fatal("cancelled context should abort the query")
+			}
+
+			rows, err := db.QueryRows(context.Background(), "select a1 from t where a1 >= 0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := 0
+			for rows.Next() {
+				if got++; got == 3 {
+					break
+				}
+			}
+			if got != 3 {
+				t.Fatalf("read %d rows before close, want 3", got)
+			}
+			if err := rows.Close(); err != nil {
+				t.Fatalf("early close: %v", err)
+			}
+		})
+	}
+}
+
+// TestVectorLimitStopsScan checks that a LIMIT through the batch pipeline
+// terminates a streaming raw-file scan early: with a small batch size the
+// scan must read far fewer raw bytes than the full file.
+func TestVectorLimitStopsScan(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	writeRandomTable(t, path, 200_000, 3, 1000, 123)
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db := Open(Options{Policy: External, Workers: 1, ChunkSize: 64 << 10, BatchSize: 64})
+	defer db.Close()
+	if err := db.Link("t", path); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("select a1 from t limit 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(res.Rows))
+	}
+	if read := res.Stats.Work.RawBytesRead; read >= st.Size()/2 {
+		t.Errorf("LIMIT 5 read %d of %d raw bytes; the pipeline should stop the scan early", read, st.Size())
+	}
+}
+
+// TestVectorExplainTree checks both Explain surfaces: the static pipeline
+// rendering before execution and the per-operator counters after.
+func TestVectorExplainTree(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	writeRandomTable(t, path, 500, 3, 100, 9)
+
+	db := Open(Options{Policy: ColumnLoads, Workers: 1})
+	defer db.Close()
+	if err := db.Link("t", path); err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := db.Explain("select a1 from t where a2 < 50 order by a1 limit 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"pipeline (batch=1024):", "Limit(3)", "Sort(", "Project(", "Filter(t0 1 preds)", "DenseScan(t0"} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("Explain output missing %q:\n%s", want, plan)
+		}
+	}
+
+	res, err := db.Query("select a1 from t where a2 < 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"vectorized pipeline:", "Limit(none)", "batches=", "rows="} {
+		if !strings.Contains(res.Stats.Plan, want) {
+			t.Errorf("executed plan missing %q:\n%s", want, res.Stats.Plan)
+		}
+	}
+}
