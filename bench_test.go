@@ -1,4 +1,4 @@
-package nodb
+package nodb_test
 
 // Benchmarks regenerating the paper's experiments, one per figure/table.
 // Each bench runs the corresponding experiment from internal/experiments at
@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"nodb"
 	"nodb/internal/experiments"
 )
 
@@ -139,7 +140,7 @@ func BenchmarkFirstQueryColumnLoads(b *testing.B) {
 	b.SetBytes(st.Size())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		db := Open(Options{Policy: ColumnLoads, DisableRevalidation: true})
+		db := nodb.Open(nodb.Options{Policy: nodb.ColumnLoads, DisableRevalidation: true})
 		if err := db.Link("t", path); err != nil {
 			b.Fatal(err)
 		}
@@ -153,7 +154,7 @@ func BenchmarkFirstQueryColumnLoads(b *testing.B) {
 // BenchmarkHotQuery measures steady-state queries once data is loaded.
 func BenchmarkHotQuery(b *testing.B) {
 	path := benchTable(b, 200_000, 4)
-	db := Open(Options{Policy: ColumnLoads, DisableRevalidation: true})
+	db := nodb.Open(nodb.Options{Policy: nodb.ColumnLoads, DisableRevalidation: true})
 	defer db.Close()
 	if err := db.Link("t", path); err != nil {
 		b.Fatal(err)
@@ -174,7 +175,7 @@ func BenchmarkHotQuery(b *testing.B) {
 // enforce bookkeeping must stay off the per-row path.
 func BenchmarkHotQueryUnderBudget(b *testing.B) {
 	path := benchTable(b, 200_000, 4)
-	db := Open(Options{Policy: ColumnLoads, MemoryBudget: 1 << 30, DisableRevalidation: true})
+	db := nodb.Open(nodb.Options{Policy: nodb.ColumnLoads, MemoryBudget: 1 << 30, DisableRevalidation: true})
 	defer db.Close()
 	if err := db.Link("t", path); err != nil {
 		b.Fatal(err)
@@ -195,7 +196,7 @@ func BenchmarkHotQueryUnderBudget(b *testing.B) {
 // query evicts one column and rebuilds the other from the raw file.
 func BenchmarkEvictReloadCycle(b *testing.B) {
 	path := benchTable(b, 50_000, 4)
-	db := Open(Options{Policy: ColumnLoads, MemoryBudget: 600_000, DisableRevalidation: true})
+	db := nodb.Open(nodb.Options{Policy: nodb.ColumnLoads, MemoryBudget: 600_000, DisableRevalidation: true})
 	defer db.Close()
 	if err := db.Link("t", path); err != nil {
 		b.Fatal(err)
@@ -220,7 +221,7 @@ func BenchmarkEvictReloadCycle(b *testing.B) {
 // indexing enabled.
 func BenchmarkHotQueryCracking(b *testing.B) {
 	path := benchTable(b, 200_000, 4)
-	db := Open(Options{Policy: ColumnLoads, Cracking: true, DisableRevalidation: true})
+	db := nodb.Open(nodb.Options{Policy: nodb.ColumnLoads, Cracking: true, DisableRevalidation: true})
 	defer db.Close()
 	if err := db.Link("t", path); err != nil {
 		b.Fatal(err)
@@ -242,7 +243,7 @@ func BenchmarkHotQueryCracking(b *testing.B) {
 // the adaptive store.
 func BenchmarkPartialV2CacheHit(b *testing.B) {
 	path := benchTable(b, 200_000, 4)
-	db := Open(Options{Policy: PartialLoadsV2, DisableRevalidation: true})
+	db := nodb.Open(nodb.Options{Policy: nodb.PartialLoadsV2, DisableRevalidation: true})
 	defer db.Close()
 	if err := db.Link("t", path); err != nil {
 		b.Fatal(err)
@@ -261,7 +262,7 @@ func BenchmarkPartialV2CacheHit(b *testing.B) {
 
 // BenchmarkSQLParse measures the SQL front end alone.
 func BenchmarkSQLParse(b *testing.B) {
-	db := Open(Options{})
+	db := nodb.Open(nodb.Options{})
 	defer db.Close()
 	path := benchTable(b, 100, 4)
 	if err := db.Link("t", path); err != nil {
@@ -280,7 +281,7 @@ func BenchmarkSQLParse(b *testing.B) {
 // store. This is the hot path nodbd serves once the workload's columns
 // are loaded.
 func BenchmarkConcurrentClients(b *testing.B) {
-	db := Open(Options{Policy: PartialLoadsV2})
+	db := nodb.Open(nodb.Options{Policy: nodb.PartialLoadsV2})
 	defer db.Close()
 	path := benchTable(b, 50000, 4)
 	if err := db.Link("t", path); err != nil {
@@ -306,7 +307,7 @@ func BenchmarkConcurrentClients(b *testing.B) {
 // tables whose columns race to load: each iteration cycles predicates so
 // partial-load coverage keeps missing and the raw file stays in play.
 func BenchmarkConcurrentClientsColdLoads(b *testing.B) {
-	db := Open(Options{Policy: PartialLoadsV1})
+	db := nodb.Open(nodb.Options{Policy: nodb.PartialLoadsV1})
 	defer db.Close()
 	path := benchTable(b, 50000, 4)
 	if err := db.Link("t", path); err != nil {
@@ -340,7 +341,7 @@ func restartBench(b *testing.B, warm bool) {
 	q := "select sum(a1), avg(a2) from t where a1 > 10000 and a1 < 30000"
 
 	// Teach one DB and snapshot its state.
-	seed := Open(Options{Policy: ColumnLoads, CacheDir: cache})
+	seed := nodb.Open(nodb.Options{Policy: nodb.ColumnLoads, CacheDir: cache})
 	if err := seed.Link("t", path); err != nil {
 		b.Fatal(err)
 	}
@@ -353,11 +354,11 @@ func restartBench(b *testing.B, warm bool) {
 
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		opts := Options{Policy: ColumnLoads}
+		opts := nodb.Options{Policy: nodb.ColumnLoads}
 		if warm {
 			opts.CacheDir = cache
 		}
-		db := Open(opts)
+		db := nodb.Open(opts)
 		if err := db.Link("t", path); err != nil {
 			b.Fatal(err)
 		}
@@ -427,7 +428,7 @@ func selectiveColdScan(b *testing.B, disableSynopsis bool) {
 	if disableSynopsis {
 		workers = 1
 	}
-	db := Open(Options{Policy: PartialLoadsV1, DisableSynopsis: disableSynopsis, Workers: workers, ChunkSize: 256 << 10, DisableRevalidation: true})
+	db := nodb.Open(nodb.Options{Policy: nodb.PartialLoadsV1, DisableSynopsis: disableSynopsis, Workers: workers, ChunkSize: 256 << 10, DisableRevalidation: true})
 	defer db.Close()
 	if err := db.Link("t", path); err != nil {
 		b.Fatal(err)
@@ -468,7 +469,7 @@ func BenchmarkSelectiveColdScanNoSynopsis(b *testing.B) { selectiveColdScan(b, t
 func batchPipelineBench(b *testing.B, disableVector bool) {
 	const rows = 400_000
 	path := benchTable(b, rows, 4)
-	db := Open(Options{Policy: ColumnLoads, Workers: 1, DisableVectorExec: disableVector, DisableRevalidation: true})
+	db := nodb.Open(nodb.Options{Policy: nodb.ColumnLoads, Workers: 1, DisableVectorExec: disableVector, DisableRevalidation: true})
 	defer db.Close()
 	if err := db.Link("t", path); err != nil {
 		b.Fatal(err)
@@ -535,7 +536,7 @@ func BenchmarkNDJSONColdScan(b *testing.B) {
 	b.SetBytes(st.Size())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		db := Open(Options{Policy: ColumnLoads, DisableRevalidation: true})
+		db := nodb.Open(nodb.Options{Policy: nodb.ColumnLoads, DisableRevalidation: true})
 		if err := db.Link("t", path); err != nil {
 			b.Fatal(err)
 		}
@@ -559,7 +560,7 @@ func BenchmarkNDJSONLazyVsEager(b *testing.B) {
 	st, _ := os.Stat(path)
 
 	scanOnce := func(query string) (time.Duration, int64) {
-		db := Open(Options{Policy: PartialLoadsV1, Workers: 1, DisableRevalidation: true})
+		db := nodb.Open(nodb.Options{Policy: nodb.PartialLoadsV1, Workers: 1, DisableRevalidation: true})
 		defer db.Close()
 		if err := db.Link("t", path); err != nil {
 			b.Fatal(err)

@@ -212,6 +212,15 @@ func (t *Table) Path() string { return t.path }
 // Schema returns the detected schema.
 func (t *Table) Schema() *schema.Schema { return t.schema }
 
+// Signature returns the raw file's signature as of the last
+// (re)validation. Cluster synopsis exports carry it so a coordinator can
+// tell stale cached state from live state.
+func (t *Table) Signature() Signature {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.sig
+}
+
 // NumRows returns the row count, or -1 when not yet discovered.
 func (t *Table) NumRows() int64 {
 	t.mu.RLock()

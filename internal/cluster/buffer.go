@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"nodb/internal/storage"
+)
+
+// bufferedIter decouples one shard's network stream from the merge loop:
+// a goroutine pulls rows from the underlying iterator into a bounded
+// channel, so all shards make progress concurrently while the merge
+// consumes single-threaded. Stop unblocks and retires the goroutine when
+// the merge abandons the stream early (global LIMIT satisfied, fatal
+// error) — paired with cancelling the shard's request context, that is
+// the coordinator's upstream cancellation.
+type bufferedIter struct {
+	src    *shardIter
+	ch     chan bufferedRow
+	quit   chan struct{}
+	exited chan struct{}
+	err    error
+	done   bool
+}
+
+type bufferedRow struct {
+	row []storage.Value
+	err error
+}
+
+const bufferedRows = 256
+
+func newBufferedIter(src *shardIter) *bufferedIter {
+	b := &bufferedIter{
+		src:    src,
+		ch:     make(chan bufferedRow, bufferedRows),
+		quit:   make(chan struct{}),
+		exited: make(chan struct{}),
+	}
+	go func() {
+		defer close(b.exited)
+		defer src.Close()
+		for {
+			row, ok, err := src.Next()
+			if err != nil {
+				select {
+				case b.ch <- bufferedRow{err: err}:
+				case <-b.quit:
+				}
+				return
+			}
+			if !ok {
+				close(b.ch)
+				return
+			}
+			select {
+			case b.ch <- bufferedRow{row: row}:
+			case <-b.quit:
+				return
+			}
+		}
+	}()
+	return b
+}
+
+// Next implements exec.RowIter.
+func (b *bufferedIter) Next() ([]storage.Value, bool, error) {
+	if b.done {
+		return nil, false, b.err
+	}
+	r, ok := <-b.ch
+	if !ok {
+		b.done = true
+		return nil, false, nil
+	}
+	if r.err != nil {
+		b.done, b.err = true, r.err
+		return nil, false, r.err
+	}
+	return r.row, true, nil
+}
+
+// StopWait retires the producer goroutine and waits for it, then returns
+// the shard iterator's total byte count — safe to read only after the
+// producer has exited. The caller must cancel the shard's request context
+// first if the producer may be blocked on a network read.
+func (b *bufferedIter) StopWait() int64 {
+	select {
+	case <-b.quit:
+	default:
+		close(b.quit)
+	}
+	<-b.exited
+	return b.src.Bytes()
+}

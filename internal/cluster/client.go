@@ -1,0 +1,288 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"nodb/internal/storage"
+)
+
+// ShardError is the failure of one shard interaction. Status carries the
+// HTTP status when the shard answered with an error response; 0 marks
+// transport-level failures (connection refused, reset mid-stream,
+// truncated stream) and in-band trailer errors.
+type ShardError struct {
+	Shard  string
+	Status int
+	Msg    string
+	cause  error
+}
+
+func (e *ShardError) Error() string {
+	if e.Status != 0 {
+		return fmt.Sprintf("cluster: shard %s: http %d: %s", e.Shard, e.Status, e.Msg)
+	}
+	return fmt.Sprintf("cluster: shard %s: %s", e.Shard, e.Msg)
+}
+
+func (e *ShardError) Unwrap() error { return e.cause }
+
+// retryable reports whether a failed shard interaction is worth re-trying:
+// transport errors, per-attempt timeouts, truncated streams, overload
+// (429) and server-side errors (5xx) are transient; any other 4xx is a
+// permanent rejection of the request itself (e.g. a bad query), where a
+// retry would burn the budget for nothing.
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	var se *ShardError
+	if errors.As(err, &se) {
+		if se.Status == 0 {
+			return true
+		}
+		return se.Status == http.StatusTooManyRequests || se.Status >= 500
+	}
+	return true
+}
+
+// ShardClient talks to one shard nodbd over its HTTP API.
+type ShardClient struct {
+	// Name is the shard's configured address, used in errors and stats.
+	Name string
+	// Base is the normalized base URL (scheme://host:port).
+	Base string
+	// HTTP is the shared client; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewShardClient builds a client for one shard address. A bare host:port
+// gets the http scheme.
+func NewShardClient(addr string, hc *http.Client) *ShardClient {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &ShardClient{Name: addr, Base: strings.TrimRight(base, "/"), HTTP: hc}
+}
+
+func (c *ShardClient) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// getJSON fetches path and decodes the 200 body into out.
+func (c *ShardClient) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return &ShardError{Shard: c.Name, Msg: err.Error(), cause: err}
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return &ShardError{Shard: c.Name, Msg: err.Error(), cause: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &ShardError{Shard: c.Name, Status: resp.StatusCode, Msg: readErrorBody(resp.Body)}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return &ShardError{Shard: c.Name, Msg: fmt.Sprintf("decoding %s: %v", path, err), cause: err}
+	}
+	return nil
+}
+
+// readErrorBody extracts the {"error": ...} message of a non-200 body.
+func readErrorBody(r io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(r, 4096))
+	var er struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(b, &er) == nil && er.Error != "" {
+		return er.Error
+	}
+	return strings.TrimSpace(string(b))
+}
+
+// Ready probes /readyz; nil means the shard has its tables attached and
+// admits queries.
+func (c *ShardClient) Ready(ctx context.Context) error {
+	var out struct {
+		Status string `json:"status"`
+	}
+	return c.getJSON(ctx, "/readyz", &out)
+}
+
+// Synopsis fetches /cluster/synopsis.
+func (c *ShardClient) Synopsis(ctx context.Context) (*SynopsisResponse, error) {
+	var out SynopsisResponse
+	if err := c.getJSON(ctx, "/cluster/synopsis", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Tables fetches /tables.
+func (c *ShardClient) Tables(ctx context.Context) ([]string, error) {
+	var out struct {
+		Tables []string `json:"tables"`
+	}
+	if err := c.getJSON(ctx, "/tables", &out); err != nil {
+		return nil, err
+	}
+	return out.Tables, nil
+}
+
+// Stream opens /query/stream for a pushed-down query and consumes the
+// header line, so Columns is populated on return. The caller must Close
+// the stream.
+func (c *ShardClient) Stream(ctx context.Context, query string) (*ShardStream, error) {
+	body, err := json.Marshal(map[string]string{"query": query})
+	if err != nil {
+		return nil, &ShardError{Shard: c.Name, Msg: err.Error(), cause: err}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/query/stream", bytes.NewReader(body))
+	if err != nil {
+		return nil, &ShardError{Shard: c.Name, Msg: err.Error(), cause: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, &ShardError{Shard: c.Name, Msg: err.Error(), cause: err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, &ShardError{Shard: c.Name, Status: resp.StatusCode, Msg: readErrorBody(resp.Body)}
+	}
+	cr := &countingReader{r: resp.Body}
+	dec := json.NewDecoder(cr)
+	dec.UseNumber()
+	st := &ShardStream{shard: c.Name, body: resp.Body, counter: cr, dec: dec}
+	var hdr struct {
+		Columns []string `json:"columns"`
+		Error   string   `json:"error"`
+	}
+	if err := dec.Decode(&hdr); err != nil {
+		st.Close()
+		return nil, &ShardError{Shard: c.Name, Msg: fmt.Sprintf("reading stream header: %v", err), cause: err}
+	}
+	if hdr.Error != "" {
+		st.Close()
+		return nil, &ShardError{Shard: c.Name, Msg: hdr.Error}
+	}
+	st.Columns = hdr.Columns
+	return st, nil
+}
+
+// countingReader counts payload bytes for the bytes-merged stat.
+type countingReader struct {
+	r io.Reader
+	n atomic.Int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+// ShardStream is one shard's NDJSON result stream. Next is single-
+// threaded; values round-trip through json.Number so int64 results stay
+// exact.
+type ShardStream struct {
+	// Columns is the shard's output header.
+	Columns []string
+
+	shard   string
+	body    io.ReadCloser
+	counter *countingReader
+	dec     *json.Decoder
+	rows    int64
+	done    bool
+	err     error
+}
+
+// Next returns the next row; ok=false with nil err marks a clean end of
+// stream (the stats trailer was seen). A stream that ends without a
+// trailer is truncated — the shard died mid-query — and reports an error.
+func (s *ShardStream) Next() ([]storage.Value, bool, error) {
+	if s.done || s.err != nil {
+		return nil, false, s.err
+	}
+	var v any
+	if err := s.dec.Decode(&v); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			s.err = &ShardError{Shard: s.shard, Msg: "stream truncated before trailer", cause: err}
+		} else {
+			s.err = &ShardError{Shard: s.shard, Msg: fmt.Sprintf("reading stream: %v", err), cause: err}
+		}
+		return nil, false, s.err
+	}
+	switch t := v.(type) {
+	case []any:
+		row, err := decodeWireRow(t)
+		if err != nil {
+			s.err = &ShardError{Shard: s.shard, Msg: err.Error(), cause: err}
+			return nil, false, s.err
+		}
+		s.rows++
+		return row, true, nil
+	case map[string]any:
+		if msg, ok := t["error"].(string); ok {
+			s.err = &ShardError{Shard: s.shard, Msg: msg}
+			return nil, false, s.err
+		}
+		if _, ok := t["stats"]; ok {
+			s.done = true
+			return nil, false, nil
+		}
+	}
+	s.err = &ShardError{Shard: s.shard, Msg: "unexpected stream line"}
+	return nil, false, s.err
+}
+
+// Rows reports rows decoded so far.
+func (s *ShardStream) Rows() int64 { return s.rows }
+
+// Bytes reports payload bytes consumed so far.
+func (s *ShardStream) Bytes() int64 { return s.counter.n.Load() }
+
+// Close releases the underlying response body; safe after errors.
+func (s *ShardStream) Close() { _ = s.body.Close() }
+
+// decodeWireRow converts one NDJSON row (decoded with UseNumber) to typed
+// values: integral numbers become Int64 (exact), the rest Float64,
+// strings stay strings. A float that happens to be integral arrives as an
+// int value — harmless, because coordinator output renders through the
+// same JSON encoding that made it integral in the first place.
+func decodeWireRow(vals []any) ([]storage.Value, error) {
+	row := make([]storage.Value, len(vals))
+	for i, v := range vals {
+		switch t := v.(type) {
+		case json.Number:
+			if n, err := strconv.ParseInt(t.String(), 10, 64); err == nil {
+				row[i] = storage.IntValue(n)
+				continue
+			}
+			f, err := t.Float64()
+			if err != nil {
+				return nil, fmt.Errorf("unparseable number %q in row", t.String())
+			}
+			row[i] = storage.FloatValue(f)
+		case string:
+			row[i] = storage.StringValue(t)
+		default:
+			return nil, fmt.Errorf("unsupported value %T in row", v)
+		}
+	}
+	return row, nil
+}

@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"nodb/internal/storage"
+)
+
+// shardIter streams one shard's rows with bounded retry. A transient
+// failure — connection refused, 5xx, overload, a truncated stream from a
+// shard dying mid-query — re-opens the stream and skips the rows already
+// delivered; shard results are deterministic for a fixed raw file, so
+// skip-ahead resumption yields exactly the suffix the first attempt never
+// produced. The retry budget is shared across open failures and
+// mid-stream failures: retries n means at most n+1 attempts total.
+type shardIter struct {
+	parent  context.Context
+	client  *ShardClient
+	query   string
+	budget  int           // attempts remaining
+	backoff time.Duration // next retry's wait, doubles per retry
+	timeout time.Duration // per-attempt limit, 0 = none
+
+	// onRetry is notified once per re-attempt (stats counter).
+	onRetry func()
+
+	stream    *ShardStream
+	cancel    context.CancelFunc
+	delivered int64
+	bytes     int64 // bytes of closed attempts
+	err       error
+}
+
+func newShardIter(ctx context.Context, c *ShardClient, query string, retries int, backoff, timeout time.Duration, onRetry func()) *shardIter {
+	if retries < 0 {
+		retries = 0
+	}
+	return &shardIter{
+		parent:  ctx,
+		client:  c,
+		query:   query,
+		budget:  retries + 1,
+		backoff: backoff,
+		timeout: timeout,
+		onRetry: onRetry,
+	}
+}
+
+// open starts one attempt (consuming budget) and resumes past the rows
+// already delivered.
+func (s *shardIter) open() error {
+	s.budget--
+	actx := s.parent
+	var cancel context.CancelFunc = func() {}
+	if s.timeout > 0 {
+		actx, cancel = context.WithTimeout(s.parent, s.timeout)
+	}
+	st, err := s.client.Stream(actx, s.query)
+	if err != nil {
+		cancel()
+		return err
+	}
+	for skip := s.delivered; skip > 0; skip-- {
+		_, ok, err := st.Next()
+		if err != nil {
+			s.bytes += st.Bytes()
+			st.Close()
+			cancel()
+			return err
+		}
+		if !ok {
+			s.bytes += st.Bytes()
+			st.Close()
+			cancel()
+			return &ShardError{Shard: s.client.Name, Msg: fmt.Sprintf(
+				"stream ended at row %d while resuming past row %d", s.delivered-skip, s.delivered)}
+		}
+	}
+	s.stream, s.cancel = st, cancel
+	return nil
+}
+
+// retryWait sleeps the current backoff (doubling it) unless the parent
+// context ends first.
+func (s *shardIter) retryWait() error {
+	if s.onRetry != nil {
+		s.onRetry()
+	}
+	if s.backoff <= 0 {
+		return s.parent.Err()
+	}
+	t := time.NewTimer(s.backoff)
+	defer t.Stop()
+	s.backoff *= 2
+	select {
+	case <-t.C:
+		return nil
+	case <-s.parent.Done():
+		return s.parent.Err()
+	}
+}
+
+// Prime opens the stream (retrying) so Columns is available before the
+// merge starts. Next calls Prime implicitly.
+func (s *shardIter) Prime() error {
+	if s.err != nil {
+		return s.err
+	}
+	for s.stream == nil {
+		err := s.open()
+		if err == nil {
+			return nil
+		}
+		if s.budget <= 0 || !retryable(err) || s.parent.Err() != nil {
+			s.err = err
+			return err
+		}
+		if werr := s.retryWait(); werr != nil {
+			s.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// Columns returns the stream header; valid after a successful Prime.
+func (s *shardIter) Columns() []string {
+	if s.stream == nil {
+		return nil
+	}
+	return s.stream.Columns
+}
+
+// Next implements exec.RowIter.
+func (s *shardIter) Next() ([]storage.Value, bool, error) {
+	if s.err != nil {
+		return nil, false, s.err
+	}
+	for {
+		if s.stream == nil {
+			if err := s.Prime(); err != nil {
+				return nil, false, err
+			}
+		}
+		row, ok, err := s.stream.Next()
+		if err == nil {
+			if ok {
+				s.delivered++
+			}
+			return row, ok, nil
+		}
+		s.closeAttempt()
+		if s.budget <= 0 || !retryable(err) || s.parent.Err() != nil {
+			s.err = err
+			return nil, false, err
+		}
+		if werr := s.retryWait(); werr != nil {
+			s.err = err
+			return nil, false, err
+		}
+	}
+}
+
+func (s *shardIter) closeAttempt() {
+	if s.stream != nil {
+		s.bytes += s.stream.Bytes()
+		s.stream.Close()
+		s.stream = nil
+	}
+	if s.cancel != nil {
+		s.cancel()
+		s.cancel = nil
+	}
+}
+
+// Bytes reports payload bytes consumed across all attempts.
+func (s *shardIter) Bytes() int64 {
+	b := s.bytes
+	if s.stream != nil {
+		b += s.stream.Bytes()
+	}
+	return b
+}
+
+// Rows reports rows delivered downstream.
+func (s *shardIter) Rows() int64 { return s.delivered }
+
+// Close releases the current attempt.
+func (s *shardIter) Close() { s.closeAttempt() }

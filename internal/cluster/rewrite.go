@@ -1,0 +1,295 @@
+package cluster
+
+import (
+	"fmt"
+
+	"nodb/internal/exec"
+	"nodb/internal/expr"
+	"nodb/internal/sql"
+)
+
+// Mode selects how shard partial streams merge into the final answer.
+type Mode int
+
+// Merge modes.
+const (
+	// ModeConcat drains shard streams in shard order (plain selects).
+	ModeConcat Mode = iota
+	// ModeSortMerge k-way merges individually ordered shard streams.
+	ModeSortMerge
+	// ModeAgg re-aggregates one partial row per shard into one final row.
+	ModeAgg
+	// ModeGroupAgg merges per-shard group partials, then applies any
+	// ORDER BY / LIMIT at the coordinator.
+	ModeGroupAgg
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeConcat:
+		return "concat"
+	case ModeSortMerge:
+		return "sortmerge"
+	case ModeAgg:
+		return "agg"
+	case ModeGroupAgg:
+		return "groupagg"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// OrderKey is one ORDER BY entry by output-column name; the coordinator
+// resolves it to a column index at merge time (against the shard stream
+// header in ModeSortMerge, against the final columns in ModeGroupAgg).
+type OrderKey struct {
+	Name string
+	Desc bool
+}
+
+// ScatterPlan is the coordinator's compiled form of one query: the SQL
+// pushed to every shard plus everything needed to merge the partials back
+// into the exact single-node answer.
+type ScatterPlan struct {
+	// Table is the FROM table (shard pruning keys on it).
+	Table string
+	// Mode picks the merge operator family.
+	Mode Mode
+	// PushedSQL is the rewritten statement sent to every shard.
+	PushedSQL string
+	// Limit is the global row limit applied at the coordinator (-1 none).
+	Limit int64
+	// Order holds ORDER BY keys for ModeSortMerge and ModeGroupAgg.
+	Order []OrderKey
+	// Specs map final output columns onto partial-row columns
+	// (ModeAgg/ModeGroupAgg), in final column order.
+	Specs []exec.PartialAggSpec
+	// KeyCols are the partial-row columns forming the group key
+	// (ModeGroupAgg).
+	KeyCols []int
+	// SentinelCol is the appended count(*) column that flags empty-shard
+	// partial rows (ModeAgg); -1 otherwise.
+	SentinelCol int
+	// Columns are the final output column names for ModeAgg/ModeGroupAgg;
+	// nil in the streaming modes, where the shard header is authoritative.
+	Columns []string
+	// Where keeps the original predicates for synopsis-based shard pruning.
+	Where []sql.Predicate
+}
+
+// BuildScatterPlan parses a query and compiles it into a scatter plan.
+// The rewrite mirrors the single-node planner's validation rules so a
+// query the cluster rejects would have been rejected on one node too —
+// with one extra restriction: joins stay single-node.
+func BuildScatterPlan(query string) (*ScatterPlan, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.NumParams > 0 {
+		return nil, fmt.Errorf("cluster: statement has %d unbound parameters; bind arguments first", stmt.NumParams)
+	}
+	if len(stmt.Joins) > 0 {
+		return nil, fmt.Errorf("cluster: joins are not supported in cluster mode")
+	}
+
+	p := &ScatterPlan{
+		Table:       stmt.From.Name,
+		Limit:       int64(stmt.Limit),
+		SentinelCol: -1,
+		Where:       stmt.Where,
+	}
+	for _, o := range stmt.OrderBy {
+		p.Order = append(p.Order, OrderKey{Name: o.Col.Column, Desc: o.Desc})
+	}
+
+	switch {
+	case !stmt.HasAggregates():
+		if len(stmt.GroupBy) > 0 {
+			return nil, fmt.Errorf("cluster: GROUP BY without aggregates is not supported")
+		}
+		if len(stmt.OrderBy) > 0 {
+			p.Mode = ModeSortMerge
+		} else {
+			p.Mode = ModeConcat
+		}
+		// Plain selects push through untouched: each shard applies the
+		// filter — and the LIMIT, a safe upper bound per shard — and the
+		// coordinator enforces order and the global limit.
+		p.PushedSQL = stmt.String()
+		return p, nil
+	case len(stmt.GroupBy) == 0:
+		return buildAggPlan(p, stmt)
+	default:
+		return buildGroupAggPlan(p, stmt)
+	}
+}
+
+// aggName reproduces the single-node planner's output column naming.
+func aggName(it sql.SelectItem) string {
+	if it.Star {
+		return "count(*)"
+	}
+	return fmt.Sprintf("%s(%s)", it.Agg, it.Col.Column)
+}
+
+// buildAggPlan compiles a global (non-grouped) aggregate query. Each
+// aggregate pushes down as a mergeable partial — avg(x) becomes sum(x)
+// plus an appended count(x) — and an appended count(*) sentinel lets the
+// merger skip shards with zero qualifying rows, whose min/max slots are
+// zero-value placeholders.
+func buildAggPlan(p *ScatterPlan, stmt *sql.SelectStmt) (*ScatterPlan, error) {
+	p.Mode = ModeAgg
+	if len(stmt.OrderBy) > 0 {
+		// A pure-aggregate query has no plain output column to order by;
+		// the single-node planner rejects this too.
+		return nil, fmt.Errorf("cluster: ORDER BY column %q must appear in the select list", stmt.OrderBy[0].Col.Column)
+	}
+	pushed := &sql.SelectStmt{From: stmt.From, Where: stmt.Where, Limit: -1}
+	var tail []sql.SelectItem // appended avg-count columns, then the sentinel
+	for _, it := range stmt.Items {
+		if it.Agg == sql.AggNone {
+			return nil, fmt.Errorf("cluster: mixing plain columns and aggregates requires GROUP BY")
+		}
+		p.Columns = append(p.Columns, aggName(it))
+		spec := exec.PartialAggSpec{Kind: it.Agg, Col: len(pushed.Items)}
+		switch it.Agg {
+		case sql.AggAvg:
+			// Shards return the partial sum here; the matching count is
+			// appended after the user-visible columns.
+			pushed.Items = append(pushed.Items, sql.SelectItem{Agg: sql.AggSum, Col: it.Col})
+			spec.CountCol = len(stmt.Items) + len(tail)
+			tail = append(tail, sql.SelectItem{Agg: sql.AggCount, Col: it.Col})
+		default:
+			pushed.Items = append(pushed.Items, it)
+		}
+		p.Specs = append(p.Specs, spec)
+	}
+	pushed.Items = append(pushed.Items, tail...)
+	p.SentinelCol = len(pushed.Items)
+	pushed.Items = append(pushed.Items, sql.SelectItem{Agg: sql.AggCount, Star: true})
+	p.PushedSQL = pushed.String()
+	return p, nil
+}
+
+// buildGroupAggPlan compiles a GROUP BY query. Aggregates push down as
+// partials like the global case; group keys missing from the select list
+// are appended so the coordinator can re-group; ORDER BY and LIMIT are
+// held back and applied over the merged groups. No sentinel is needed —
+// a shard emits group rows only for groups it actually saw.
+func buildGroupAggPlan(p *ScatterPlan, stmt *sql.SelectStmt) (*ScatterPlan, error) {
+	p.Mode = ModeGroupAgg
+	pushed := &sql.SelectStmt{From: stmt.From, Where: stmt.Where, GroupBy: stmt.GroupBy, Limit: -1}
+	var tail []sql.SelectItem
+	for _, it := range stmt.Items {
+		if it.Star && it.Agg == sql.AggNone {
+			return nil, fmt.Errorf("cluster: * is not supported with GROUP BY in cluster mode")
+		}
+		spec := exec.PartialAggSpec{Kind: it.Agg, Col: len(pushed.Items)}
+		switch it.Agg {
+		case sql.AggNone:
+			if !inGroupBy(stmt.GroupBy, it.Col) {
+				return nil, fmt.Errorf("cluster: selected column %q is not in GROUP BY", it.Col.Column)
+			}
+			p.Columns = append(p.Columns, it.Col.Column)
+			pushed.Items = append(pushed.Items, it)
+		case sql.AggAvg:
+			p.Columns = append(p.Columns, aggName(it))
+			pushed.Items = append(pushed.Items, sql.SelectItem{Agg: sql.AggSum, Col: it.Col})
+			spec.CountCol = len(stmt.Items) + len(tail)
+			tail = append(tail, sql.SelectItem{Agg: sql.AggCount, Col: it.Col})
+		default:
+			p.Columns = append(p.Columns, aggName(it))
+			pushed.Items = append(pushed.Items, it)
+		}
+		p.Specs = append(p.Specs, spec)
+	}
+	pushed.Items = append(pushed.Items, tail...)
+	// Append group keys the select list doesn't carry, so every key
+	// participates in the coordinator's re-grouping.
+	for _, g := range stmt.GroupBy {
+		idx := -1
+		for i, it := range pushed.Items {
+			if it.Agg == sql.AggNone && !it.Star && it.Col.Column == g.Column {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			idx = len(pushed.Items)
+			pushed.Items = append(pushed.Items, sql.SelectItem{Col: g})
+		}
+		p.KeyCols = append(p.KeyCols, idx)
+	}
+	// ORDER BY must name a plain select-list column — same rule as the
+	// single-node planner — and resolves against the final columns.
+	for _, o := range stmt.OrderBy {
+		found := false
+		for _, it := range stmt.Items {
+			if it.Agg == sql.AggNone && it.Col.Column == o.Col.Column {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("cluster: ORDER BY column %q must appear in the select list", o.Col.Column)
+		}
+	}
+	p.PushedSQL = pushed.String()
+	return p, nil
+}
+
+func inGroupBy(keys []sql.ColRef, c sql.ColRef) bool {
+	for _, g := range keys {
+		if g.Column == c.Column {
+			return true
+		}
+	}
+	return false
+}
+
+// bindConjunction converts the plan's WHERE predicates into a bound
+// conjunction over the shard synopsis's column ordinals, for whole-shard
+// pruning. ok is false — prune nothing — when any predicate references a
+// column the synopsis doesn't know or uses an unmappable operator.
+func bindConjunction(where []sql.Predicate, syn TableSynopsis) (expr.Conjunction, bool) {
+	var conj expr.Conjunction
+	for _, pred := range where {
+		col := syn.ColumnIndex(pred.Col.Column)
+		if col < 0 {
+			return expr.Conjunction{}, false
+		}
+		bp := expr.Pred{Col: col, Between: pred.Between}
+		if pred.Between {
+			bp.Val, bp.Val2 = pred.Lo, pred.Hi
+		} else {
+			op, ok := bindCmpOp(pred.Op)
+			if !ok {
+				return expr.Conjunction{}, false
+			}
+			bp.Op = op
+			bp.Val = pred.Val
+		}
+		conj.Preds = append(conj.Preds, bp)
+	}
+	return conj, true
+}
+
+func bindCmpOp(op string) (expr.CmpOp, bool) {
+	switch op {
+	case "<":
+		return expr.Lt, true
+	case "<=":
+		return expr.Le, true
+	case ">":
+		return expr.Gt, true
+	case ">=":
+		return expr.Ge, true
+	case "=":
+		return expr.Eq, true
+	case "<>":
+		return expr.Ne, true
+	default:
+		return 0, false
+	}
+}

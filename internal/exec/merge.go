@@ -1,0 +1,447 @@
+package exec
+
+import (
+	"math"
+	"strings"
+
+	"nodb/internal/schema"
+	"nodb/internal/sql"
+	"nodb/internal/storage"
+)
+
+// This file is the cluster merge operator family: the operators a
+// scatter-gather coordinator runs over the per-shard result streams it
+// receives. They are deliberately row-oriented — shard results arrive as
+// NDJSON rows, already reduced shard-local by the vectorized pipeline, so
+// the coordinator's work is merging small streams, not scanning raw bytes.
+//
+// Every operator is built to reproduce the single-node answer exactly when
+// the shards hold contiguous, disjoint ranges of one logical file:
+// Concat preserves file order, MergeSorted reproduces sort.SliceStable's
+// tie behavior, and GroupMerger reproduces first-appearance group order.
+
+// RowIter is a pull-based stream of materialized result rows — the unit
+// the merge operators consume. Implementations are not required to be safe
+// for concurrent use; the merge operators pull single-threaded.
+type RowIter interface {
+	// Next returns the next row. ok is false at end of stream; a non-nil
+	// err (which implies ok == false) is the stream's terminal error.
+	Next() (row []storage.Value, ok bool, err error)
+}
+
+// StreamErrorFunc decides what a merge operator does when one of its input
+// streams fails mid-merge: return true to drop that stream and keep
+// merging the remainder (the coordinator's partial_results degraded mode),
+// false to abort the whole merge with the error.
+type StreamErrorFunc func(input int, err error) bool
+
+// sliceIter adapts a materialized row slice to RowIter (tests, re-merging
+// buffered partials).
+type sliceIter struct {
+	rows [][]storage.Value
+	i    int
+}
+
+// NewSliceIter returns a RowIter over a materialized row slice.
+func NewSliceIter(rows [][]storage.Value) RowIter { return &sliceIter{rows: rows} }
+
+func (s *sliceIter) Next() ([]storage.Value, bool, error) {
+	if s.i >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.i]
+	s.i++
+	return r, true, nil
+}
+
+// DrainRowIter materializes an iterator.
+func DrainRowIter(it RowIter) ([][]storage.Value, error) {
+	var out [][]storage.Value
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}
+
+// Concat yields every row of its inputs in input order — input 0 drained
+// fully before input 1 starts — with an optional global row limit
+// (limit < 0 means unlimited). This is the coordinator's merge operator
+// for unordered selects: with shards holding contiguous ranges of one
+// logical file, concatenation in shard order reproduces the single-node
+// scan order exactly.
+type Concat struct {
+	inputs  []RowIter
+	onErr   StreamErrorFunc
+	limit   int64
+	emitted int64
+	cur     int
+	err     error
+	done    bool
+}
+
+// NewConcat builds a concatenating merge over inputs.
+func NewConcat(inputs []RowIter, limit int64, onErr StreamErrorFunc) *Concat {
+	return &Concat{inputs: inputs, limit: limit, onErr: onErr}
+}
+
+// Next implements RowIter.
+func (c *Concat) Next() ([]storage.Value, bool, error) {
+	if c.done {
+		return nil, false, c.err
+	}
+	for {
+		if c.limit >= 0 && c.emitted >= c.limit {
+			c.done = true
+			return nil, false, nil
+		}
+		if c.cur >= len(c.inputs) {
+			c.done = true
+			return nil, false, nil
+		}
+		row, ok, err := c.inputs[c.cur].Next()
+		if err != nil {
+			if c.onErr != nil && c.onErr(c.cur, err) {
+				c.cur++
+				continue
+			}
+			c.done, c.err = true, err
+			return nil, false, err
+		}
+		if !ok {
+			c.cur++
+			continue
+		}
+		c.emitted++
+		return row, true, nil
+	}
+}
+
+// Emitted reports how many rows the operator has yielded.
+func (c *Concat) Emitted() int64 { return c.emitted }
+
+// MergeSorted merges k individually sorted inputs into one sorted stream:
+// each pull picks the smallest head under keys, breaking ties by lower
+// input index. That is exactly the order sort.SliceStable produces over
+// the concatenation of the inputs, so a coordinator merging per-shard
+// ORDER BY streams is byte-identical to a single node sorting the whole
+// file. limit < 0 means unlimited.
+type MergeSorted struct {
+	inputs  []RowIter
+	keys    []SortKey
+	onErr   StreamErrorFunc
+	limit   int64
+	emitted int64
+
+	heads   [][]storage.Value // current head per input; nil = exhausted/dropped
+	pending int               // input whose head was emitted and needs refreshing; -1 = none
+	primed  bool
+	err     error
+	done    bool
+}
+
+// NewMergeSorted builds a k-way merge over sorted inputs.
+func NewMergeSorted(inputs []RowIter, keys []SortKey, limit int64, onErr StreamErrorFunc) *MergeSorted {
+	return &MergeSorted{inputs: inputs, keys: keys, limit: limit, onErr: onErr, pending: -1}
+}
+
+// advance refreshes input i's head; false means a fatal stream error
+// (m.err is set and the merge is finished).
+func (m *MergeSorted) advance(i int) bool {
+	row, ok, err := m.inputs[i].Next()
+	if err != nil {
+		if m.onErr != nil && m.onErr(i, err) {
+			m.heads[i] = nil
+			return true
+		}
+		m.err, m.done = err, true
+		return false
+	}
+	if !ok {
+		m.heads[i] = nil
+	} else {
+		m.heads[i] = row
+	}
+	return true
+}
+
+// Next implements RowIter.
+func (m *MergeSorted) Next() ([]storage.Value, bool, error) {
+	if m.done {
+		return nil, false, m.err
+	}
+	if !m.primed {
+		m.heads = make([][]storage.Value, len(m.inputs))
+		for i := range m.inputs {
+			if !m.advance(i) {
+				return nil, false, m.err
+			}
+		}
+		m.primed = true
+	}
+	if m.limit >= 0 && m.emitted >= m.limit {
+		m.done = true
+		return nil, false, nil
+	}
+	// The winning input's refresh is deferred to the next pull: once the
+	// limit is satisfied no input is touched again, so a coordinator can
+	// cancel the still-running shards without the merge misreading the
+	// cancellation as a stream failure.
+	if m.pending >= 0 {
+		i := m.pending
+		m.pending = -1
+		if !m.advance(i) {
+			return nil, false, m.err
+		}
+	}
+	best := -1
+	for i, h := range m.heads {
+		if h == nil {
+			continue
+		}
+		// Strict less only: the first (lowest-index) minimal head wins
+		// ties, matching sort.SliceStable over the concatenation.
+		if best < 0 || lessRows(h, m.heads[best], m.keys) {
+			best = i
+		}
+	}
+	if best < 0 {
+		m.done = true
+		return nil, false, nil
+	}
+	row := m.heads[best]
+	m.pending = best
+	m.emitted++
+	return row, true, nil
+}
+
+// Emitted reports how many rows the operator has yielded.
+func (m *MergeSorted) Emitted() int64 { return m.emitted }
+
+func lessRows(a, b []storage.Value, keys []SortKey) bool {
+	for _, k := range keys {
+		c := a[k.Index].Compare(b[k.Index])
+		if c == 0 {
+			continue
+		}
+		if k.Desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return false
+}
+
+// PartialAggSpec maps one final output column onto the columns of a
+// shard's partial-aggregate row. The coordinator rewrites the pushed-down
+// query so each shard returns mergeable partials — avg(x) becomes sum(x)
+// plus an appended count(x) — and a spec records where each piece landed.
+type PartialAggSpec struct {
+	// Kind is the original aggregate; AggNone marks a group-key
+	// passthrough column.
+	Kind sql.AggKind
+	// Col is the partial-row column carrying the value: the partial sum
+	// for AggSum/AggAvg, the partial count for AggCount, the partial
+	// extremum for AggMin/AggMax, the key value itself for AggNone.
+	Col int
+	// CountCol is the partial-row column carrying the row-count partial
+	// AggAvg needs for its final division (unused otherwise).
+	CountCol int
+}
+
+// mergeAggState folds one aggregate's per-shard partials. Its result
+// semantics mirror aggState exactly (empty sum is integer zero, empty avg
+// is NaN, empty min/max is the zero Value) so a coordinator answer over
+// zero qualifying rows is byte-identical to the single-node answer.
+type mergeAggState struct {
+	spec     PartialAggSpec
+	count    int64
+	sumI     int64
+	sumF     float64
+	isInt    bool
+	extremum storage.Value
+	seen     bool
+}
+
+func newMergeAggState(spec PartialAggSpec) *mergeAggState {
+	return &mergeAggState{spec: spec, isInt: true}
+}
+
+// addSum accumulates a partial sum, staying integer until the first float
+// partial arrives. Integer sums therefore merge exactly; float sums add in
+// absorption (shard) order.
+func (s *mergeAggState) addSum(v storage.Value) {
+	if v.Typ == schema.Float64 {
+		if s.isInt {
+			s.sumF = float64(s.sumI)
+			s.isInt = false
+		}
+		s.sumF += v.F
+		return
+	}
+	if s.isInt {
+		s.sumI += v.I
+	} else {
+		s.sumF += float64(v.I)
+	}
+}
+
+func (s *mergeAggState) absorb(row []storage.Value) {
+	switch s.spec.Kind {
+	case sql.AggCount:
+		s.count += row[s.spec.Col].I
+	case sql.AggSum:
+		s.addSum(row[s.spec.Col])
+	case sql.AggAvg:
+		s.addSum(row[s.spec.Col])
+		s.count += row[s.spec.CountCol].I
+	case sql.AggMin:
+		if v := row[s.spec.Col]; !s.seen || v.Compare(s.extremum) < 0 {
+			s.extremum = v
+		}
+	case sql.AggMax:
+		if v := row[s.spec.Col]; !s.seen || v.Compare(s.extremum) > 0 {
+			s.extremum = v
+		}
+	}
+	s.seen = true
+}
+
+func (s *mergeAggState) result() storage.Value {
+	switch s.spec.Kind {
+	case sql.AggCount:
+		return storage.IntValue(s.count)
+	case sql.AggSum:
+		if s.isInt {
+			return storage.IntValue(s.sumI)
+		}
+		return storage.FloatValue(s.sumF)
+	case sql.AggAvg:
+		if s.count == 0 {
+			return storage.FloatValue(math.NaN())
+		}
+		if s.isInt {
+			return storage.FloatValue(float64(s.sumI) / float64(s.count))
+		}
+		return storage.FloatValue(s.sumF / float64(s.count))
+	case sql.AggMin, sql.AggMax:
+		return s.extremum
+	default:
+		return storage.Value{}
+	}
+}
+
+// AggMerger folds per-shard partial rows of a global (non-grouped)
+// aggregate query into the single final result row. sentinelCol names the
+// partial-row column carrying an appended count(*): a shard with zero
+// qualifying rows still returns one partial row, but its min/max slots are
+// zero-value placeholders (exactly what a single node returns over empty
+// input), so rows whose sentinel is zero are skipped wholesale.
+type AggMerger struct {
+	states      []*mergeAggState
+	sentinelCol int
+}
+
+// NewAggMerger builds a partial-aggregate merger. specs are in final
+// output-column order.
+func NewAggMerger(specs []PartialAggSpec, sentinelCol int) *AggMerger {
+	m := &AggMerger{sentinelCol: sentinelCol, states: make([]*mergeAggState, len(specs))}
+	for i, s := range specs {
+		m.states[i] = newMergeAggState(s)
+	}
+	return m
+}
+
+// Absorb folds one shard's partial row in.
+func (m *AggMerger) Absorb(row []storage.Value) {
+	if m.sentinelCol >= 0 && m.sentinelCol < len(row) && row[m.sentinelCol].I == 0 {
+		return
+	}
+	for _, st := range m.states {
+		st.absorb(row)
+	}
+}
+
+// Result returns the merged final row.
+func (m *AggMerger) Result() []storage.Value {
+	out := make([]storage.Value, len(m.states))
+	for i, st := range m.states {
+		out[i] = st.result()
+	}
+	return out
+}
+
+// GroupMerger folds per-shard group-by partial rows. Partial rows must be
+// absorbed shard by shard in shard order: because shards hold contiguous
+// ranges of one logical file, first appearance across the absorption
+// sequence equals first appearance in the concatenated file, and Rows
+// returns the merged groups in exactly the order a single-node GroupBy
+// would emit them. Group-by partial rows always represent at least one
+// source row, so no sentinel is needed.
+type GroupMerger struct {
+	keyCols []int
+	specs   []PartialAggSpec
+	groups  map[string]*mergeGroup
+	order   []string
+}
+
+type mergeGroup struct {
+	first  []storage.Value // the group's first-seen partial row (key passthrough)
+	states []*mergeAggState
+}
+
+// NewGroupMerger builds a group-by partial merger. keyCols are the
+// partial-row columns forming the group key; specs are in final
+// output-column order (AggNone entries pass the key value through).
+func NewGroupMerger(keyCols []int, specs []PartialAggSpec) *GroupMerger {
+	return &GroupMerger{keyCols: keyCols, specs: specs, groups: map[string]*mergeGroup{}}
+}
+
+// Absorb folds one shard's partial group row in.
+func (m *GroupMerger) Absorb(row []storage.Value) {
+	var kb strings.Builder
+	for _, c := range m.keyCols {
+		kb.WriteString(row[c].String())
+		kb.WriteByte('\x00')
+	}
+	gk := kb.String()
+	g := m.groups[gk]
+	if g == nil {
+		g = &mergeGroup{first: row, states: make([]*mergeAggState, len(m.specs))}
+		for i, s := range m.specs {
+			g.states[i] = newMergeAggState(s)
+		}
+		m.groups[gk] = g
+		m.order = append(m.order, gk)
+	}
+	for _, st := range g.states {
+		if st.spec.Kind == sql.AggNone {
+			continue
+		}
+		st.absorb(row)
+	}
+}
+
+// Rows returns the merged groups in first-appearance order, one output
+// row per group in spec order.
+func (m *GroupMerger) Rows() [][]storage.Value {
+	out := make([][]storage.Value, 0, len(m.order))
+	for _, gk := range m.order {
+		g := m.groups[gk]
+		row := make([]storage.Value, len(g.states))
+		for i, st := range g.states {
+			if st.spec.Kind == sql.AggNone {
+				row[i] = g.first[st.spec.Col]
+			} else {
+				row[i] = st.result()
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}

@@ -261,6 +261,7 @@ func All() []Runner {
 		{"warm-restart", "Warm vs cold restart: the adaptive learning curve with and without the snapshot cache", WarmRestart},
 		{"synopsis", "Adaptive scan synopses: selectivity sweep with and without portion skipping", SynopsisSweep},
 		{"vectorized", "Vectorized batch execution vs row-at-a-time on hot full-scan aggregates", Vectorized},
+		{"cluster-scaling", "Scatter-gather cluster: cold full-scan workload speedup vs shard count", ClusterScaling},
 	}
 }
 

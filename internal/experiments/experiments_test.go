@@ -289,8 +289,8 @@ func TestReportFormat(t *testing.T) {
 
 func TestAllAndLookup(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
-		t.Fatalf("experiments = %d, want 15", len(all))
+	if len(all) != 16 {
+		t.Fatalf("experiments = %d, want 16", len(all))
 	}
 	ids := map[string]bool{}
 	for _, r := range all {
@@ -453,5 +453,27 @@ func TestFig1aMemoryKnee(t *testing.T) {
 	perRowPrev := db.Points[n-2].ModelSec / db.Points[n-2].X
 	if perRowLast < perRowPrev*1.3 {
 		t.Errorf("expected superlinear knee: per-row %v then %v", perRowPrev, perRowLast)
+	}
+}
+
+func TestClusterScalingShape(t *testing.T) {
+	r, err := ClusterScaling(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := r.SeriesByName("scatter-gather")
+	if !ok {
+		t.Fatal("missing scatter-gather series")
+	}
+	if len(s.Points) != 3 {
+		t.Fatalf("want 3 topology points, got %d", len(s.Points))
+	}
+	for i, p := range s.Points {
+		if p.X != float64(i+1) {
+			t.Errorf("point %d at x=%v, want %d shards", i, p.X, i+1)
+		}
+		if p.Wall <= 0 {
+			t.Errorf("point %d measured zero wall-clock", i)
+		}
 	}
 }

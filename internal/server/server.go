@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"nodb"
+	"nodb/internal/cluster"
 	"nodb/internal/metrics"
 	"nodb/internal/schema"
 	"nodb/internal/storage"
@@ -95,6 +96,11 @@ type Server struct {
 	flushDone chan struct{}
 	closeOnce sync.Once
 
+	// ready flips once the operator has linked all tables; /readyz serves
+	// 503 until then so a coordinator doesn't route queries at a node
+	// still attaching files.
+	ready atomic.Bool
+
 	// Request accounting, all monotonic except inFlight.
 	inFlight   atomic.Int64
 	served     atomic.Int64 // queries executed to completion (ok or error)
@@ -121,6 +127,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/schema", s.handleSchema)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/cluster/synopsis", s.handleClusterSynopsis)
 	if cfg.SnapshotInterval > 0 {
 		s.flushStop = make(chan struct{})
 		s.flushDone = make(chan struct{})
@@ -597,6 +605,50 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// MarkReady declares the server ready to serve queries: every configured
+// table is linked. Distinct from liveness — /healthz answers ok from the
+// moment the process is up, /readyz only after MarkReady.
+func (s *Server) MarkReady() { s.ready.Store(true) }
+
+// handleReadyz is the readiness probe coordinators use for shard
+// admission: 503 while starting (tables still linking), 200 with the
+// linked table set once MarkReady has been called.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
+		return
+	}
+	tables := s.db.Tables()
+	if tables == nil {
+		tables = []string{}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string   `json:"status"`
+		Tables []string `json:"tables"`
+	}{Status: "ok", Tables: tables})
+}
+
+// handleClusterSynopsis exports every linked table's scan synopsis (the
+// per-portion zone maps), schema, and raw-file signature, for
+// coordinator-side shard pruning. Tables whose synopsis is incomplete
+// export with no portions — a coordinator can then bind names but not
+// prune, which is always safe.
+func (s *Server) handleClusterSynopsis(w http.ResponseWriter, r *http.Request) {
+	out := cluster.SynopsisResponse{Tables: map[string]cluster.TableSynopsis{}}
+	for _, name := range s.db.Tables() {
+		exp, err := s.db.TableSynopsis(name)
+		if err != nil {
+			continue
+		}
+		sch, err := s.db.Schema(name)
+		if err != nil {
+			continue
+		}
+		out.Tables[name] = cluster.EncodeTableSynopsis(exp, sch)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // encodeRows converts typed values to JSON-friendly scalars.

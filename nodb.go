@@ -23,6 +23,7 @@ package nodb
 import (
 	"context"
 
+	"nodb/internal/catalog"
 	"nodb/internal/core"
 	"nodb/internal/govern"
 	"nodb/internal/metrics"
@@ -30,6 +31,7 @@ import (
 	"nodb/internal/schema"
 	"nodb/internal/snapshot"
 	"nodb/internal/storage"
+	"nodb/internal/synopsis"
 )
 
 // Policy selects the adaptive loading strategy.
@@ -377,3 +379,25 @@ type TableStats = core.TableStats
 
 // TableStats reports what the engine has adaptively built for a table.
 func (db *DB) TableStats(name string) (TableStats, error) { return db.e.TableStats(name) }
+
+// SynopsisExport is one table's exported scan synopsis: the learned
+// portion layout with per-portion zone maps, plus the raw file's signature
+// so consumers can detect staleness.
+type SynopsisExport struct {
+	// Portions is the per-portion state; nil until a complete layout has
+	// been learned (no scan finished yet, or the synopsis was dropped).
+	Portions []synopsis.PortionState
+	// Signature identifies the raw file version the synopsis describes.
+	Signature catalog.Signature
+}
+
+// TableSynopsis exports a table's scan synopsis. Cluster coordinators use
+// it (via nodbd's /cluster/synopsis) to skip whole shards whose value
+// ranges provably cannot satisfy a query's predicates.
+func (db *DB) TableSynopsis(name string) (SynopsisExport, error) {
+	ps, sig, err := db.e.TableSynopsis(name)
+	if err != nil {
+		return SynopsisExport{}, err
+	}
+	return SynopsisExport{Portions: ps, Signature: sig}, nil
+}
