@@ -596,3 +596,54 @@ func BenchmarkNDJSONLazyVsEager(b *testing.B) {
 		b.ReportMetric(float64(eagerNs)/float64(lazyNs), "speedup")
 	}
 }
+
+// BenchmarkResultCacheHit measures the replay path: a repeated identical
+// query answered from the result cache instead of the adaptive store.
+// Compare against BenchmarkHotQuery (same query, no cache) for the
+// end-to-end win on redundant traffic.
+func BenchmarkResultCacheHit(b *testing.B) {
+	path := benchTable(b, 200_000, 4)
+	db := nodb.Open(nodb.Options{Policy: nodb.ColumnLoads, ResultCacheBytes: 32 << 20, DisableRevalidation: true})
+	defer db.Close()
+	if err := db.Link("t", path); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Query("select sum(a1), avg(a2) from t where a1 > 10000 and a1 < 30000"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query("select sum(a1), avg(a2) from t where a1 > 10000 and a1 < 30000"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := db.ResultCacheStats(); st.Hits == 0 {
+		b.Fatal("benchmark never hit the cache")
+	}
+}
+
+// BenchmarkConcurrentDuplicateQueries measures the cache+singleflight
+// serving path under parallel clients all issuing the same query — the
+// redundant-traffic shape the QoS layer is built for.
+func BenchmarkConcurrentDuplicateQueries(b *testing.B) {
+	path := benchTable(b, 200_000, 4)
+	db := nodb.Open(nodb.Options{Policy: nodb.ColumnLoads, ResultCacheBytes: 32 << 20, DisableRevalidation: true})
+	defer db.Close()
+	if err := db.Link("t", path); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := db.QueryContext(ctx, "select sum(a3), count(*) from t where a2 >= 100"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	work := db.Work()
+	b.ReportMetric(float64(db.ResultCacheStats().Hits), "cache-hits")
+	b.ReportMetric(float64(work.QueriesCollapsed), "collapsed")
+}

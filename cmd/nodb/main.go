@@ -64,26 +64,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nodb: %v\n", err)
 		os.Exit(2)
 	}
-	evictName, err := nodb.ParseEvictionPolicy(*evict)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "nodb: %v\n", err)
-		os.Exit(2)
-	}
 	sd := *splitDir
 	if sd == "" {
 		sd = os.TempDir() + "/nodb-splits"
 	}
-	db := nodb.Open(nodb.Options{
+	db, err := nodb.OpenErr(nodb.Options{
 		Policy:         pol,
 		Cracking:       *cracking,
 		MemoryBudget:   *mem,
-		EvictionPolicy: evictName,
+		EvictionPolicy: *evict,
 		SplitDir:       sd,
 		CacheDir:       *cacheDir,
 		Workers:        *workers,
 		ChunkSize:      *chunkSize,
 		BatchSize:      *batchSize,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nodb: %v\n", err)
+		os.Exit(2)
+	}
 	defer db.Close()
 
 	for _, arg := range flag.Args() {

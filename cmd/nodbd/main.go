@@ -4,8 +4,9 @@
 // Usage:
 //
 //	nodbd [-addr :8080] [-policy columns|full|partial-v1|partial-v2|splitfiles|external|auto]
-//	      [-cracking] [-mem bytes] [-splitdir dir] [-workers n] [-chunksize bytes]
-//	      [-cachedir dir] [-snapshot-interval d] [-pprof addr]
+//	      [-cracking] [-mem bytes] [-result-cache bytes] [-splitdir dir]
+//	      [-workers n] [-chunksize bytes] [-cachedir dir] [-snapshot-interval d]
+//	      [-tenants spec] [-tenant-unknown reject|default] [-pprof addr]
 //	      [-max-inflight n] [-timeout d] [-max-timeout d] [-grace d]
 //	      name=path.csv [name=path.csv ...]
 //
@@ -20,6 +21,16 @@
 // NDJSON partial streams into one result with the same HTTP surface as a
 // single node. With -partial-results a dead shard degrades the answer
 // (reported in the stats trailer) instead of failing the query.
+//
+// Multi-tenant serving: -tenants takes "name:key[:weight],..." (or
+// "@file" with one entry per line) and partitions both the -mem budget
+// and the -max-inflight admission slots by weight. Clients select their
+// tenant with the X-API-Key header; -tenant-unknown decides whether a
+// request with no (or an unrecognized) key is rejected with 401 or served
+// as the built-in default tenant. -result-cache bounds a result cache
+// keyed on normalized SQL plus raw-file signatures, so identical queries
+// against unchanged files answer without touching the engine, and
+// identical in-flight queries collapse into one execution.
 //
 // With -cachedir, the auxiliary structures the workload teaches the engine
 // are snapshotted there periodically (-snapshot-interval) and on shutdown,
@@ -66,6 +77,7 @@ import (
 	"nodb"
 	"nodb/internal/cliutil"
 	"nodb/internal/cluster"
+	"nodb/internal/qos"
 	"nodb/internal/server"
 )
 
@@ -76,6 +88,9 @@ func main() {
 		cracking     = flag.Bool("cracking", false, "enable adaptive indexing (database cracking)")
 		mem          = flag.Int64("mem", 0, "memory budget in bytes (0 = unlimited)")
 		evict        = flag.String("evict", "cost", "eviction policy under -mem: cost or lru")
+		resultCache  = flag.Int64("result-cache", 0, "result cache budget in bytes (0 = disabled)")
+		tenantSpec   = flag.String("tenants", "", `tenant spec "name:key[:weight],..." or "@file"; empty = single-tenant`)
+		tenantPolicy = flag.String("tenant-unknown", "default", "unknown API keys: reject (401) or default (serve as default tenant)")
 		splitDir     = flag.String("splitdir", "", "directory for split files (default: $TMPDIR/nodb-splits)")
 		cacheDir     = flag.String("cachedir", "", "persistent auxiliary-structure cache directory (empty = no disk tier)")
 		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute, "how often to flush snapshots to -cachedir (0 = only on shutdown)")
@@ -98,6 +113,31 @@ func main() {
 	)
 	flag.Parse()
 
+	var rejectUnknown bool
+	switch *tenantPolicy {
+	case "reject":
+		rejectUnknown = true
+	case "default":
+	default:
+		fmt.Fprintf(os.Stderr, "nodbd: -tenant-unknown must be reject or default, got %q\n", *tenantPolicy)
+		os.Exit(2)
+	}
+	var tenants []nodb.TenantConfig
+	var registry *qos.Registry
+	if *tenantSpec != "" {
+		var err error
+		tenants, err = qos.ParseTenantSpec(*tenantSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nodbd: -tenants: %v\n", err)
+			os.Exit(2)
+		}
+		registry, err = qos.NewRegistry(tenants, rejectUnknown)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nodbd: -tenants: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	if *coordinator {
 		runCoordinator(coordinatorOpts{
 			addr:           *addr,
@@ -112,6 +152,7 @@ func main() {
 			timeout:        *timeout,
 			maxTimeout:     *maxTimeout,
 			grace:          *grace,
+			tenants:        registry,
 		})
 		return
 	}
@@ -127,25 +168,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nodbd: %v\n", err)
 		os.Exit(2)
 	}
-	evictName, err := nodb.ParseEvictionPolicy(*evict)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "nodbd: %v\n", err)
-		os.Exit(2)
-	}
 	sd := *splitDir
 	if sd == "" {
 		sd = os.TempDir() + "/nodb-splits"
 	}
-	db := nodb.Open(nodb.Options{
-		Policy:         pol,
-		Cracking:       *cracking,
-		MemoryBudget:   *mem,
-		EvictionPolicy: evictName,
-		SplitDir:       sd,
-		CacheDir:       *cacheDir,
-		Workers:        *workers,
-		ChunkSize:      *chunkSize,
+	db, err := nodb.OpenErr(nodb.Options{
+		Policy:           pol,
+		Cracking:         *cracking,
+		MemoryBudget:     *mem,
+		EvictionPolicy:   *evict,
+		ResultCacheBytes: *resultCache,
+		Tenants:          tenants,
+		SplitDir:         sd,
+		CacheDir:         *cacheDir,
+		Workers:          *workers,
+		ChunkSize:        *chunkSize,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nodbd: %v\n", err)
+		os.Exit(2)
+	}
 	defer db.Close()
 
 	for _, arg := range flag.Args() {
@@ -171,6 +213,7 @@ func main() {
 		DefaultTimeout:   *timeout,
 		MaxTimeout:       *maxTimeout,
 		SnapshotInterval: snapEvery,
+		Tenants:          registry,
 	})
 	defer srv.Close()
 	// Every table is linked: flip the readiness probe so coordinators
@@ -243,6 +286,7 @@ type coordinatorOpts struct {
 	timeout        time.Duration
 	maxTimeout     time.Duration
 	grace          time.Duration
+	tenants        *qos.Registry
 }
 
 // runCoordinator serves the scatter-gather coordinator: no local data,
@@ -274,6 +318,7 @@ func runCoordinator(opts coordinatorOpts) {
 		MaxInFlight:    opts.maxInFlight,
 		DefaultTimeout: opts.timeout,
 		MaxTimeout:     opts.maxTimeout,
+		Tenants:        opts.tenants,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nodbd: %v\n", err)

@@ -23,6 +23,14 @@
 //	chunk=BYTES           raw-file read chunk size
 //	batchsize=N           rows per batch of the vectorized execution
 //	                      pipeline (0 = default, 1024)
+//	resultcache=BYTES     result cache budget: identical queries against
+//	                      unchanged files answer from memory (0 = disabled)
+//	tenant=NAME:KEY[:W]   declare a tenant with API key KEY and weight W
+//	                      (repeatable); the engine's memory budget is
+//	                      partitioned by weight
+//	apikey=KEY            run this connection's queries as the tenant
+//	                      owning KEY; with tenants declared, an unknown
+//	                      key fails at sql.Open time
 //
 // Values follow URL escaping rules; paths containing '&' or '%' must be
 // percent-encoded.
@@ -49,6 +57,7 @@ import (
 
 	"nodb"
 	"nodb/internal/govern"
+	"nodb/internal/qos"
 )
 
 func init() {
@@ -74,20 +83,36 @@ func (d *Driver) Open(dsn string) (sqldriver.Conn, error) {
 }
 
 // OpenConnector parses the DSN, opens the shared engine and links the
-// tables. DSN errors surface here — at sql.Open time.
+// tables. DSN errors — including an apikey that matches no declared
+// tenant — surface here, at sql.Open time.
 func (d *Driver) OpenConnector(dsn string) (sqldriver.Connector, error) {
-	opts, links, err := ParseDSN(dsn)
+	cfg, err := ParseDSNConfig(dsn)
 	if err != nil {
 		return nil, err
 	}
-	db := nodb.Open(opts)
-	for _, l := range links {
+	tenant := qos.DefaultTenant
+	if cfg.APIKey != "" && len(cfg.Options.Tenants) > 0 {
+		reg, err := qos.NewRegistry(cfg.Options.Tenants, true)
+		if err != nil {
+			return nil, fmt.Errorf("nodb driver: %w", err)
+		}
+		t, err := reg.Resolve(cfg.APIKey)
+		if err != nil {
+			return nil, fmt.Errorf("nodb driver: apikey matches no declared tenant")
+		}
+		tenant = t.Name
+	}
+	db, err := nodb.OpenErr(cfg.Options)
+	if err != nil {
+		return nil, fmt.Errorf("nodb driver: %w", err)
+	}
+	for _, l := range cfg.Links {
 		if err := db.Link(l.Name, l.Path); err != nil {
 			_ = db.Close()
 			return nil, err
 		}
 	}
-	return &Connector{drv: d, dsn: dsn, db: db}, nil
+	return &Connector{drv: d, dsn: dsn, db: db, tenant: tenant, apikey: cfg.APIKey}, nil
 }
 
 // Link is one table registration from a DSN.
@@ -95,13 +120,31 @@ type Link struct {
 	Name, Path string
 }
 
-// ParseDSN decodes a DSN into engine options and table links.
+// Config is everything a DSN encodes: engine options, table links, and
+// the connection's tenant identity.
+type Config struct {
+	Options nodb.Options
+	Links   []Link
+	// APIKey is the connection's tenant credential; queries run as the
+	// tenant owning it.
+	APIKey string
+}
+
+// ParseDSN decodes a DSN into engine options and table links. It is
+// ParseDSNConfig without the connection identity, kept for callers that
+// only build engines.
 func ParseDSN(dsn string) (nodb.Options, []Link, error) {
-	var opts nodb.Options
-	var links []Link
+	cfg, err := ParseDSNConfig(dsn)
+	return cfg.Options, cfg.Links, err
+}
+
+// ParseDSNConfig decodes a DSN.
+func ParseDSNConfig(dsn string) (Config, error) {
+	var cfg Config
+	opts := &cfg.Options
 	vals, err := url.ParseQuery(dsn)
 	if err != nil {
-		return opts, nil, fmt.Errorf("nodb driver: invalid DSN: %w", err)
+		return cfg, fmt.Errorf("nodb driver: invalid DSN: %w", err)
 	}
 	for key, vv := range vals {
 		for _, v := range vv {
@@ -109,19 +152,19 @@ func ParseDSN(dsn string) (nodb.Options, []Link, error) {
 			case "link":
 				name, path, ok := strings.Cut(v, "=")
 				if !ok || name == "" || path == "" {
-					return opts, nil, fmt.Errorf("nodb driver: link %q is not NAME=PATH", v)
+					return cfg, fmt.Errorf("nodb driver: link %q is not NAME=PATH", v)
 				}
-				links = append(links, Link{Name: name, Path: path})
+				cfg.Links = append(cfg.Links, Link{Name: name, Path: path})
 			case "policy":
 				p, err := nodb.ParsePolicy(v)
 				if err != nil {
-					return opts, nil, fmt.Errorf("nodb driver: %w", err)
+					return cfg, fmt.Errorf("nodb driver: %w", err)
 				}
 				opts.Policy = p
 			case "cracking":
 				b, err := strconv.ParseBool(v)
 				if err != nil {
-					return opts, nil, fmt.Errorf("nodb driver: invalid cracking %q", v)
+					return cfg, fmt.Errorf("nodb driver: invalid cracking %q", v)
 				}
 				opts.Cracking = b
 			case "splitdir":
@@ -131,38 +174,52 @@ func ParseDSN(dsn string) (nodb.Options, []Link, error) {
 			case "mem":
 				n, err := strconv.ParseInt(v, 10, 64)
 				if err != nil || n < 0 {
-					return opts, nil, fmt.Errorf("nodb driver: invalid mem %q", v)
+					return cfg, fmt.Errorf("nodb driver: invalid mem %q", v)
 				}
 				opts.MemoryBudget = n
 			case "evict":
 				if _, err := govern.PolicyByName(v); err != nil {
-					return opts, nil, fmt.Errorf("nodb driver: %w", err)
+					return cfg, fmt.Errorf("nodb driver: %w", err)
 				}
 				opts.EvictionPolicy = v
 			case "workers":
 				n, err := strconv.Atoi(v)
 				if err != nil || n < 0 {
-					return opts, nil, fmt.Errorf("nodb driver: invalid workers %q", v)
+					return cfg, fmt.Errorf("nodb driver: invalid workers %q", v)
 				}
 				opts.Workers = n
 			case "chunk":
 				n, err := strconv.Atoi(v)
 				if err != nil || n < 0 {
-					return opts, nil, fmt.Errorf("nodb driver: invalid chunk %q", v)
+					return cfg, fmt.Errorf("nodb driver: invalid chunk %q", v)
 				}
 				opts.ChunkSize = n
 			case "batchsize":
 				n, err := strconv.Atoi(v)
 				if err != nil || n < 0 {
-					return opts, nil, fmt.Errorf("nodb driver: invalid batchsize %q", v)
+					return cfg, fmt.Errorf("nodb driver: invalid batchsize %q", v)
 				}
 				opts.BatchSize = n
+			case "resultcache":
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil || n < 0 {
+					return cfg, fmt.Errorf("nodb driver: invalid resultcache %q", v)
+				}
+				opts.ResultCacheBytes = n
+			case "tenant":
+				ts, err := qos.ParseTenantSpec(v)
+				if err != nil {
+					return cfg, fmt.Errorf("nodb driver: invalid tenant %q: %w", v, err)
+				}
+				opts.Tenants = append(opts.Tenants, ts...)
+			case "apikey":
+				cfg.APIKey = v
 			default:
-				return opts, nil, fmt.Errorf("nodb driver: unknown DSN key %q", key)
+				return cfg, fmt.Errorf("nodb driver: unknown DSN key %q", key)
 			}
 		}
 	}
-	return opts, links, nil
+	return cfg, nil
 }
 
 // Connector owns the shared engine for one sql.DB. database/sql calls
@@ -170,14 +227,16 @@ func ParseDSN(dsn string) (nodb.Options, []Link, error) {
 // engine so adaptive state is shared across the pool. sql.DB.Close closes
 // the connector, which closes the engine.
 type Connector struct {
-	drv *Driver
-	dsn string
-	db  *nodb.DB
+	drv    *Driver
+	dsn    string
+	db     *nodb.DB
+	tenant string
+	apikey string
 }
 
 // Connect hands out a connection sharing the engine.
 func (c *Connector) Connect(context.Context) (sqldriver.Conn, error) {
-	return &nodbConn{db: c.db}, nil
+	return &nodbConn{db: c.db, tenant: c.tenant, apikey: c.apikey}, nil
 }
 
 // Driver returns the parent driver.
@@ -196,8 +255,22 @@ var errReadOnly = errors.New("nodb: the engine is read-only; only SELECT is supp
 
 type nodbConn struct {
 	db     *nodb.DB
+	tenant string
+	apikey string
 	ownsDB bool // legacy Driver.Open path: the conn owns the engine
 	closed bool
+}
+
+// tenantContext tags the execution context with the connection's tenant
+// identity so the engine's governor attributes adaptive state to it.
+func tenantContext(ctx context.Context, tenant, apikey string) context.Context {
+	if tenant != "" {
+		ctx = qos.WithTenant(ctx, tenant)
+	}
+	if apikey != "" {
+		ctx = qos.WithAPIKey(ctx, apikey)
+	}
+	return ctx
 }
 
 // Prepare implements driver.Conn.
@@ -214,7 +287,7 @@ func (c *nodbConn) PrepareContext(ctx context.Context, query string) (sqldriver.
 	if err != nil {
 		return nil, err
 	}
-	return &nodbStmt{s: s}, nil
+	return &nodbStmt{s: s, tenant: c.tenant, apikey: c.apikey}, nil
 }
 
 // Close implements driver.Conn. Connections are handles; only the legacy
@@ -254,7 +327,7 @@ func (c *nodbConn) QueryContext(ctx context.Context, query string, args []sqldri
 	if err != nil {
 		return nil, err
 	}
-	r, err := c.db.QueryRows(ctx, query, vals...)
+	r, err := c.db.QueryRows(tenantContext(ctx, c.tenant, c.apikey), query, vals...)
 	if err != nil {
 		return nil, err
 	}
@@ -280,7 +353,9 @@ func namedValues(args []sqldriver.NamedValue) ([]any, error) {
 }
 
 type nodbStmt struct {
-	s *nodb.Stmt
+	s      *nodb.Stmt
+	tenant string
+	apikey string
 }
 
 // Close implements driver.Stmt.
@@ -309,7 +384,7 @@ func (s *nodbStmt) QueryContext(ctx context.Context, args []sqldriver.NamedValue
 	if err != nil {
 		return nil, err
 	}
-	r, err := s.s.QueryRows(ctx, vals...)
+	r, err := s.s.QueryRows(tenantContext(ctx, s.tenant, s.apikey), vals...)
 	if err != nil {
 		return nil, err
 	}

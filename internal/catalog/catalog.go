@@ -646,6 +646,32 @@ func (t *Table) Pin(cols []int) (unpin func()) {
 	}
 }
 
+// Own attributes the adaptive structures a query read — the listed
+// columns' dense/sparse state plus the table-wide positional map, split
+// files and synopsis — to a tenant, for the governor's per-tenant budget
+// partitioning. Last user wins, matching the LRU clock's view of recency.
+func (t *Table) Own(cols []int, tenant string) {
+	if t.gov == nil || tenant == "" {
+		return
+	}
+	t.mu.RLock()
+	set := func(h *govern.Handle) {
+		if h != nil {
+			h.SetOwner(tenant)
+		}
+	}
+	for _, c := range cols {
+		if c >= 0 && c < len(t.denseH) {
+			set(t.denseH[c])
+			set(t.sparseH[c])
+		}
+	}
+	set(t.posmapH)
+	set(t.splitsH)
+	set(t.synH)
+	t.mu.RUnlock()
+}
+
 // Prepare gives the disk cache tier a chance to warm the table before a
 // query runs: on the first call it opens the table's snapshot (written by
 // a previous process) and restores the small structures — row count,

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"nodb/internal/qos"
 	"nodb/internal/storage"
 )
 
@@ -87,6 +88,7 @@ func (c *ShardClient) getJSON(ctx context.Context, path string, out any) error {
 	if err != nil {
 		return &ShardError{Shard: c.Name, Msg: err.Error(), cause: err}
 	}
+	forwardIdentity(ctx, req)
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return &ShardError{Shard: c.Name, Msg: err.Error(), cause: err}
@@ -101,9 +103,29 @@ func (c *ShardClient) getJSON(ctx context.Context, path string, out any) error {
 	return nil
 }
 
-// readErrorBody extracts the {"error": ...} message of a non-200 body.
+// forwardIdentity propagates the caller's API key to the shard, so a
+// query admitted as tenant X at the coordinator also runs as tenant X on
+// every shard (instead of as the coordinator's own identity).
+func forwardIdentity(ctx context.Context, req *http.Request) {
+	if key := qos.APIKeyFrom(ctx); key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
+}
+
+// readErrorBody extracts the error message of a non-200 body. It accepts
+// both the v1 envelope {"error":{"code","message"}} and the legacy flat
+// {"error":"..."} shape, so mixed-version clusters keep reporting real
+// messages during upgrades.
 func readErrorBody(r io.Reader) string {
 	b, _ := io.ReadAll(io.LimitReader(r, 4096))
+	var env struct {
+		Error struct {
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if json.Unmarshal(b, &env) == nil && env.Error.Message != "" {
+		return env.Error.Message
+	}
 	var er struct {
 		Error string `json:"error"`
 	}
@@ -122,27 +144,27 @@ func (c *ShardClient) Ready(ctx context.Context) error {
 	return c.getJSON(ctx, "/readyz", &out)
 }
 
-// Synopsis fetches /cluster/synopsis.
+// Synopsis fetches /v1/cluster/synopsis.
 func (c *ShardClient) Synopsis(ctx context.Context) (*SynopsisResponse, error) {
 	var out SynopsisResponse
-	if err := c.getJSON(ctx, "/cluster/synopsis", &out); err != nil {
+	if err := c.getJSON(ctx, "/v1/cluster/synopsis", &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
-// Tables fetches /tables.
+// Tables fetches /v1/tables.
 func (c *ShardClient) Tables(ctx context.Context) ([]string, error) {
 	var out struct {
 		Tables []string `json:"tables"`
 	}
-	if err := c.getJSON(ctx, "/tables", &out); err != nil {
+	if err := c.getJSON(ctx, "/v1/tables", &out); err != nil {
 		return nil, err
 	}
 	return out.Tables, nil
 }
 
-// Stream opens /query/stream for a pushed-down query and consumes the
+// Stream opens /v1/query/stream for a pushed-down query and consumes the
 // header line, so Columns is populated on return. The caller must Close
 // the stream.
 func (c *ShardClient) Stream(ctx context.Context, query string) (*ShardStream, error) {
@@ -150,11 +172,12 @@ func (c *ShardClient) Stream(ctx context.Context, query string) (*ShardStream, e
 	if err != nil {
 		return nil, &ShardError{Shard: c.Name, Msg: err.Error(), cause: err}
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/query/stream", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/query/stream", bytes.NewReader(body))
 	if err != nil {
 		return nil, &ShardError{Shard: c.Name, Msg: err.Error(), cause: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	forwardIdentity(ctx, req)
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return nil, &ShardError{Shard: c.Name, Msg: err.Error(), cause: err}

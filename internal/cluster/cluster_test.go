@@ -19,6 +19,7 @@ import (
 	"nodb"
 	"nodb/internal/cluster"
 	"nodb/internal/csvgen"
+	"nodb/internal/qos"
 	"nodb/internal/server"
 )
 
@@ -305,10 +306,12 @@ type fakeShard struct {
 	truncFor  atomic.Int32 // remaining attempts that truncate
 
 	attempts atomic.Int32
+	lastKey  atomic.Value // last X-API-Key seen on /query/stream
 }
 
 func (f *fakeShard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	switch r.URL.Path {
+	// Real shards serve both /v1 and legacy paths; accept either.
+	switch strings.TrimPrefix(r.URL.Path, "/v1") {
 	case "/readyz", "/healthz":
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"status":"ok"}`)
@@ -317,6 +320,7 @@ func (f *fakeShard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, `{"tables":{}}`)
 	case "/query/stream":
 		f.attempts.Add(1)
+		f.lastKey.Store(r.Header.Get("X-API-Key"))
 		if f.failOpens.Add(-1) >= 0 {
 			w.WriteHeader(http.StatusInternalServerError)
 			fmt.Fprintln(w, `{"error":"injected open failure"}`)
@@ -615,5 +619,106 @@ func TestMergeSortLimitCancelsUpstream(t *testing.T) {
 		if got.rows[i] != want.rows[i] {
 			t.Fatalf("row %d: %s vs %s", i, got.rows[i], want.rows[i])
 		}
+	}
+}
+
+// TestCoordinatorTenantAuth pins the coordinator's tenant surface: with a
+// reject-unknown registry a keyless or wrong-key request gets the 401
+// envelope on every query-shaped endpoint, a keyed request succeeds with
+// the caller's key forwarded to the shards, and /stats exposes per-tenant
+// admission accounting that advances as the tenant is served.
+func TestCoordinatorTenantAuth(t *testing.T) {
+	sh := &fakeShard{columns: []string{"a1"}, rows: fakeRows(1, 2, 3)}
+	shSrv := httptest.NewServer(sh)
+	t.Cleanup(shSrv.Close)
+
+	reg, err := qos.NewRegistry([]qos.Tenant{
+		{Name: "analytics", Key: "secret", Weight: 3},
+		{Name: "reporting", Key: "rkey", Weight: 1},
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := startCoordinator(t, cluster.CoordinatorConfig{
+		Shards:  []string{shSrv.URL},
+		Tenants: reg,
+	})
+
+	post := func(path, key string) *http.Response {
+		t.Helper()
+		body, _ := json.Marshal(map[string]string{"query": "select a1 from t"})
+		req, _ := http.NewRequest(http.MethodPost, coord.URL+path, bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		if key != "" {
+			req.Header.Set("X-API-Key", key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	for _, path := range []string{"/v1/query", "/v1/query/stream", "/v1/explain", "/query"} {
+		for _, key := range []string{"", "wrong"} {
+			resp := post(path, key)
+			if resp.StatusCode != http.StatusUnauthorized {
+				t.Fatalf("%s with key %q: status %d, want 401", path, key, resp.StatusCode)
+			}
+			var env struct {
+				Error struct {
+					Code string `json:"code"`
+				} `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+				t.Fatalf("%s: decoding 401 body: %v", path, err)
+			}
+			resp.Body.Close()
+			if env.Error.Code != "unknown_api_key" {
+				t.Fatalf("%s: error code %q, want unknown_api_key", path, env.Error.Code)
+			}
+		}
+	}
+
+	resp := post("/v1/query", "secret")
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("keyed query: status %d: %s", resp.StatusCode, b)
+	}
+	var out struct {
+		Rows [][]int64 `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(out.Rows) != 3 {
+		t.Fatalf("keyed query rows = %v, want 3", out.Rows)
+	}
+	if got, _ := sh.lastKey.Load().(string); got != "secret" {
+		t.Fatalf("shard saw X-API-Key %q, want the caller's key forwarded", got)
+	}
+
+	sresp := post("/v1/stats", "")
+	var stats struct {
+		Tenants map[string]struct {
+			Weight float64 `json:"weight"`
+			Slots  int     `json:"slots"`
+			Served int64   `json:"served"`
+		} `json:"tenants"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	an, ok := stats.Tenants["analytics"]
+	if !ok {
+		t.Fatalf("stats missing analytics tenant: %+v", stats.Tenants)
+	}
+	if an.Weight != 3 || an.Slots < 1 || an.Served != 1 {
+		t.Fatalf("analytics tenant stats = %+v, want weight 3, slots >= 1, served 1", an)
+	}
+	if _, ok := stats.Tenants["reporting"]; !ok {
+		t.Fatalf("stats missing reporting tenant: %+v", stats.Tenants)
 	}
 }

@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,6 +16,7 @@ import (
 
 	"nodb/internal/exec"
 	"nodb/internal/metrics"
+	"nodb/internal/qos"
 	"nodb/internal/schema"
 	"nodb/internal/storage"
 	"nodb/internal/synopsis"
@@ -53,6 +56,12 @@ type CoordinatorConfig struct {
 	MaxTimeout     time.Duration
 	// MaxBodyBytes caps request body size (default 1 MiB).
 	MaxBodyBytes int64
+	// Tenants maps API keys to tenants at the cluster's front door:
+	// unknown keys are rejected or defaulted per the registry's policy,
+	// MaxInFlight is split into per-tenant admission slots by weight, and
+	// the caller's key is forwarded to shards so their own accounting
+	// agrees. nil serves everyone as one anonymous tenant.
+	Tenants *qos.Registry
 }
 
 func (c CoordinatorConfig) maxInFlight() int {
@@ -109,16 +118,28 @@ type synEntry struct {
 	at   time.Time
 }
 
+// coordTenant is one tenant's slice of the coordinator's admission
+// controller, mirroring the single-node server's tenantState.
+type coordTenant struct {
+	weight float64
+	sem    chan struct{}
+
+	inFlight atomic.Int64
+	served   atomic.Int64
+	rejected atomic.Int64
+}
+
 // Coordinator fans queries out to shard nodbd instances and merges their
 // partial streams into one result. It serves the same HTTP surface as a
 // single-node server (/query, /query/stream, /explain, /tables, /schema,
 // /stats, /healthz, /readyz), so clients cannot tell a coordinator from a
 // node — except for the extra "cluster" block in stats trailers.
 type Coordinator struct {
-	cfg    CoordinatorConfig
-	shards []*ShardClient
-	mux    *http.ServeMux
-	sem    chan struct{}
+	cfg     CoordinatorConfig
+	shards  []*ShardClient
+	mux     *http.ServeMux
+	sem     chan struct{}
+	tenants map[string]*coordTenant // by tenant name; nil without a registry
 
 	started time.Time
 	work    metrics.Counters // cluster-wide work counters across queries
@@ -147,28 +168,86 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	c := &Coordinator{
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
-		sem:      make(chan struct{}, cfg.maxInFlight()),
 		started:  time.Now(),
 		ready:    make([]atomic.Int32, len(cfg.Shards)),
 		synCache: map[int]synEntry{},
 	}
+	globalSlots := cfg.maxInFlight()
+	if cfg.Tenants != nil {
+		// Same split as the single-node server: proportional to weight,
+		// at least one slot each, and the global pool grown to the
+		// per-tenant sum so no tenant's floor is blocked by rounding.
+		weights := cfg.Tenants.Weights()
+		var sum float64
+		for _, w := range weights {
+			sum += w
+		}
+		c.tenants = make(map[string]*coordTenant, len(weights))
+		total := 0
+		for name, w := range weights {
+			slots := int(float64(cfg.maxInFlight())*w/sum + 0.5)
+			if slots < 1 {
+				slots = 1
+			}
+			total += slots
+			c.tenants[name] = &coordTenant{weight: w, sem: make(chan struct{}, slots)}
+		}
+		if total > globalSlots {
+			globalSlots = total
+		}
+	}
+	c.sem = make(chan struct{}, globalSlots)
 	for _, addr := range cfg.Shards {
 		c.shards = append(c.shards, NewShardClient(addr, cfg.HTTPClient))
 	}
-	c.mux.HandleFunc("/query", c.handleQuery)
-	c.mux.HandleFunc("/query/stream", c.handleQueryStream)
-	c.mux.HandleFunc("/explain", c.handleExplain)
-	c.mux.HandleFunc("/tables", c.handleTables)
-	c.mux.HandleFunc("/schema", c.handleSchema)
-	c.mux.HandleFunc("/stats", c.handleStats)
-	c.mux.HandleFunc("/healthz", c.handleHealthz)
-	c.mux.HandleFunc("/readyz", c.handleReadyz)
+	c.route("/query", c.handleQuery)
+	c.route("/query/stream", c.handleQueryStream)
+	c.route("/explain", c.handleExplain)
+	c.route("/tables", c.handleTables)
+	c.route("/schema", c.handleSchema)
+	c.route("/stats", c.handleStats)
+	c.mux.Handle("/healthz", wrapHandler(c.handleHealthz, ""))
+	c.mux.Handle("/readyz", wrapHandler(c.handleReadyz, ""))
 	if cfg.HealthInterval > 0 {
 		c.healthStop = make(chan struct{})
 		c.healthDone = make(chan struct{})
 		go c.healthLoop(cfg.HealthInterval)
 	}
 	return c, nil
+}
+
+// route mounts a handler at its canonical /v1 path and the deprecated
+// legacy path, mirroring the single-node server so clients cannot tell a
+// coordinator from a node.
+func (c *Coordinator) route(path string, h http.HandlerFunc) {
+	c.mux.Handle("/v1"+path, wrapHandler(h, ""))
+	c.mux.Handle(path, wrapHandler(h, "/v1"+path))
+}
+
+// wrapHandler applies the shared response contract: an X-Request-Id on
+// every response and Deprecation/Link headers on legacy aliases.
+func wrapHandler(h http.HandlerFunc, successor string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		if successor != "" {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		}
+		h(w, r)
+	})
+}
+
+// newRequestID generates a fresh 16-hex-digit request id.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Close stops the health poller. Idempotent.
@@ -626,6 +705,8 @@ type queryRequest struct {
 	TimeoutMS int64  `json:"timeout_ms,omitempty"`
 }
 
+// errorResponse is the NDJSON in-band stream trailer for a query that
+// dies mid-stream; the shard-side merge path parses this flat shape.
 type errorResponse struct {
 	Error string `json:"error"`
 }
@@ -638,8 +719,43 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+// writeError emits the v1 error envelope {"error":{"code","message"}},
+// matching the single-node server byte for byte.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	code := "internal"
+	switch status {
+	case http.StatusBadRequest:
+		code = "invalid_request"
+	case http.StatusUnauthorized:
+		code = "unauthorized"
+	case http.StatusNotFound:
+		code = "not_found"
+	case http.StatusMethodNotAllowed:
+		code = "method_not_allowed"
+	case http.StatusRequestEntityTooLarge:
+		code = "payload_too_large"
+	case http.StatusTooManyRequests:
+		code = "rate_limited"
+	case http.StatusBadGateway:
+		code = "upstream_failed"
+	case http.StatusServiceUnavailable:
+		code = "unavailable"
+	case http.StatusGatewayTimeout:
+		code = "timeout"
+	}
+	writeJSON(w, status, errorEnvelope{Error: errorBody{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
 
 func (c *Coordinator) readQueryRequest(w http.ResponseWriter, r *http.Request) (queryRequest, bool) {
@@ -679,15 +795,56 @@ func (c *Coordinator) readQueryRequest(w http.ResponseWriter, r *http.Request) (
 	return req, true
 }
 
-func (c *Coordinator) admit(w http.ResponseWriter) (release func(), ok bool) {
+// resolveTenant maps the request's X-API-Key through the registry.
+// Without a registry every caller is the anonymous tenant ("", ok).
+func (c *Coordinator) resolveTenant(w http.ResponseWriter, r *http.Request) (string, bool) {
+	if c.cfg.Tenants == nil {
+		return "", true
+	}
+	t, err := c.cfg.Tenants.Resolve(r.Header.Get("X-API-Key"))
+	if err != nil {
+		writeJSON(w, http.StatusUnauthorized, errorEnvelope{Error: errorBody{
+			Code:    "unknown_api_key",
+			Message: "unknown API key (set X-API-Key to a configured tenant key)",
+		}})
+		return "", false
+	}
+	return t.Name, true
+}
+
+func (c *Coordinator) admit(w http.ResponseWriter, tenant string) (release func(), ok bool) {
+	ts := c.tenants[tenant]
+	if ts != nil {
+		select {
+		case ts.sem <- struct{}{}:
+		default:
+			ts.rejected.Add(1)
+			c.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests,
+				"tenant %q at capacity (%d queries in flight)", tenant, cap(ts.sem))
+			return nil, false
+		}
+	}
 	select {
 	case c.sem <- struct{}{}:
 		c.inFlight.Add(1)
+		if ts != nil {
+			ts.inFlight.Add(1)
+		}
 		return func() {
 			c.inFlight.Add(-1)
 			<-c.sem
+			if ts != nil {
+				ts.inFlight.Add(-1)
+				<-ts.sem
+			}
 		}, true
 	default:
+		if ts != nil {
+			<-ts.sem
+			ts.rejected.Add(1)
+		}
 		c.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests,
@@ -696,7 +853,7 @@ func (c *Coordinator) admit(w http.ResponseWriter) (release func(), ok bool) {
 	}
 }
 
-func (c *Coordinator) queryContext(r *http.Request, req queryRequest) (context.Context, context.CancelFunc) {
+func (c *Coordinator) queryContext(r *http.Request, req queryRequest, tenant string) (context.Context, context.CancelFunc) {
 	timeout := c.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
@@ -704,10 +861,16 @@ func (c *Coordinator) queryContext(r *http.Request, req queryRequest) (context.C
 	if c.cfg.MaxTimeout > 0 && (timeout == 0 || timeout > c.cfg.MaxTimeout) {
 		timeout = c.cfg.MaxTimeout
 	}
-	if timeout > 0 {
-		return context.WithTimeout(r.Context(), timeout)
+	ctx := qos.WithTenant(r.Context(), tenant)
+	if key := r.Header.Get("X-API-Key"); key != "" {
+		// Carry the caller's identity so shard requests run as the caller's
+		// tenant, not as the coordinator.
+		ctx = qos.WithAPIKey(ctx, key)
 	}
-	return context.WithCancel(r.Context())
+	if timeout > 0 {
+		return context.WithTimeout(ctx, timeout)
+	}
+	return context.WithCancel(ctx)
 }
 
 func (c *Coordinator) countOutcome(code int) {
@@ -719,21 +882,28 @@ func (c *Coordinator) countOutcome(code int) {
 }
 
 func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
+	tenant, ok := c.resolveTenant(w, r)
+	if !ok {
+		return
+	}
 	req, ok := c.readQueryRequest(w, r)
 	if !ok {
 		return
 	}
-	release, ok := c.admit(w)
+	release, ok := c.admit(w, tenant)
 	if !ok {
 		return
 	}
 	defer release()
-	ctx, cancel := c.queryContext(r, req)
+	ctx, cancel := c.queryContext(r, req, tenant)
 	defer cancel()
 
 	start := time.Now()
 	res, serr := c.executeScatter(ctx, req.Query)
 	c.served.Add(1)
+	if ts := c.tenants[tenant]; ts != nil {
+		ts.served.Add(1)
+	}
 	if serr != nil {
 		c.countOutcome(serr.status)
 		writeError(w, serr.status, "%v", serr.err)
@@ -777,21 +947,28 @@ const (
 // per row, and a {"stats": {...}} trailer — carrying the cluster block
 // with partial_results and the failed shards when degraded.
 func (c *Coordinator) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	tenant, ok := c.resolveTenant(w, r)
+	if !ok {
+		return
+	}
 	req, ok := c.readQueryRequest(w, r)
 	if !ok {
 		return
 	}
-	release, ok := c.admit(w)
+	release, ok := c.admit(w, tenant)
 	if !ok {
 		return
 	}
 	defer release()
-	ctx, cancel := c.queryContext(r, req)
+	ctx, cancel := c.queryContext(r, req, tenant)
 	defer cancel()
 
 	start := time.Now()
 	res, serr := c.executeScatter(ctx, req.Query)
 	c.served.Add(1)
+	if ts := c.tenants[tenant]; ts != nil {
+		ts.served.Add(1)
+	}
 	if serr != nil {
 		c.countOutcome(serr.status)
 		writeError(w, serr.status, "%v", serr.err)
@@ -909,6 +1086,9 @@ func encodeRow(row []storage.Value) []any {
 
 // handleExplain compiles the scatter plan without executing it.
 func (c *Coordinator) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if _, ok := c.resolveTenant(w, r); !ok {
+		return
+	}
 	req, ok := c.readQueryRequest(w, r)
 	if !ok {
 		return
@@ -963,7 +1143,7 @@ func (c *Coordinator) handleSchema(w http.ResponseWriter, r *http.Request) {
 	var lastErr error
 	for _, sc := range c.shards {
 		var out json.RawMessage
-		if err := sc.getJSON(ctx, "/schema?table="+name, &out); err != nil {
+		if err := sc.getJSON(ctx, "/v1/schema?table="+name, &out); err != nil {
 			lastErr = err
 			continue
 		}
@@ -1001,7 +1181,31 @@ func (c *Coordinator) shardStates() []shardStatusJSON {
 	return out
 }
 
+// coordTenantStatsJSON mirrors the single-node server's per-tenant
+// admission accounting so /stats reads the same either side of a
+// coordinator.
+type coordTenantStatsJSON struct {
+	Weight   float64 `json:"weight"`
+	Slots    int     `json:"slots"`
+	InFlight int64   `json:"in_flight"`
+	Served   int64   `json:"served"`
+	Rejected int64   `json:"rejected"`
+}
+
 func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	var tenants map[string]coordTenantStatsJSON
+	if len(c.tenants) > 0 {
+		tenants = make(map[string]coordTenantStatsJSON, len(c.tenants))
+		for name, ts := range c.tenants {
+			tenants[name] = coordTenantStatsJSON{
+				Weight:   ts.weight,
+				Slots:    cap(ts.sem),
+				InFlight: ts.inFlight.Load(),
+				Served:   ts.served.Load(),
+				Rejected: ts.rejected.Load(),
+			}
+		}
+	}
 	writeJSON(w, http.StatusOK, struct {
 		UptimeSeconds float64           `json:"uptime_seconds"`
 		Mode          string            `json:"mode"`
@@ -1015,6 +1219,7 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 			Cancelled   int64 `json:"cancelled"`
 			Failed      int64 `json:"failed"`
 		} `json:"server"`
+		Tenants map[string]coordTenantStatsJSON `json:"tenants,omitempty"`
 	}{
 		UptimeSeconds: time.Since(c.started).Seconds(),
 		Mode:          "coordinator",
@@ -1035,6 +1240,7 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 			Cancelled:   c.cancelled.Load(),
 			Failed:      c.failed.Load(),
 		},
+		Tenants: tenants,
 	})
 }
 

@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"nodb/internal/loader"
 	"nodb/internal/metrics"
 	"nodb/internal/plan"
+	"nodb/internal/qos"
 	"nodb/internal/schema"
 	"nodb/internal/snapshot"
 	"nodb/internal/sql"
@@ -88,6 +90,15 @@ type Options struct {
 	// execution paths instead of the vectorized operator pipeline (for
 	// ablations and differential testing).
 	DisableVectorExec bool
+	// ResultCacheBytes bounds the query result cache (0 disables it).
+	// Results are keyed by normalized bound SQL plus the signature of
+	// every table the statement touches, so editing a raw file implicitly
+	// invalidates its results; identical in-flight queries collapse onto
+	// one execution (singleflight).
+	ResultCacheBytes int64
+	// Tenants configures per-tenant budget partitioning in the memory
+	// governor (weights; see qos.Tenant). Empty disables tenancy.
+	Tenants []qos.Tenant
 }
 
 // ErrClosed is returned by every query or preparation attempt after the
@@ -106,6 +117,8 @@ type Engine struct {
 	counters metrics.Counters
 	ld       *loader.Loader
 	extLd    *loader.Loader // external baseline: never learns anything
+	qcache   *qos.Cache     // nil when ResultCacheBytes is 0
+	qflight  qos.Group      // collapses identical in-flight queries
 
 	closed      atomic.Bool
 	closeCtx    context.Context // cancelled by Close; aborts in-flight cursors
@@ -125,6 +138,20 @@ func NewEngine(opts Options) *Engine {
 		evict = govern.CostAware{}
 	}
 	e.gov = govern.New(opts.MemoryBudget, evict, &e.counters)
+	if len(opts.Tenants) > 0 {
+		weights := make(map[string]float64, len(opts.Tenants))
+		for _, t := range opts.Tenants {
+			w := t.Weight
+			if w <= 0 {
+				w = 1
+			}
+			weights[t.Name] = w
+		}
+		e.gov.SetTenants(weights)
+	}
+	if opts.ResultCacheBytes > 0 {
+		e.qcache = qos.NewCache(opts.ResultCacheBytes, e.gov)
+	}
 	if opts.CacheDir != "" {
 		e.snap = snapshot.NewStore(opts.CacheDir, &e.counters)
 	}
@@ -379,7 +406,39 @@ func (e *Engine) ExplainContext(ctx context.Context, query string) (string, erro
 		out += fmt.Sprintf("snapshot: hits=%d misses=%d saves=%d spills=%d invalidations=%d\n",
 			st.Hits, st.Misses, st.Saves, st.Spills, st.Invalidations)
 	}
+	if e.qcache != nil {
+		st := e.qcache.Stats()
+		cached := ""
+		if stmt.NumParams == 0 {
+			if _, ok := e.qcache.Get(e.resultKey(stmt)); ok {
+				cached = " this-query=cached"
+			}
+		}
+		out += fmt.Sprintf("result cache: hits=%d misses=%d entries=%d bytes=%d/%d%s\n",
+			st.Hits, st.Misses, st.Entries, st.Bytes, st.MaxBytes, cached)
+	}
+	if gst := e.gov.Stats(); len(gst.Tenants) > 0 {
+		names := make([]string, 0, len(gst.Tenants))
+		for name := range gst.Tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			ts := gst.Tenants[name]
+			out += fmt.Sprintf("tenant %s: weight=%g share=%dB used=%dB evictions=%d\n",
+				name, ts.Weight, ts.ShareBytes, ts.Used, ts.Evictions)
+		}
+	}
 	return out, nil
+}
+
+// ResultCacheStats reports the result cache's accounting (zero-valued
+// with Enabled=false when ResultCacheBytes is 0).
+func (e *Engine) ResultCacheStats() qos.CacheStats {
+	if e.qcache == nil {
+		return qos.CacheStats{}
+	}
+	return e.qcache.Stats()
 }
 
 func (e *Engine) revalidate(stmt *sql.SelectStmt) error {

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"nodb/internal/metrics"
+	"nodb/internal/plan"
+	"nodb/internal/qos"
+	"nodb/internal/sql"
+	"nodb/internal/storage"
+)
+
+// resultKey derives the statement's result-cache key: the normalized
+// rendering of the fully bound statement plus, per touched table, the raw
+// file's identity and signature. Signatures change when a file is edited,
+// so a stale result is simply never looked up again — invalidation needs
+// no bookkeeping. Returns "" (uncacheable) when the statement still has
+// unbound parameters or references an unknown table (execution will
+// surface that error).
+func (e *Engine) resultKey(stmt *sql.SelectStmt) string {
+	if stmt.NumParams != 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString(sql.Normalize(stmt.String()))
+	appendTable := func(name string) bool {
+		t, err := e.cat.Get(name)
+		if err != nil {
+			return false
+		}
+		sig := t.Signature()
+		fmt.Fprintf(&sb, "\x00%s=%s:%d:%d:%d", name, t.Path(), sig.Size, sig.ModTime, sig.Prefix)
+		return true
+	}
+	if !appendTable(stmt.From.Name) {
+		return ""
+	}
+	for _, j := range stmt.Joins {
+		if !appendTable(j.Table.Name) {
+			return ""
+		}
+	}
+	return sb.String()
+}
+
+// cachedRows serves a cached (or singleflight-shared) result through a
+// regular streaming cursor, so callers cannot tell a replay from an
+// execution. Each row is copied out: cursor consumers own the rows they
+// receive, and the cache's copy must stay immutable.
+func (e *Engine) cachedRows(ctx context.Context, res *qos.CachedResult, before metrics.Snapshot, timer metrics.Timer, note string) *Rows {
+	cctx, cancel := newCursorContext(ctx)
+	unhook := context.AfterFunc(e.closeCtx, cancel)
+	r := &Rows{
+		cols:   append([]string(nil), res.Columns...),
+		cancel: cancel,
+		unhook: func() { unhook() },
+		ch:     make(chan [][]storage.Value, 4),
+	}
+	go func() {
+		defer close(r.ch)
+		w := &rowWriter{ctx: cctx, ch: r.ch, limit: -1}
+		var err error
+		for _, row := range res.Rows {
+			if err = w.emit(append([]storage.Value(nil), row...)); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			err = w.flush()
+		}
+		r.finalErr = err
+		r.finalStats = QueryStats{
+			Work: e.counters.Snapshot().Sub(before),
+			Wall: timer.Elapsed(),
+			Plan: res.Plan + note,
+		}
+	}()
+	return r
+}
+
+// ownPlan attributes the adaptive structures the plan read to the tenant,
+// so the governor's per-tenant pass charges them to whoever used them
+// last.
+func (e *Engine) ownPlan(p *plan.Plan, tenant string) {
+	for i := range p.Tables {
+		t, err := e.cat.Get(p.Tables[i].Name)
+		if err != nil {
+			continue
+		}
+		t.Own(p.Tables[i].Pins, tenant)
+	}
+}
+
+// resultSink accumulates a private copy of the rows a producer emits, for
+// admission to the result cache. It stops copying — and poisons itself —
+// once the copy exceeds the cache's per-entry bound, so an unexpectedly
+// huge result costs at most the bound in transient memory. Mutated only
+// under the owning rowWriter's lock.
+type resultSink struct {
+	rows     [][]storage.Value
+	bytes    int64
+	max      int64
+	overflow bool
+}
+
+func (s *resultSink) add(row []storage.Value) {
+	if s == nil || s.overflow {
+		return
+	}
+	s.bytes += qos.RowBytes(row)
+	if s.max > 0 && s.bytes > s.max {
+		s.overflow = true
+		s.rows = nil
+		return
+	}
+	s.rows = append(s.rows, append([]storage.Value(nil), row...))
+}

@@ -10,6 +10,7 @@ import (
 	"nodb/internal/exec"
 	"nodb/internal/metrics"
 	"nodb/internal/plan"
+	"nodb/internal/qos"
 	"nodb/internal/schema"
 	"nodb/internal/sql"
 	"nodb/internal/storage"
@@ -292,6 +293,7 @@ type rowWriter struct {
 	mu    sync.Mutex
 	count int
 	batch [][]storage.Value
+	sink  *resultSink // optional tee of emitted rows for the result cache
 }
 
 // emit appends one row, taking ownership of it. It returns errLimitReached
@@ -303,6 +305,7 @@ func (w *rowWriter) emit(row []storage.Value) error {
 	if w.limit >= 0 && w.count >= w.limit {
 		return errLimitReached
 	}
+	w.sink.add(row)
 	w.batch = append(w.batch, row)
 	w.count++
 	if w.limit >= 0 && w.count >= w.limit {
@@ -326,6 +329,7 @@ func (w *rowWriter) emitAll(rows [][]storage.Value) error {
 		if w.limit >= 0 && w.count >= w.limit {
 			return errLimitReached
 		}
+		w.sink.add(row)
 		w.batch = append(w.batch, row)
 		w.count++
 		if len(w.batch) >= rowBatchSize {
@@ -374,6 +378,11 @@ func (e *Engine) QueryRows(ctx context.Context, query string, args ...any) (*Row
 
 // QueryRowsStmt opens a streaming cursor over a parsed (and fully bound)
 // statement. The returned cursor must be closed.
+//
+// With a result cache configured, a fully bound statement first consults
+// the cache (keyed on normalized SQL + table signatures; see resultKey)
+// and joins the singleflight group: the first of N identical concurrent
+// queries executes, the rest wait and replay its result.
 func (e *Engine) QueryRowsStmt(ctx context.Context, stmt *sql.SelectStmt) (*Rows, error) {
 	timer := metrics.StartTimer()
 	before := e.counters.Snapshot()
@@ -387,8 +396,49 @@ func (e *Engine) QueryRowsStmt(ctx context.Context, stmt *sql.SelectStmt) (*Rows
 	if err := e.revalidate(stmt); err != nil {
 		return nil, err
 	}
+
+	// qkey is non-empty exactly when this call leads a singleflight for a
+	// cacheable statement; produce finishes the flight on every path.
+	var qkey string
+	if e.qcache != nil {
+		if key := e.resultKey(stmt); key != "" {
+			// Bounded so leader churn (every leader failing or overflowing
+			// the cache bound) degrades to executing uncached rather than
+			// looping; real workloads resolve in one or two iterations.
+			for attempt := 0; attempt < 64 && qkey == ""; attempt++ {
+				if res, ok := e.qcache.Get(key); ok {
+					e.counters.AddResultCacheHit(1)
+					return e.cachedRows(ctx, res, before, timer, "result cache hit\n"), nil
+				}
+				c, leader := e.qflight.Join(key)
+				if leader {
+					qkey = key
+					break
+				}
+				select {
+				case <-c.Done():
+					if res, err := c.Result(); err == nil && res != nil {
+						e.counters.AddQueryCollapsed(1)
+						return e.cachedRows(ctx, res, before, timer, "singleflight collapse\n"), nil
+					}
+					// The leader failed (possibly its own cancellation) or
+					// its result was uncacheable: retry — become the leader
+					// or find a newer one.
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			if qkey != "" {
+				e.counters.AddResultCacheMiss(1)
+			}
+		}
+	}
+
 	p, err := plan.Build(stmt, e, e.Policy())
 	if err != nil {
+		if qkey != "" {
+			e.qflight.Finish(qkey, nil, err)
+		}
 		return nil, err
 	}
 
@@ -403,15 +453,21 @@ func (e *Engine) QueryRowsStmt(ctx context.Context, stmt *sql.SelectStmt) (*Rows
 		unhook: func() { unhook() },
 		ch:     make(chan [][]storage.Value, 4),
 	}
-	go e.produce(cctx, p, r, before, timer)
+	go e.produce(cctx, p, r, before, timer, qkey)
 	return r, nil
 }
 
 // produce runs the query and feeds the cursor. It always closes the
-// channel last, after recording the final error and stats.
-func (e *Engine) produce(ctx context.Context, p *plan.Plan, r *Rows, before metrics.Snapshot, timer metrics.Timer) {
+// channel last, after recording the final error and stats. A non-empty
+// qkey means this execution leads a singleflight: the emitted rows are
+// teed into a private copy that, on success, is admitted to the result
+// cache and handed to the waiting followers.
+func (e *Engine) produce(ctx context.Context, p *plan.Plan, r *Rows, before metrics.Snapshot, timer metrics.Timer, qkey string) {
 	defer close(r.ch)
 	w := &rowWriter{ctx: ctx, ch: r.ch, limit: p.Limit}
+	if qkey != "" {
+		w.sink = &resultSink{max: e.qcache.MaxEntryBytes()}
+	}
 
 	// Pin the adaptive structures this plan reads (the plan's Pins per
 	// table, plus each table's positional map and split files) so the
@@ -448,12 +504,34 @@ func (e *Engine) produce(ctx context.Context, p *plan.Plan, r *Rows, before metr
 		err = nil // LIMIT satisfied: a clean early stop, not a failure
 	}
 	unpin()
+	// Attribute the structures this query read (and any it built) to the
+	// calling tenant before enforcement, so the per-tenant pass charges
+	// the bytes to whoever actually caused them.
+	if tenant := qos.TenantFrom(ctx); tenant != "" {
+		e.ownPlan(p, tenant)
+	}
 	e.gov.Enforce()
 	r.finalErr = err
+	planText := p.String() + note
 	r.finalStats = QueryStats{
 		Work: e.counters.Snapshot().Sub(before),
 		Wall: timer.Elapsed(),
-		Plan: p.String() + note,
+		Plan: planText,
+	}
+	if qkey != "" {
+		// Publish to the cache first, then wake the followers: a follower
+		// that misses the Finish window still finds the cache entry.
+		if err == nil && w.sink != nil && !w.sink.overflow {
+			res := &qos.CachedResult{
+				Columns: append([]string(nil), r.cols...),
+				Rows:    w.sink.rows,
+				Plan:    planText,
+			}
+			e.qcache.Put(qkey, res)
+			e.qflight.Finish(qkey, res, nil)
+		} else {
+			e.qflight.Finish(qkey, nil, err)
+		}
 	}
 }
 

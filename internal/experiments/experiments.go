@@ -262,6 +262,8 @@ func All() []Runner {
 		{"synopsis", "Adaptive scan synopses: selectivity sweep with and without portion skipping", SynopsisSweep},
 		{"vectorized", "Vectorized batch execution vs row-at-a-time on hot full-scan aggregates", Vectorized},
 		{"cluster-scaling", "Scatter-gather cluster: cold full-scan workload speedup vs shard count", ClusterScaling},
+		{"redundant-traffic", "Result cache + singleflight collapse on a 100%-duplicate workload", RedundantTraffic},
+		{"tenant-isolation", "Per-tenant admission slots: light-tenant p99 under a saturating heavy tenant", TenantIsolation},
 	}
 }
 

@@ -289,8 +289,8 @@ func TestReportFormat(t *testing.T) {
 
 func TestAllAndLookup(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("experiments = %d, want 16", len(all))
+	if len(all) != 18 {
+		t.Fatalf("experiments = %d, want 18", len(all))
 	}
 	ids := map[string]bool{}
 	for _, r := range all {
@@ -474,6 +474,57 @@ func TestClusterScalingShape(t *testing.T) {
 		}
 		if p.Wall <= 0 {
 			t.Errorf("point %d measured zero wall-clock", i)
+		}
+	}
+}
+
+func TestRedundantTrafficShape(t *testing.T) {
+	r, err := RedundantTraffic(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	un, ok := r.SeriesByName("no cache")
+	if !ok {
+		t.Fatal("missing no-cache series")
+	}
+	ca, ok := r.SeriesByName("cache+singleflight")
+	if !ok {
+		t.Fatal("missing cached series")
+	}
+	if len(un.Points) != 1 || len(ca.Points) != 1 {
+		t.Fatalf("want 1 point per series, got %d and %d", len(un.Points), len(ca.Points))
+	}
+	// Even at toy scale, duplicates served from the cache must cost
+	// strictly less modeled work than re-executing all of them.
+	if ca.Points[0].ModelSec >= un.Points[0].ModelSec {
+		t.Errorf("cached workload modeled %v, uncached %v: cache bought nothing",
+			ca.Points[0].ModelSec, un.Points[0].ModelSec)
+	}
+	// The cached run's work snapshot must show real cache traffic.
+	w := ca.Points[0].Work
+	if w.ResultCacheHits == 0 && w.QueriesCollapsed == 0 {
+		t.Errorf("no cache hits and no collapsed queries recorded: hits=%d collapsed=%d",
+			w.ResultCacheHits, w.QueriesCollapsed)
+	}
+}
+
+func TestTenantIsolationShape(t *testing.T) {
+	r, err := TenantIsolation(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"partitioned", "shared pool"} {
+		s, ok := r.SeriesByName(name)
+		if !ok {
+			t.Fatalf("missing %q series", name)
+		}
+		if len(s.Points) != 2 {
+			t.Fatalf("%q: want solo + under-load points, got %d", name, len(s.Points))
+		}
+		for i, p := range s.Points {
+			if p.Wall <= 0 {
+				t.Errorf("%q point %d measured zero wall-clock", name, i)
+			}
 		}
 	}
 }

@@ -56,6 +56,11 @@ const (
 	// file. It is rebuilt as a free byproduct of the next tokenizing pass,
 	// so it is the cheapest structure to lose and an early eviction victim.
 	KindSynopsis
+	// KindResult is one cached query result. Results register with zero
+	// rebuild cost — re-running the query over warm adaptive structures is
+	// cheap by construction — so they are reclaimed before any structure
+	// that took raw-file passes to learn.
+	KindResult
 )
 
 func (k Kind) String() string {
@@ -70,6 +75,8 @@ func (k Kind) String() string {
 		return "split"
 	case KindSynopsis:
 		return "synopsis"
+	case KindResult:
+		return "result"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -92,6 +99,7 @@ type Handle struct {
 	lastUse atomic.Int64  // governor clock tick
 	pins    atomic.Int32
 	dead    atomic.Bool
+	owner   atomic.Pointer[string] // tenant that last used the structure
 }
 
 // Kind returns the structure's kind.
@@ -140,6 +148,32 @@ func (h *Handle) SetCost(sec float64) {
 
 // Cost returns the estimated rebuild cost in modeled seconds.
 func (h *Handle) Cost() float64 { return math.Float64frombits(h.cost.Load()) }
+
+// SetOwner attributes the structure to a tenant. Shared structures follow
+// a last-user-wins rule: whichever tenant's query most recently touched
+// the structure pays for it, matching how the LRU clock attributes
+// recency. An empty name clears the attribution.
+func (h *Handle) SetOwner(tenant string) {
+	if h == nil {
+		return
+	}
+	if tenant == "" {
+		h.owner.Store(nil)
+		return
+	}
+	h.owner.Store(&tenant)
+}
+
+// Owner returns the owning tenant ("" when unattributed).
+func (h *Handle) Owner() string {
+	if h == nil {
+		return ""
+	}
+	if p := h.owner.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
 
 // Touch marks the structure recently used (LRU bookkeeping).
 func (h *Handle) Touch() {
@@ -232,6 +266,24 @@ type Stats struct {
 	EvictedBytes int64 `json:"evicted_bytes"`
 	// Policy is the active eviction policy name.
 	Policy string `json:"policy"`
+	// Tenants is the per-tenant accounting, present only when tenant
+	// weights are configured via SetTenants.
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
+}
+
+// TenantStats is one tenant's slice of the governor's accounting.
+type TenantStats struct {
+	// Weight is the tenant's configured share weight.
+	Weight float64 `json:"weight"`
+	// ShareBytes is the tenant's slice of the budget (budget × weight ÷
+	// total weight; 0 when the budget is unlimited).
+	ShareBytes int64 `json:"share_bytes"`
+	// Used is the bytes of structures currently attributed to the tenant.
+	Used int64 `json:"used"`
+	// Evictions and EvictedBytes count eviction pressure scoped to the
+	// tenant (victims chosen because the tenant exceeded its share).
+	Evictions    int64 `json:"evictions"`
+	EvictedBytes int64 `json:"evicted_bytes"`
 }
 
 // Governor is the global registry. Safe for concurrent use.
@@ -251,6 +303,12 @@ type Governor struct {
 	nextID  uint64
 
 	enforceMu sync.Mutex // serializes Enforce passes
+
+	tenantMu        sync.Mutex // guards the tenant maps
+	tenantWeights   map[string]float64
+	tenantWeightSum float64
+	tenantEvicts    map[string]int64
+	tenantEvictedB  map[string]int64
 }
 
 // New creates a governor. budget is the global byte budget (0 or negative
@@ -285,6 +343,61 @@ func (g *Governor) Register(kind Kind, label string, evict func() bool) *Handle 
 // Budget returns the configured byte budget (0 = unlimited).
 func (g *Governor) Budget() int64 { return g.budget.Load() }
 
+// SetTenants configures per-tenant budget partitioning: each tenant's
+// slice of the budget is budget × weight ÷ Σweights, and Enforce evicts a
+// tenant's own structures first when the tenant exceeds its slice — one
+// heavy tenant can no longer push another tenant's positional maps out.
+// A nil or empty map turns tenant partitioning off.
+func (g *Governor) SetTenants(weights map[string]float64) {
+	g.tenantMu.Lock()
+	defer g.tenantMu.Unlock()
+	if len(weights) == 0 {
+		g.tenantWeights, g.tenantWeightSum = nil, 0
+		return
+	}
+	g.tenantWeights = make(map[string]float64, len(weights))
+	g.tenantWeightSum = 0
+	for name, w := range weights {
+		if w <= 0 {
+			w = 1
+		}
+		g.tenantWeights[name] = w
+		g.tenantWeightSum += w
+	}
+	if g.tenantEvicts == nil {
+		g.tenantEvicts = make(map[string]int64)
+		g.tenantEvictedB = make(map[string]int64)
+	}
+}
+
+// tenantShare returns the tenant's byte slice of the current budget, or
+// (0, false) when the tenant is unknown or partitioning is off.
+func (g *Governor) tenantShare(name string) (int64, bool) {
+	g.tenantMu.Lock()
+	defer g.tenantMu.Unlock()
+	w, ok := g.tenantWeights[name]
+	if !ok || g.tenantWeightSum <= 0 {
+		return 0, false
+	}
+	budget := g.Budget()
+	if budget <= 0 {
+		return 0, false
+	}
+	return int64(float64(budget) * w / g.tenantWeightSum), true
+}
+
+func (g *Governor) recordTenantEviction(name string, bytes int64) {
+	if name == "" {
+		return
+	}
+	g.tenantMu.Lock()
+	if g.tenantEvicts != nil {
+		g.tenantEvicts[name]++
+		g.tenantEvictedB[name] += bytes
+	}
+	g.tenantMu.Unlock()
+}
+
 // SetBudget changes the budget; the next Enforce applies it.
 func (g *Governor) SetBudget(n int64) { g.budget.Store(n) }
 
@@ -298,15 +411,19 @@ func (g *Governor) Policy() EvictionPolicy { return g.policy }
 func (g *Governor) Stats() Stats {
 	var pinned int64
 	entries := 0
+	usedBy := map[string]int64{}
 	g.mu.Lock()
 	for _, h := range g.entries {
 		entries++
 		if h.pins.Load() > 0 {
 			pinned += h.bytes.Load()
 		}
+		if owner := h.Owner(); owner != "" {
+			usedBy[owner] += h.bytes.Load()
+		}
 	}
 	g.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Budget:       g.Budget(),
 		Used:         g.Used(),
 		Pinned:       pinned,
@@ -315,21 +432,45 @@ func (g *Governor) Stats() Stats {
 		EvictedBytes: g.evictedBytes.Load(),
 		Policy:       g.policy.Name(),
 	}
+	g.tenantMu.Lock()
+	if len(g.tenantWeights) > 0 {
+		st.Tenants = make(map[string]TenantStats, len(g.tenantWeights))
+		for name, w := range g.tenantWeights {
+			var share int64
+			if b := st.Budget; b > 0 && g.tenantWeightSum > 0 {
+				share = int64(float64(b) * w / g.tenantWeightSum)
+			}
+			st.Tenants[name] = TenantStats{
+				Weight:       w,
+				ShareBytes:   share,
+				Used:         usedBy[name],
+				Evictions:    g.tenantEvicts[name],
+				EvictedBytes: g.tenantEvictedB[name],
+			}
+		}
+	}
+	g.tenantMu.Unlock()
+	return st
 }
 
 // Enforce evicts unpinned structures, worst-first per the policy, until
 // the accounted bytes fit the budget (or no evictable candidates remain —
 // pinned bytes can exceed the budget transiently; the next Enforce after
-// the pins drop reclaims them). It returns what was evicted.
+// the pins drop reclaims them). With tenant weights configured, a
+// per-tenant pass runs first: any tenant over its share of the budget
+// loses its *own* structures down to the share, so the global pass — when
+// it still has to run — starts from a state where pressure was charged to
+// whoever caused it. It returns what was evicted.
 func (g *Governor) Enforce() []Eviction {
 	budget := g.Budget()
-	if budget <= 0 || g.Used() <= budget {
+	if budget <= 0 {
 		return nil
 	}
 	g.enforceMu.Lock()
 	defer g.enforceMu.Unlock()
 
-	var out []Eviction
+	out := g.enforceTenants()
+
 	// Victim selection is re-snapshotted after each round of callbacks:
 	// callbacks change the candidate set (a dense-column eviction releases
 	// its handle), and concurrent queries may have pinned or grown entries
@@ -339,37 +480,103 @@ func (g *Governor) Enforce() []Eviction {
 		if over <= 0 {
 			return out
 		}
-		victims := g.pickVictims(over)
+		victims := g.pickVictims(over, "")
 		if len(victims) == 0 {
 			return out
 		}
-		for _, h := range victims {
-			if h.Pinned() || h.dead.Load() {
-				continue // pinned (or gone) since selection: skip, re-check next round
+		evicted := g.evictHandles(victims, "")
+		out = append(out, evicted...)
+	}
+	return out
+}
+
+// enforceTenants runs the per-tenant pass: each tenant whose attributed
+// bytes exceed its budget share loses its own structures first.
+func (g *Governor) enforceTenants() []Eviction {
+	g.tenantMu.Lock()
+	names := make([]string, 0, len(g.tenantWeights))
+	for name := range g.tenantWeights {
+		names = append(names, name)
+	}
+	g.tenantMu.Unlock()
+	if len(names) == 0 {
+		return nil
+	}
+	sort.Strings(names) // deterministic order across passes
+	var out []Eviction
+	for _, name := range names {
+		share, ok := g.tenantShare(name)
+		if !ok {
+			continue
+		}
+		for round := 0; round < 8; round++ {
+			over := g.tenantUsed(name) - share
+			if over <= 0 {
+				break
 			}
-			b := h.bytes.Load()
-			if !h.evict() {
-				continue // owner vetoed (pinned or already gone under its lock)
+			victims := g.pickVictims(over, name)
+			if len(victims) == 0 {
+				break
 			}
-			g.evictions.Add(1)
-			g.evictedBytes.Add(b)
-			if g.counters != nil {
-				g.counters.AddEviction(1)
-				g.counters.AddEvictedBytes(b)
+			evicted := g.evictHandles(victims, name)
+			out = append(out, evicted...)
+			if len(evicted) == 0 {
+				break
 			}
-			out = append(out, Eviction{Kind: h.kind, Label: h.label, Bytes: b})
 		}
 	}
 	return out
 }
 
+// tenantUsed sums the bytes of live entries attributed to the tenant.
+func (g *Governor) tenantUsed(name string) int64 {
+	var used int64
+	g.mu.Lock()
+	for _, h := range g.entries {
+		if h.Owner() == name {
+			used += h.bytes.Load()
+		}
+	}
+	g.mu.Unlock()
+	return used
+}
+
+// evictHandles runs the owner callbacks with accounting. tenant is the
+// tenant whose share overflow selected the victims ("" for the global
+// pass).
+func (g *Governor) evictHandles(victims []*Handle, tenant string) []Eviction {
+	var out []Eviction
+	for _, h := range victims {
+		if h.Pinned() || h.dead.Load() {
+			continue // pinned (or gone) since selection: skip, re-check next round
+		}
+		b := h.bytes.Load()
+		if !h.evict() {
+			continue // owner vetoed (pinned or already gone under its lock)
+		}
+		g.evictions.Add(1)
+		g.evictedBytes.Add(b)
+		g.recordTenantEviction(tenant, b)
+		if g.counters != nil {
+			g.counters.AddEviction(1)
+			g.counters.AddEvictedBytes(b)
+		}
+		out = append(out, Eviction{Kind: h.kind, Label: h.label, Bytes: b})
+	}
+	return out
+}
+
 // pickVictims returns unpinned candidates, ordered worst-first by the
-// policy, whose cumulative bytes cover the overshoot.
-func (g *Governor) pickVictims(over int64) []*Handle {
+// policy, whose cumulative bytes cover the overshoot. A non-empty owner
+// restricts candidates to that tenant's structures.
+func (g *Governor) pickVictims(over int64, owner string) []*Handle {
 	g.mu.Lock()
 	cands := make([]*Handle, 0, len(g.entries))
 	for _, h := range g.entries {
 		if h.evict == nil || h.Pinned() || h.bytes.Load() <= 0 {
+			continue
+		}
+		if owner != "" && h.Owner() != owner {
 			continue
 		}
 		cands = append(cands, h)

@@ -49,6 +49,9 @@ type Counters struct {
 	shardRetries       atomic.Int64 // shard sub-queries retried after a transient failure
 	partialResults     atomic.Int64 // coordinator queries answered in partial_results degraded mode
 	shardBytesMerged   atomic.Int64 // NDJSON payload bytes merged from shard streams
+	resultCacheHits    atomic.Int64 // queries answered entirely from the result cache
+	resultCacheMisses  atomic.Int64 // cacheable queries that had to execute
+	queriesCollapsed   atomic.Int64 // duplicate in-flight queries served by a singleflight leader
 }
 
 // AddScriptOps records interpreted per-record operations of an external
@@ -147,6 +150,18 @@ func (c *Counters) AddPartialResults(n int64) { c.partialResults.Add(n) }
 // streams by the coordinator's merge operators.
 func (c *Counters) AddShardBytesMerged(n int64) { c.shardBytesMerged.Add(n) }
 
+// AddResultCacheHit records a query answered entirely from the result
+// cache (no planning, no scan).
+func (c *Counters) AddResultCacheHit(n int64) { c.resultCacheHits.Add(n) }
+
+// AddResultCacheMiss records a cacheable query that found no usable entry
+// and executed.
+func (c *Counters) AddResultCacheMiss(n int64) { c.resultCacheMisses.Add(n) }
+
+// AddQueryCollapsed records a duplicate in-flight query served by its
+// singleflight leader's result instead of executing.
+func (c *Counters) AddQueryCollapsed(n int64) { c.queriesCollapsed.Add(n) }
+
 // Snapshot is an immutable copy of the counters at one point in time.
 type Snapshot struct {
 	RawBytesRead         int64
@@ -178,6 +193,9 @@ type Snapshot struct {
 	ShardRetries         int64
 	PartialResults       int64
 	ShardBytesMerged     int64
+	ResultCacheHits      int64
+	ResultCacheMisses    int64
+	QueriesCollapsed     int64
 }
 
 // Snapshot returns a point-in-time copy of all counters.
@@ -212,6 +230,9 @@ func (c *Counters) Snapshot() Snapshot {
 		ShardRetries:         c.shardRetries.Load(),
 		PartialResults:       c.partialResults.Load(),
 		ShardBytesMerged:     c.shardBytesMerged.Load(),
+		ResultCacheHits:      c.resultCacheHits.Load(),
+		ResultCacheMisses:    c.resultCacheMisses.Load(),
+		QueriesCollapsed:     c.queriesCollapsed.Load(),
 	}
 }
 
@@ -246,6 +267,9 @@ func (c *Counters) Reset() {
 	c.shardRetries.Store(0)
 	c.partialResults.Store(0)
 	c.shardBytesMerged.Store(0)
+	c.resultCacheHits.Store(0)
+	c.resultCacheMisses.Store(0)
+	c.queriesCollapsed.Store(0)
 }
 
 // Sub returns the delta s - prev, counter by counter. Use it to attribute
@@ -281,6 +305,9 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		ShardRetries:         s.ShardRetries - prev.ShardRetries,
 		PartialResults:       s.PartialResults - prev.PartialResults,
 		ShardBytesMerged:     s.ShardBytesMerged - prev.ShardBytesMerged,
+		ResultCacheHits:      s.ResultCacheHits - prev.ResultCacheHits,
+		ResultCacheMisses:    s.ResultCacheMisses - prev.ResultCacheMisses,
+		QueriesCollapsed:     s.QueriesCollapsed - prev.QueriesCollapsed,
 	}
 }
 
@@ -291,7 +318,7 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"raw=%dB internalR=%dB internalW=%dB splitR=%dB splitW=%dB rows=%d attrs=%d parsed=%d abandoned=%d pmHit=%d pmMiss=%d cacheHit=%d cacheMiss=%d evict=%d evictB=%dB snapR=%dB snapW=%dB snapHit=%d snapMiss=%d snapSpill=%d snapInvalid=%d portionsSkipped=%d synHit=%d shardsPruned=%d shardRetries=%d partialResults=%d shardMergedB=%dB",
+		"raw=%dB internalR=%dB internalW=%dB splitR=%dB splitW=%dB rows=%d attrs=%d parsed=%d abandoned=%d pmHit=%d pmMiss=%d cacheHit=%d cacheMiss=%d evict=%d evictB=%dB snapR=%dB snapW=%dB snapHit=%d snapMiss=%d snapSpill=%d snapInvalid=%d portionsSkipped=%d synHit=%d shardsPruned=%d shardRetries=%d partialResults=%d shardMergedB=%dB resultHit=%d resultMiss=%d collapsed=%d",
 		s.RawBytesRead, s.InternalBytesRead, s.InternalBytesWritten,
 		s.SplitBytesRead, s.SplitBytesWritten,
 		s.RowsTokenized, s.AttrsTokenized, s.ValuesParsed, s.RowsAbandoned,
@@ -300,7 +327,8 @@ func (s Snapshot) String() string {
 		s.SnapshotBytesRead, s.SnapshotBytesWritten,
 		s.SnapshotHits, s.SnapshotMisses, s.SnapshotSpills, s.SnapshotInvalid,
 		s.PortionsSkipped, s.SynopsisHits,
-		s.ShardsPruned, s.ShardRetries, s.PartialResults, s.ShardBytesMerged)
+		s.ShardsPruned, s.ShardRetries, s.PartialResults, s.ShardBytesMerged,
+		s.ResultCacheHits, s.ResultCacheMisses, s.QueriesCollapsed)
 }
 
 // CostModel converts a work Snapshot into modeled seconds. Throughputs are

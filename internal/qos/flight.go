@@ -1,0 +1,68 @@
+package qos
+
+import "sync"
+
+// Call is one in-flight leader execution that followers wait on.
+type Call struct {
+	done chan struct{}
+	res  *CachedResult
+	err  error
+}
+
+// Done is closed when the leader finishes (successfully or not).
+func (c *Call) Done() <-chan struct{} { return c.done }
+
+// Result returns the leader's outcome once Done is closed. Both values
+// nil means the leader completed but produced nothing shareable (the
+// result was too large to cache, or the leader's cursor was abandoned
+// early); followers then execute for themselves.
+func (c *Call) Result() (*CachedResult, error) {
+	<-c.done
+	return c.res, c.err
+}
+
+// Group collapses identical in-flight queries: the first caller for a key
+// becomes the leader and executes; concurrent callers for the same key
+// become followers and wait for the leader's result instead of repeating
+// the work. Unlike a classic singleflight, the leader's result travels
+// through the result cache's value type, so a follower that arrives after
+// the leader finished is served by the cache instead.
+type Group struct {
+	mu    sync.Mutex
+	calls map[string]*Call
+}
+
+// Join registers interest in key. The first joiner becomes the leader
+// (leader=true) and must call Finish exactly once; later joiners get the
+// leader's Call to wait on.
+func (g *Group) Join(key string) (c *Call, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.calls == nil {
+		g.calls = make(map[string]*Call)
+	}
+	if c, ok := g.calls[key]; ok {
+		return c, false
+	}
+	c = &Call{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// Finish publishes the leader's outcome and wakes every follower. It must
+// be called exactly once per leading Join, on every exit path — a leader
+// that errors before producing anything still finishes with that error so
+// followers retry rather than hang.
+func (g *Group) Finish(key string, res *CachedResult, err error) {
+	g.mu.Lock()
+	c, ok := g.calls[key]
+	if ok {
+		delete(g.calls, key)
+	}
+	g.mu.Unlock()
+	if !ok {
+		return
+	}
+	c.res, c.err = res, err
+	close(c.done)
+}

@@ -11,16 +11,25 @@
 // its context cancelled, which stops the engine's raw-file scan between
 // chunks via the QueryContext path.
 //
-// Endpoints:
+// Endpoints (v1; the same paths without the /v1 prefix still work as
+// deprecated aliases and answer with a Deprecation header):
 //
-//	POST /query         {"query": "...", "timeout_ms": 0}  -> columns, rows, stats
-//	GET  /query?q=...                                      -> same
-//	POST /query/stream  (same request shape)               -> NDJSON row stream
-//	POST /explain       {"query": "..."} (or GET ?q=...)   -> physical plan text
-//	GET  /tables                                           -> linked table names
-//	GET  /schema?table=name                                -> detected schema
-//	GET  /stats                                            -> engine counters + server counters
-//	GET  /healthz                                          -> liveness
+//	POST /v1/query         {"query": "...", "timeout_ms": 0}  -> columns, rows, stats
+//	GET  /v1/query?q=...                                      -> same
+//	POST /v1/query/stream  (same request shape)               -> NDJSON row stream
+//	POST /v1/explain       {"query": "..."} (or GET ?q=...)   -> physical plan text
+//	GET  /v1/tables                                           -> linked table names
+//	GET  /v1/schema?table=name                                -> detected schema
+//	GET  /v1/stats                                            -> engine + server counters
+//	GET  /healthz, /readyz                                    -> probes (unversioned)
+//
+// Every response echoes the request's X-Request-Id header (generating one
+// when absent), and every non-200 body is the envelope
+// {"error":{"code":"...","message":"..."}}. Tenancy: requests carry an
+// X-API-Key header; with a tenant registry configured the key selects the
+// tenant whose admission slots and memory share the query runs under
+// (unknown keys are rejected with 401 or mapped to the default tenant,
+// per the registry's policy).
 //
 // /query buffers the whole result; /query/stream writes one NDJSON line
 // per row through the engine's streaming cursor, flushing incrementally —
@@ -30,6 +39,8 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -43,6 +54,7 @@ import (
 	"nodb"
 	"nodb/internal/cluster"
 	"nodb/internal/metrics"
+	"nodb/internal/qos"
 	"nodb/internal/schema"
 	"nodb/internal/storage"
 )
@@ -66,6 +78,11 @@ type Config struct {
 	// most one interval of adaptive learning. 0 disables the flusher;
 	// the flush is a no-op when the DB has no CacheDir configured.
 	SnapshotInterval time.Duration
+	// Tenants maps API keys to tenants and splits MaxInFlight into
+	// per-tenant admission slots by weight, so one tenant's burst cannot
+	// consume another's capacity. nil serves everyone as one anonymous
+	// tenant with the shared slot pool.
+	Tenants *qos.Registry
 }
 
 func (c Config) maxInFlight() int {
@@ -82,12 +99,24 @@ func (c Config) maxBodyBytes() int64 {
 	return c.MaxBodyBytes
 }
 
+// tenantState is one tenant's slice of the admission controller: a slot
+// pool sized by the tenant's weight, plus request accounting.
+type tenantState struct {
+	weight float64
+	sem    chan struct{}
+
+	inFlight atomic.Int64
+	served   atomic.Int64
+	rejected atomic.Int64
+}
+
 // Server serves queries against one shared DB.
 type Server struct {
-	cfg Config
-	db  *nodb.DB
-	sem chan struct{}
-	mux *http.ServeMux
+	cfg     Config
+	db      *nodb.DB
+	sem     chan struct{}
+	mux     *http.ServeMux
+	tenants map[string]*tenantState // by tenant name; nil without a registry
 
 	started time.Time
 
@@ -116,25 +145,86 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		db:      cfg.DB,
-		sem:     make(chan struct{}, cfg.maxInFlight()),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
-	s.mux.HandleFunc("/query", s.handleQuery)
-	s.mux.HandleFunc("/query/stream", s.handleQueryStream)
-	s.mux.HandleFunc("/explain", s.handleExplain)
-	s.mux.HandleFunc("/tables", s.handleTables)
-	s.mux.HandleFunc("/schema", s.handleSchema)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/readyz", s.handleReadyz)
-	s.mux.HandleFunc("/cluster/synopsis", s.handleClusterSynopsis)
+	globalSlots := cfg.maxInFlight()
+	if cfg.Tenants != nil {
+		// Split the slot pool by weight. Every tenant gets at least one
+		// slot, so rounding can push the per-tenant sum past MaxInFlight;
+		// the global pool grows to match so a free tenant slot is never
+		// blocked by a rounding artifact.
+		weights := cfg.Tenants.Weights()
+		var sum float64
+		for _, w := range weights {
+			sum += w
+		}
+		s.tenants = make(map[string]*tenantState, len(weights))
+		total := 0
+		for name, w := range weights {
+			slots := int(float64(cfg.maxInFlight())*w/sum + 0.5)
+			if slots < 1 {
+				slots = 1
+			}
+			total += slots
+			s.tenants[name] = &tenantState{weight: w, sem: make(chan struct{}, slots)}
+		}
+		if total > globalSlots {
+			globalSlots = total
+		}
+	}
+	s.sem = make(chan struct{}, globalSlots)
+	s.route("/query", s.handleQuery)
+	s.route("/query/stream", s.handleQueryStream)
+	s.route("/explain", s.handleExplain)
+	s.route("/tables", s.handleTables)
+	s.route("/schema", s.handleSchema)
+	s.route("/stats", s.handleStats)
+	s.route("/cluster/synopsis", s.handleClusterSynopsis)
+	s.mux.Handle("/healthz", s.wrap(s.handleHealthz, ""))
+	s.mux.Handle("/readyz", s.wrap(s.handleReadyz, ""))
 	if cfg.SnapshotInterval > 0 {
 		s.flushStop = make(chan struct{})
 		s.flushDone = make(chan struct{})
 		go s.flushLoop(cfg.SnapshotInterval)
 	}
 	return s
+}
+
+// route mounts a handler at its canonical /v1 path and at the legacy
+// unprefixed path. Both serve byte-identical bodies; the legacy alias
+// additionally answers with a Deprecation header and a Link to its
+// successor so clients can migrate mechanically.
+func (s *Server) route(path string, h http.HandlerFunc) {
+	s.mux.Handle("/v1"+path, s.wrap(h, ""))
+	s.mux.Handle(path, s.wrap(h, "/v1"+path))
+}
+
+// wrap applies the cross-cutting response contract: every response
+// carries an X-Request-Id (echoed from the request, or generated), and
+// deprecated aliases advertise their successor.
+func (s *Server) wrap(h http.HandlerFunc, successor string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		if successor != "" {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		}
+		h(w, r)
+	})
+}
+
+// newRequestID generates a fresh 16-hex-digit request id.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // flushLoop periodically persists the DB's auxiliary structures so the
@@ -187,9 +277,48 @@ type queryRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
-// errorResponse is every non-200 body.
-type errorResponse struct {
+// errorEnvelope is every non-200 body: a stable machine-readable code
+// plus a human-readable message.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// streamError is the NDJSON in-band trailer for a query that dies
+// mid-stream. It keeps the flat {"error": "..."} shape (headers are gone
+// by then, so this is a line in a row stream, not an HTTP error body) —
+// stream consumers, including the cluster coordinator's merge path,
+// parse it positionally.
+type streamError struct {
 	Error string `json:"error"`
+}
+
+// errCode maps an HTTP status to the envelope's stable error code.
+func errCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "invalid_request"
+	case http.StatusUnauthorized:
+		return "unauthorized"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusRequestEntityTooLarge:
+		return "payload_too_large"
+	case http.StatusTooManyRequests:
+		return "rate_limited"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusGatewayTimeout:
+		return "timeout"
+	default:
+		return "internal"
+	}
 }
 
 // queryResponse is the /query response body.
@@ -207,13 +336,25 @@ type queryStatsJSON struct {
 
 // statsResponse is the /stats response body.
 type statsResponse struct {
-	UptimeSeconds float64          `json:"uptime_seconds"`
-	Policy        string           `json:"policy"`
-	MemBytes      int64            `json:"mem_bytes"`
-	Memory        nodb.MemStats    `json:"memory"`
-	Snapshot      nodb.SnapStats   `json:"snapshot"`
-	Work          metrics.Snapshot `json:"work"`
-	Server        serverStatsJSON  `json:"server"`
+	UptimeSeconds float64                    `json:"uptime_seconds"`
+	Policy        string                     `json:"policy"`
+	MemBytes      int64                      `json:"mem_bytes"`
+	Memory        nodb.MemStats              `json:"memory"`
+	ResultCache   nodb.ResultCacheStats      `json:"result_cache"`
+	Snapshot      nodb.SnapStats             `json:"snapshot"`
+	Work          metrics.Snapshot           `json:"work"`
+	Server        serverStatsJSON            `json:"server"`
+	Tenants       map[string]tenantStatsJSON `json:"tenants,omitempty"`
+}
+
+// tenantStatsJSON is one tenant's admission-control accounting; the
+// governor's per-tenant memory accounting lives under memory.tenants.
+type tenantStatsJSON struct {
+	Weight   float64 `json:"weight"`
+	Slots    int     `json:"slots"`
+	InFlight int64   `json:"in_flight"`
+	Served   int64   `json:"served"`
+	Rejected int64   `json:"rejected"`
 }
 
 type serverStatsJSON struct {
@@ -235,8 +376,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeErrorCode(w, status, errCode(status), format, args...)
+}
+
+// writeErrorCode writes the error envelope with an explicit code, for the
+// cases where the status's default code is too coarse (e.g. 401
+// unknown_api_key vs plain unauthorized).
+func writeErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorEnvelope{Error: errorBody{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
 }
 
 // readQueryRequest accepts POST {"query": ...} or GET ?q=...&timeout_ms=...
@@ -277,17 +428,60 @@ func (s *Server) readQueryRequest(w http.ResponseWriter, r *http.Request) (query
 	return req, true
 }
 
-// admit reserves an execution slot, or rejects the request with 429. The
-// release func must be called when the query finishes.
-func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+// resolveTenant maps the request's X-API-Key to a tenant name. Without a
+// registry everyone is the default tenant; with one, unknown keys are
+// rejected with 401 or mapped to the default tenant per the registry's
+// policy.
+func (s *Server) resolveTenant(w http.ResponseWriter, r *http.Request) (string, bool) {
+	if s.cfg.Tenants == nil {
+		return qos.DefaultTenant, true
+	}
+	t, err := s.cfg.Tenants.Resolve(r.Header.Get("X-API-Key"))
+	if err != nil {
+		writeErrorCode(w, http.StatusUnauthorized, "unknown_api_key",
+			"unknown API key (set X-API-Key to a configured tenant key)")
+		return "", false
+	}
+	return t.Name, true
+}
+
+// admit reserves an execution slot, or rejects the request with 429.
+// With tenants configured, the slot comes out of the tenant's own pool
+// first, so a saturating tenant exhausts only its share and everyone
+// else keeps admitting. The release func must be called when the query
+// finishes.
+func (s *Server) admit(w http.ResponseWriter, tenant string) (release func(), ok bool) {
+	ts := s.tenants[tenant]
+	if ts != nil {
+		select {
+		case ts.sem <- struct{}{}:
+		default:
+			ts.rejected.Add(1)
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests,
+				"tenant %q at capacity (%d queries in flight)", tenant, cap(ts.sem))
+			return nil, false
+		}
+	}
 	select {
 	case s.sem <- struct{}{}:
 		s.inFlight.Add(1)
+		if ts != nil {
+			ts.inFlight.Add(1)
+		}
 		return func() {
 			s.inFlight.Add(-1)
 			<-s.sem
+			if ts != nil {
+				ts.inFlight.Add(-1)
+				<-ts.sem
+			}
 		}, true
 	default:
+		if ts != nil {
+			<-ts.sem
+		}
 		s.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests,
@@ -297,8 +491,9 @@ func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
 }
 
 // queryContext derives the execution context: the client's own context
-// (cancelled on disconnect) plus the request or server default timeout.
-func (s *Server) queryContext(r *http.Request, req queryRequest) (context.Context, context.CancelFunc) {
+// (cancelled on disconnect) plus the request or server default timeout,
+// tagged with the tenant so the engine attributes memory to it.
+func (s *Server) queryContext(r *http.Request, req queryRequest, tenant string) (context.Context, context.CancelFunc) {
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
@@ -306,10 +501,16 @@ func (s *Server) queryContext(r *http.Request, req queryRequest) (context.Contex
 	if s.cfg.MaxTimeout > 0 && (timeout == 0 || timeout > s.cfg.MaxTimeout) {
 		timeout = s.cfg.MaxTimeout
 	}
-	if timeout > 0 {
-		return context.WithTimeout(r.Context(), timeout)
+	ctx := qos.WithTenant(r.Context(), tenant)
+	if key := r.Header.Get("X-API-Key"); key != "" {
+		// Stash the raw key too, so a coordinator forwards the caller's
+		// identity to its shards instead of its own.
+		ctx = qos.WithAPIKey(ctx, key)
 	}
-	return context.WithCancel(r.Context())
+	if timeout > 0 {
+		return context.WithTimeout(ctx, timeout)
+	}
+	return context.WithCancel(ctx)
 }
 
 // errStatus maps an execution error to an HTTP status.
@@ -335,17 +536,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	release, ok := s.admit(w)
+	tenant, ok := s.resolveTenant(w, r)
+	if !ok {
+		return
+	}
+	release, ok := s.admit(w, tenant)
 	if !ok {
 		return
 	}
 	defer release()
 
-	ctx, cancel := s.queryContext(r, req)
+	ctx, cancel := s.queryContext(r, req, tenant)
 	defer cancel()
 
 	res, err := s.db.QueryContext(ctx, req.Query)
 	s.served.Add(1)
+	if ts := s.tenants[tenant]; ts != nil {
+		ts.served.Add(1)
+	}
 	if err != nil {
 		code := errStatus(err)
 		if code == http.StatusGatewayTimeout || code == http.StatusServiceUnavailable {
@@ -390,17 +598,24 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	release, ok := s.admit(w)
+	tenant, ok := s.resolveTenant(w, r)
+	if !ok {
+		return
+	}
+	release, ok := s.admit(w, tenant)
 	if !ok {
 		return
 	}
 	defer release()
 
-	ctx, cancel := s.queryContext(r, req)
+	ctx, cancel := s.queryContext(r, req, tenant)
 	defer cancel()
 
 	rows, err := s.db.QueryRows(ctx, req.Query)
 	s.served.Add(1)
+	if ts := s.tenants[tenant]; ts != nil {
+		ts.served.Add(1)
+	}
 	if err != nil {
 		// Nothing streamed yet: a plain error response is still possible.
 		code := errStatus(err)
@@ -477,7 +692,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 				// nothing — so report the failure in-band as the trailer.
 				s.failed.Add(1)
 				wmu.Lock()
-				_ = enc.Encode(errorResponse{Error: err.Error()})
+				_ = enc.Encode(streamError{Error: err.Error()})
 				flush()
 				wmu.Unlock()
 				return
@@ -496,7 +711,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		} else {
 			s.failed.Add(1)
 		}
-		_ = enc.Encode(errorResponse{Error: err.Error()})
+		_ = enc.Encode(streamError{Error: err.Error()})
 		flush()
 		return
 	}
@@ -530,7 +745,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	ctx, cancel := s.queryContext(r, req)
+	tenant, ok := s.resolveTenant(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.queryContext(r, req, tenant)
 	defer cancel()
 	p, err := s.db.ExplainContext(ctx, req.Query)
 	if err != nil {
@@ -583,13 +802,28 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var tenants map[string]tenantStatsJSON
+	if len(s.tenants) > 0 {
+		tenants = make(map[string]tenantStatsJSON, len(s.tenants))
+		for name, ts := range s.tenants {
+			tenants[name] = tenantStatsJSON{
+				Weight:   ts.weight,
+				Slots:    cap(ts.sem),
+				InFlight: ts.inFlight.Load(),
+				Served:   ts.served.Load(),
+				Rejected: ts.rejected.Load(),
+			}
+		}
+	}
 	writeJSON(w, http.StatusOK, statsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Policy:        s.db.Policy().String(),
 		MemBytes:      s.db.MemSize(),
 		Memory:        s.db.MemStats(),
+		ResultCache:   s.db.ResultCacheStats(),
 		Snapshot:      s.db.SnapStats(),
 		Work:          s.db.Work(),
+		Tenants:       tenants,
 		Server: serverStatsJSON{
 			InFlight:       s.inFlight.Load(),
 			MaxInFlight:    cap(s.sem),

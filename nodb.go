@@ -22,12 +22,14 @@ package nodb
 
 import (
 	"context"
+	"fmt"
 
 	"nodb/internal/catalog"
 	"nodb/internal/core"
 	"nodb/internal/govern"
 	"nodb/internal/metrics"
 	"nodb/internal/plan"
+	"nodb/internal/qos"
 	"nodb/internal/schema"
 	"nodb/internal/snapshot"
 	"nodb/internal/storage"
@@ -151,8 +153,9 @@ type Options struct {
 	// before a positional map that took many passes to learn; "lru"
 	// evicts the least recently used regardless of rebuild cost. Open
 	// cannot return an error, so an unrecognized name silently falls back
-	// to "cost" — validate with ParseEvictionPolicy first when the name
-	// comes from user input (the CLI flags and driver DSN already do).
+	// to "cost"; OpenErr rejects it instead. Use OpenErr (or validate
+	// with ParseEvictionPolicy) when the name comes from user input — the
+	// CLI flags and driver DSN already do.
 	EvictionPolicy string
 	// CacheDir enables the persistent auxiliary-structure cache (the
 	// disk tier of the adaptive store). When set, everything the engine
@@ -195,7 +198,27 @@ type Options struct {
 	// two produce identical results; the row paths are kept as the
 	// differential-testing oracle and for ablations.
 	DisableVectorExec bool
+	// ResultCacheBytes bounds the query result cache (0, the default,
+	// disables it). Results are keyed by the normalized bound SQL plus the
+	// signature (size, mtime, prefix CRC) of every raw file the statement
+	// touches, so editing a file implicitly invalidates its cached
+	// results. Cached bytes register with the memory governor under their
+	// own kind and are the first to go under budget pressure. Identical
+	// in-flight queries additionally collapse singleflight-style: N
+	// concurrent duplicates cost one execution.
+	ResultCacheBytes int64
+	// Tenants partitions the memory governor's budget per tenant: each
+	// tenant's slice is MemoryBudget × weight ÷ Σweights, and a tenant
+	// exceeding its slice loses its own structures first — one heavy
+	// tenant cannot evict another's positional maps. Queries attribute
+	// the structures they touch to the tenant carried in their context
+	// (the server sets it from X-API-Key; the driver from apikey= in the
+	// DSN). Empty disables tenancy.
+	Tenants []TenantConfig
 }
+
+// TenantConfig declares one tenant: name, API key, and share weight.
+type TenantConfig = qos.Tenant
 
 // Value is one typed scalar in a result row.
 type Value = storage.Value
@@ -240,8 +263,59 @@ type DB struct {
 
 // Open creates a DB. It never touches the filesystem until a file is
 // linked — there is nothing to initialize.
+//
+// Open cannot fail, so it applies lenient defaults to invalid fields: an
+// unrecognized EvictionPolicy silently falls back to "cost", and invalid
+// Tenants entries partition as best they can. Use OpenErr when options
+// come from user input (flags, a DSN, a config file) and misconfiguration
+// should be an error instead.
 func Open(opts Options) *DB {
-	return &DB{e: core.NewEngine(core.Options{
+	return &DB{e: core.NewEngine(coreOptions(opts))}
+}
+
+// OpenErr is Open with validation: it rejects an unrecognized
+// EvictionPolicy (the field Open silently defaults), negative byte
+// budgets, and malformed Tenants (duplicate names or keys, missing
+// fields, non-positive weights). The CLI flags and the driver DSN open
+// through it, so a typo'd "-evict lru " or tenant table fails loudly at
+// startup instead of degrading silently.
+func OpenErr(opts Options) (*DB, error) {
+	if _, err := govern.PolicyByName(opts.EvictionPolicy); err != nil {
+		return nil, err
+	}
+	if opts.MemoryBudget < 0 {
+		return nil, fmt.Errorf("nodb: negative MemoryBudget %d", opts.MemoryBudget)
+	}
+	if opts.ResultCacheBytes < 0 {
+		return nil, fmt.Errorf("nodb: negative ResultCacheBytes %d", opts.ResultCacheBytes)
+	}
+	if len(opts.Tenants) > 0 {
+		names := map[string]bool{}
+		keys := map[string]bool{}
+		for _, t := range opts.Tenants {
+			if t.Name == "" {
+				return nil, fmt.Errorf("nodb: tenant with key %q has no name", t.Key)
+			}
+			if names[t.Name] {
+				return nil, fmt.Errorf("nodb: duplicate tenant name %q", t.Name)
+			}
+			if t.Key != "" && keys[t.Key] {
+				return nil, fmt.Errorf("nodb: duplicate tenant API key (tenant %q)", t.Name)
+			}
+			if t.Weight < 0 {
+				return nil, fmt.Errorf("nodb: tenant %q has negative weight %g", t.Name, t.Weight)
+			}
+			names[t.Name] = true
+			if t.Key != "" {
+				keys[t.Key] = true
+			}
+		}
+	}
+	return Open(opts), nil
+}
+
+func coreOptions(opts Options) core.Options {
+	return core.Options{
 		Policy:               opts.Policy.internal(),
 		Cracking:             opts.Cracking,
 		SplitDir:             opts.SplitDir,
@@ -255,7 +329,9 @@ func Open(opts Options) *DB {
 		DisableRevalidation:  opts.DisableRevalidation,
 		BatchSize:            opts.BatchSize,
 		DisableVectorExec:    opts.DisableVectorExec,
-	})}
+		ResultCacheBytes:     opts.ResultCacheBytes,
+		Tenants:              opts.Tenants,
+	}
 }
 
 // Close releases the DB: subsequent queries, preparations and links
@@ -371,6 +447,15 @@ type MemStats = govern.Stats
 // budget after each query completes (pinned in-flight state may exceed it
 // transiently).
 func (db *DB) MemStats() MemStats { return db.e.MemStats() }
+
+// ResultCacheStats is the result cache's accounting snapshot: the
+// configured byte bound, current footprint, entry count, and cumulative
+// hit/miss/insert/eviction counters. Enabled is false (and everything
+// else zero) when Options.ResultCacheBytes was 0.
+type ResultCacheStats = qos.CacheStats
+
+// ResultCacheStats reports the result cache's accounting.
+func (db *DB) ResultCacheStats() ResultCacheStats { return db.e.ResultCacheStats() }
 
 // TableStats describes the adaptive-store state of one linked table:
 // which columns are fully or partially loaded, covered regions, positional
