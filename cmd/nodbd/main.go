@@ -6,7 +6,7 @@
 //	nodbd [-addr :8080] [-policy columns|full|partial-v1|partial-v2|splitfiles|external|auto]
 //	      [-cracking] [-mem bytes] [-result-cache bytes] [-splitdir dir]
 //	      [-workers n] [-chunksize bytes] [-cachedir dir] [-snapshot-interval d]
-//	      [-tenants spec] [-tenant-unknown reject|default] [-pprof addr]
+//	      [-follow d] [-tenants spec] [-tenant-unknown reject|default] [-pprof addr]
 //	      [-max-inflight n] [-timeout d] [-max-timeout d] [-grace d]
 //	      name=path.csv [name=path.csv ...]
 //
@@ -31,6 +31,17 @@
 // keyed on normalized SQL plus raw-file signatures, so identical queries
 // against unchanged files answer without touching the engine, and
 // identical in-flight queries collapse into one execution.
+//
+// With -follow, nodbd polls every followed table's raw file at the given
+// interval (plain stat calls — no notification dependency) and folds
+// appended rows into the learned structures incrementally: the positional
+// map, cached columns, coverage regions, scan synopsis and split files
+// all extend over just the new tail, so a growing log keeps its warmed-up
+// query latency. Tables named on the command line are followed when
+// -follow is set; tables attached later via PUT /v1/tables/{name} choose
+// per table with "follow": true. Edits that are not pure appends are
+// detected by checksums and invalidate the derived state, exactly as a
+// query would.
 //
 // With -cachedir, the auxiliary structures the workload teaches the engine
 // are snapshotted there periodically (-snapshot-interval) and on shutdown,
@@ -94,6 +105,7 @@ func main() {
 		splitDir     = flag.String("splitdir", "", "directory for split files (default: $TMPDIR/nodb-splits)")
 		cacheDir     = flag.String("cachedir", "", "persistent auxiliary-structure cache directory (empty = no disk tier)")
 		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute, "how often to flush snapshots to -cachedir (0 = only on shutdown)")
+		follow       = flag.Duration("follow", 0, "tail-follow poll interval: re-stat followed tables this often and ingest appended rows incrementally (0 = disabled)")
 		workers      = flag.Int("workers", 0, "tokenizer workers (0 = one per CPU; 1 = sequential)")
 		chunkSize    = flag.Int("chunksize", 0, "raw-file read chunk size in bytes (0 = default)")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this separate listen address (e.g. localhost:6060); empty = disabled")
@@ -196,11 +208,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "nodbd: argument %q is not name=path\n", arg)
 			os.Exit(2)
 		}
-		if err := db.Link(name, path); err != nil {
+		if err := db.Attach(name, nodb.TableSpec{Path: path, Follow: *follow > 0}); err != nil {
 			fmt.Fprintf(os.Stderr, "nodbd: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("linked %s -> %s\n", name, path)
+		fmt.Printf("attached %s -> %s\n", name, path)
 	}
 
 	snapEvery := *snapInterval
@@ -213,6 +225,7 @@ func main() {
 		DefaultTimeout:   *timeout,
 		MaxTimeout:       *maxTimeout,
 		SnapshotInterval: snapEvery,
+		FollowInterval:   *follow,
 		Tenants:          registry,
 	})
 	defer srv.Close()

@@ -46,14 +46,23 @@ import (
 	"nodb/internal/synopsis"
 )
 
-// Signature fingerprints a raw file cheaply: size, mtime and a CRC of the
-// first 4 KiB. Any user edit that changes content near the top, length or
-// timestamp invalidates derived state.
+// Signature fingerprints a raw file cheaply: size, mtime, a CRC of the
+// first 4 KiB and a CRC of the last 4 KiB. Any user edit that changes
+// content near the top or the bottom, length or timestamp invalidates
+// derived state. The tail CRC additionally closes the hole where a
+// same-size rewrite past the prefix went unnoticed until the next mtime
+// check, and — re-read at the old length — certifies prefix-stable
+// growth (appends), which extends derived state instead of dropping it.
 type Signature struct {
 	Size    int64
 	ModTime int64
 	Prefix  uint32
+	// Tail is the CRC of the last min(4 KiB, Size) bytes.
+	Tail uint32
 }
+
+// sigProbeLen is how many bytes each signature CRC covers.
+const sigProbeLen = 4096
 
 // SignFile computes the signature of the file at path.
 func SignFile(path string) (Signature, error) {
@@ -66,16 +75,86 @@ func SignFile(path string) (Signature, error) {
 		return Signature{}, fmt.Errorf("catalog: %w", err)
 	}
 	defer f.Close()
-	buf := make([]byte, 4096)
-	n, err := io.ReadFull(f, buf)
-	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+	size := st.Size()
+	pEnd := int64(sigProbeLen)
+	if size < pEnd {
+		pEnd = size
+	}
+	prefix, err := crcRange(f, 0, pEnd)
+	if err != nil {
+		return Signature{}, fmt.Errorf("catalog: %w", err)
+	}
+	tStart := size - sigProbeLen
+	if tStart < 0 {
+		tStart = 0
+	}
+	tail, err := crcRange(f, tStart, size)
+	if err != nil {
 		return Signature{}, fmt.Errorf("catalog: %w", err)
 	}
 	return Signature{
-		Size:    st.Size(),
+		Size:    size,
 		ModTime: st.ModTime().UnixNano(),
-		Prefix:  crc32.ChecksumIEEE(buf[:n]),
+		Prefix:  prefix,
+		Tail:    tail,
 	}, nil
+}
+
+// crcRange CRCs the bytes [off, end) of f. A file shrunk concurrently
+// yields a CRC over the shorter read — a signature that matches nothing,
+// which is the right failure mode.
+func crcRange(f *os.File, off, end int64) (uint32, error) {
+	if end <= off {
+		return crc32.ChecksumIEEE(nil), nil
+	}
+	buf := make([]byte, end-off)
+	n, err := f.ReadAt(buf, off)
+	if err != nil && err != io.EOF {
+		return 0, err
+	}
+	return crc32.ChecksumIEEE(buf[:n]), nil
+}
+
+// GrownFrom reports whether the file at path is a prefix-stable growth of
+// the version old describes: strictly larger, byte-identical over old's
+// signed prefix and tail ranges, and with old's content ending in a
+// newline, so the appended bytes start on a fresh row boundary. ModTime
+// is deliberately ignored — an append always bumps it.
+func GrownFrom(path string, old Signature) (bool, error) {
+	if old.Size <= 0 {
+		return false, nil
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return false, fmt.Errorf("catalog: %w", err)
+	}
+	if st.Size() <= old.Size {
+		return false, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return false, fmt.Errorf("catalog: %w", err)
+	}
+	defer f.Close()
+	pEnd := int64(sigProbeLen)
+	if old.Size < pEnd {
+		pEnd = old.Size
+	}
+	if crc, err := crcRange(f, 0, pEnd); err != nil || crc != old.Prefix {
+		return false, err
+	}
+	tStart := old.Size - sigProbeLen
+	if tStart < 0 {
+		tStart = 0
+	}
+	if crc, err := crcRange(f, tStart, old.Size); err != nil || crc != old.Tail {
+		return false, err
+	}
+	var last [1]byte
+	if _, err := f.ReadAt(last[:], old.Size-1); err != nil {
+		return false, nil
+	}
+	return last[0] == '\n', nil
 }
 
 // Region records one covered area of the adaptive store for a table: the
@@ -142,6 +221,15 @@ type Table struct {
 	path   string
 	schema *schema.Schema
 	sig    Signature
+	detect schema.DetectOptions // options the schema was detected with (Refresh re-uses them)
+
+	// Ingest counters (guarded by mu): appended rows/bytes folded in by
+	// incremental tail extensions, how many extensions ran, and when the
+	// last one finished (unix nanos).
+	appendedRows  int64
+	appendedBytes int64
+	refreshes     int64
+	lastRefresh   int64
 
 	rows    int64 // -1 until discovered by a scan
 	cols    []ColState
@@ -182,6 +270,7 @@ type Table struct {
 	snapReader     *snapshot.Reader // guarded by snapMu
 	posMapRestored bool             // guarded by snapMu
 	lastSaveFP     string           // fingerprint of the last saved state (guarded by snapMu)
+	pendingExtend  *Signature       // snapshot restored from this older prefix; tail extension due (guarded by snapMu)
 
 	// snapPending is the lock-free fast path: false means Prepare has
 	// nothing to do (no snapshot sections left, no spills outstanding).
@@ -491,9 +580,14 @@ func (t *Table) evictSplits(h *govern.Handle) bool {
 	return true
 }
 
-// snapSig converts the catalog's file signature to the snapshot format's.
+// snapSig and catSig convert between the catalog's file signature and the
+// snapshot format's.
 func snapSig(s Signature) snapshot.Sig {
-	return snapshot.Sig{Size: s.Size, ModTime: s.ModTime, Prefix: s.Prefix}
+	return snapshot.Sig{Size: s.Size, ModTime: s.ModTime, Prefix: s.Prefix, Tail: s.Tail}
+}
+
+func catSig(s snapshot.Sig) Signature {
+	return Signature{Size: s.Size, ModTime: s.ModTime, Prefix: s.Prefix, Tail: s.Tail}
 }
 
 // posmapSections serializes a positional map's columns.
@@ -692,6 +786,18 @@ func (t *Table) Prepare(cols []int) {
 		return
 	}
 	t.initSnapLocked()
+	if old := t.pendingExtend; old != nil {
+		// The snapshot described a prefix-stable ancestor of the current
+		// file; its state was restored eagerly and now extends over the
+		// appended tail. Failure degrades to a cold start.
+		t.pendingExtend = nil
+		if err := t.extendForGrowth(*old, t.Signature()); err != nil {
+			t.DropDerived()
+			t.dropSnapStateLocked()
+		}
+		t.updatePendingLocked()
+		return
+	}
 	t.restoreDenseLocked(cols)
 	if len(t.MissingDense(t.validCols(cols))) > 0 {
 		// A load operator is about to touch the raw file: bring back the
@@ -729,7 +835,26 @@ func (t *Table) initSnapLocked() {
 	sig := t.sig
 	t.mu.RUnlock()
 
-	r := t.snap.Open(t.snapKey, snapSig(sig))
+	want := snapSig(sig)
+	r := t.snap.OpenVerify(t.snapKey, func(stored snapshot.Sig) bool {
+		if stored == want {
+			return true
+		}
+		// A smaller stored signature may describe a prefix-stable ancestor
+		// of the current file — the table grew by appends after the save.
+		// Accept it: the restore drains it eagerly and the tail extension
+		// re-adapts only the appended portion, keeping a warm restart warm
+		// across growth.
+		if stored.Size <= 0 || stored.Size >= sig.Size {
+			return false
+		}
+		ok, err := GrownFrom(t.path, catSig(stored))
+		return err == nil && ok
+	})
+	if r != nil && r.Sig() != want {
+		t.restoreGrownLocked(r)
+		return
+	}
 	t.snapReader = r
 	if r != nil {
 		if rows := r.Rows(); rows > 0 && t.NumRows() <= 0 {
@@ -782,6 +907,100 @@ func (t *Table) initSnapLocked() {
 	if t.snap.HasSpill(t.snapKey, "splits") {
 		t.spillSplits = true
 	}
+	t.mu.Unlock()
+}
+
+// restoreGrownLocked eagerly restores every section of a snapshot taken
+// before the raw file grew by appends — as the state of the still-valid
+// old prefix — and schedules the tail extension (Prepare runs it next).
+// Everything is drained now, not lazily: once the extension updates the
+// row count, the on-disk sections (sized to the old prefix) could no
+// longer be validated against the table. Caller holds snapMu.
+func (t *Table) restoreGrownLocked(r *snapshot.Reader) {
+	old := catSig(r.Sig())
+	if rows := t.NumRows(); rows > 0 && rows != r.Rows() {
+		// The table already discovered the grown file's row count; the
+		// snapshot's prefix-sized structures cannot be reconciled with it.
+		r.Close()
+		t.snap.Remove(t.snapKey)
+		return
+	}
+	t.snapReader = r
+	if rows := r.Rows(); rows > 0 && t.NumRows() <= 0 {
+		t.SetNumRows(rows)
+	}
+	t.mu.Lock()
+	t.snapDenseBytes = make(map[int]int64)
+	for _, c := range r.DenseCols() {
+		t.snapDenseBytes[c] = r.DenseBytes(c)
+	}
+	if t.gov != nil && !t.released {
+		t.refreshCostsLocked()
+	}
+	t.mu.Unlock()
+
+	all := make([]int, len(t.schema.Columns))
+	for i := range all {
+		all[i] = i
+	}
+	t.restoreDenseLocked(all)
+	sparse, err := r.Sparse()
+	if err != nil {
+		t.snap.CountCorrupt(t.snapKey, err)
+	}
+	for _, sc := range sparse {
+		t.installRestoredSparse(sc)
+	}
+	regs, err := r.Regions()
+	if err != nil {
+		t.snap.CountCorrupt(t.snapKey, err)
+	}
+	for _, reg := range regs {
+		t.AddRegion(regionFromSnapshot(reg))
+	}
+	if sy, err := r.Synopsis(); err != nil {
+		t.snap.CountCorrupt(t.snapKey, err)
+	} else if len(sy) > 0 {
+		t.Syn.Import(synopsisFromSnapshot(sy), t.schema)
+	}
+	if t.Splits != nil {
+		if m, err := r.SplitsManifest(); err != nil {
+			t.snap.CountCorrupt(t.snapKey, err)
+		} else if m != nil {
+			t.Splits.Adopt(manifestFromSnapshot(m))
+		}
+	}
+	t.restorePosMapLocked()
+	t.mu.Lock()
+	if t.snap.HasSpill(t.snapKey, "posmap") {
+		t.spillPM = true
+	}
+	if t.snap.HasSpill(t.snapKey, "splits") {
+		t.spillSplits = true
+	}
+	t.mu.Unlock()
+	t.unspillAs(old) // spill files are keyed by the old prefix's signature
+	t.pendingExtend = &old
+}
+
+// dropSnapStateLocked discards the snapshot files and resets the restore
+// state after a failed extension, leaving the table cold but consistent.
+// Caller holds snapMu.
+func (t *Table) dropSnapStateLocked() {
+	if t.snap == nil {
+		return
+	}
+	if t.snapReader != nil {
+		t.snapReader.Close()
+		t.snapReader = nil
+	}
+	t.snap.Remove(t.snapKey)
+	t.posMapRestored = false
+	t.lastSaveFP = ""
+	t.mu.Lock()
+	t.snapDenseBytes = nil
+	t.spillPM, t.spillSplits = false, false
+	t.snapPending.Store(false)
 	t.mu.Unlock()
 }
 
@@ -941,6 +1160,15 @@ func (t *Table) restorePosMapLocked() {
 func (t *Table) unspillLocked() {
 	t.mu.RLock()
 	sig := t.sig
+	t.mu.RUnlock()
+	t.unspillAs(sig)
+}
+
+// unspillAs re-admits spilled structures whose files were written under
+// sig — the current signature normally, the old prefix's during a grown
+// restore. Caller holds snapMu.
+func (t *Table) unspillAs(sig Signature) {
+	t.mu.RLock()
 	pm, sf := t.spillPM, t.spillSplits
 	t.mu.RUnlock()
 	if pm {
@@ -1222,7 +1450,95 @@ func (t *Table) AddRegion(r Region) {
 			return
 		}
 	}
-	t.regions = append(t.regions, r)
+	t.regions = addRegionCoalesced(t.regions, r)
+}
+
+// addRegionCoalesced inserts r into regions with exact coalescing:
+// regions subsumed by the newcomer are dropped, a newcomer subsumed by an
+// existing region is discarded, and regions differing only in one
+// column's range — where the two intervals overlap or touch — merge into
+// their exact union. Merging loops to a fixpoint, so a newcomer that
+// bridges two fragments collapses all three. Coverage is never
+// over-stated: every merge is an exact set union, which keeps a sequence
+// of interleaved partial loads from fragmenting into one region per load.
+func addRegionCoalesced(regions []Region, r Region) []Region {
+	for {
+		merged := false
+		kept := make([]Region, 0, len(regions))
+		for _, ex := range regions {
+			if merged {
+				kept = append(kept, ex)
+				continue
+			}
+			if ex.Covers(r) {
+				return regions // nothing new: an existing region subsumes r
+			}
+			if r.Covers(ex) {
+				continue // r subsumes ex: drop the fragment
+			}
+			if m, ok := mergeRegions(ex, r); ok {
+				r = m
+				merged = true
+				continue
+			}
+			kept = append(kept, ex)
+		}
+		regions = kept
+		if !merged {
+			return append(regions, r)
+		}
+		// r grew; it may now subsume or merge with further fragments.
+	}
+}
+
+// mergeRegions attempts an exact merge of a and b: identical materialized
+// columns and identical range constraints except on at most one column,
+// where the two intervals must overlap or be adjacent — their union is
+// then a single interval and the merged region covers exactly the rows
+// the two inputs covered together.
+func mergeRegions(a, b Region) (Region, bool) {
+	if len(a.Cols) != len(b.Cols) || len(a.Ranges) != len(b.Ranges) {
+		return Region{}, false
+	}
+	for i, c := range a.Cols {
+		if b.Cols[i] != c {
+			return Region{}, false
+		}
+	}
+	diff := -1
+	for col, ar := range a.Ranges {
+		br, ok := b.Ranges[col]
+		if !ok {
+			return Region{}, false
+		}
+		if ar == br {
+			continue
+		}
+		if ar.Lo > br.Hi || br.Lo > ar.Hi {
+			return Region{}, false // disjoint with a gap: union is not one interval
+		}
+		if diff >= 0 {
+			return Region{}, false // exact union needs a single differing axis
+		}
+		diff = col
+	}
+	if diff < 0 {
+		return a, true // identical constraints
+	}
+	out := Region{Cols: append([]int(nil), a.Cols...), Ranges: make(map[int]intervals.Interval, len(a.Ranges))}
+	for col, ar := range a.Ranges {
+		out.Ranges[col] = ar
+	}
+	ar, br := a.Ranges[diff], b.Ranges[diff]
+	lo, hi := ar.Lo, ar.Hi
+	if br.Lo < lo {
+		lo = br.Lo
+	}
+	if br.Hi > hi {
+		hi = br.Hi
+	}
+	out.Ranges[diff] = intervals.Interval{Lo: lo, Hi: hi}
+	return out, true
 }
 
 // CoveredBy returns a recorded region covering q, if any.
@@ -1358,10 +1674,12 @@ func (t *Table) releaseGoverned() {
 	}
 }
 
-// Revalidate re-checks the raw file's signature; when it changed, all
-// derived state is dropped — including the disk cache tier's files, which
-// are keyed by the old signature and would only self-invalidate later —
-// and the schema re-detected. Returns true when invalidation happened.
+// Revalidate re-checks the raw file's signature. A prefix-stable growth
+// (appended rows; the old content, ending in a newline, is untouched)
+// extends the derived state incrementally over the tail. Any other change
+// drops everything — including the disk cache tier's files, which are
+// keyed by the old signature and would only self-invalidate later — and
+// re-detects the schema. Returns true when either happened.
 func (t *Table) Revalidate() (bool, error) {
 	sig, err := SignFile(t.path)
 	if err != nil {
@@ -1378,12 +1696,31 @@ func (t *Table) Revalidate() (bool, error) {
 	// from the superseded file version.
 	t.snapMu.Lock()
 	defer t.snapMu.Unlock()
+	t.mu.RLock()
+	old := t.sig
+	t.mu.RUnlock()
+	if sig == old {
+		return false, nil // raced with another Revalidate
+	}
+	if sig.Size > old.Size {
+		if ok, gerr := GrownFrom(t.path, old); gerr == nil && ok {
+			// The prefix (and therefore the header and schema) is intact:
+			// extend positional map, synopsis, coverage regions, dense
+			// columns and split files over the appended tail instead of
+			// relearning the whole file. Failure falls through to the
+			// full invalidation below, which discards every structure the
+			// aborted extension may have partially touched.
+			if t.growLocked(old, sig) == nil {
+				return true, nil
+			}
+		}
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if sig == t.sig {
-		return false, nil // raced with another Revalidate
+		return false, nil
 	}
-	sch, err := schema.Detect(t.path, schema.DetectOptions{})
+	sch, err := schema.Detect(t.path, t.detect)
 	if err != nil {
 		return false, fmt.Errorf("catalog: re-detecting schema of %s: %w", t.path, err)
 	}
@@ -1454,7 +1791,14 @@ func New(opts Options) *Catalog {
 // file must exist. Linking an already linked name relinks it (dropping
 // derived state).
 func (c *Catalog) Link(name, path string) (*Table, error) {
-	sch, err := schema.Detect(path, schema.DetectOptions{})
+	return c.LinkOpts(name, path, schema.DetectOptions{})
+}
+
+// LinkOpts is Link with explicit schema-detection options (forced format
+// or delimiter). The options are remembered: revalidation after a file
+// edit re-detects the schema under the same constraints.
+func (c *Catalog) LinkOpts(name, path string, dopts schema.DetectOptions) (*Table, error) {
+	sch, err := schema.Detect(path, dopts)
 	if err != nil {
 		return nil, fmt.Errorf("catalog: linking %s: %w", path, err)
 	}
@@ -1467,6 +1811,7 @@ func (c *Catalog) Link(name, path string) (*Table, error) {
 		path:     path,
 		schema:   sch,
 		sig:      sig,
+		detect:   dopts,
 		rows:     -1,
 		cols:     make([]ColState, len(sch.Columns)),
 		crack:    make(map[int]*cracking.Cracker),

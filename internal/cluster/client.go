@@ -153,15 +153,22 @@ func (c *ShardClient) Synopsis(ctx context.Context) (*SynopsisResponse, error) {
 	return &out, nil
 }
 
-// Tables fetches /v1/tables.
+// Tables fetches /v1/tables and returns the table names. The endpoint
+// answers with enriched per-table objects; only the names matter here.
 func (c *ShardClient) Tables(ctx context.Context) ([]string, error) {
 	var out struct {
-		Tables []string `json:"tables"`
+		Tables []struct {
+			Name string `json:"name"`
+		} `json:"tables"`
 	}
 	if err := c.getJSON(ctx, "/v1/tables", &out); err != nil {
 		return nil, err
 	}
-	return out.Tables, nil
+	names := make([]string, 0, len(out.Tables))
+	for _, t := range out.Tables {
+		names = append(names, t.Name)
+	}
+	return names, nil
 }
 
 // Stream opens /v1/query/stream for a pushed-down query and consumes the

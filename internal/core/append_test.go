@@ -1,0 +1,376 @@
+package core
+
+// Append-growth tests: appending rows to a raw file must extend the
+// learned structures over the tail instead of invalidating them, and a
+// grown table must answer every query exactly like a cold engine that
+// opened the grown file from scratch — the differential contract of the
+// append-aware refresh path.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+
+	"nodb/internal/plan"
+)
+
+// writeGrowableTable writes rows of cols int64 attributes in [0, maxVal)
+// in the given format and returns the path plus the byte offset that cuts
+// the file after prefixRows complete rows.
+func writeGrowableTable(t *testing.T, path, format string, rows, prefixRows, cols int, maxVal, seed int64) (string, int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	cut := -1
+	for i := 0; i < rows; i++ {
+		if i == prefixRows {
+			cut = sb.Len()
+		}
+		if format == "ndjson" {
+			sb.WriteByte('{')
+			for c := 0; c < cols; c++ {
+				if c > 0 {
+					sb.WriteByte(',')
+				}
+				fmt.Fprintf(&sb, `"a%d":%d`, c+1, rng.Int63n(maxVal))
+			}
+			sb.WriteString("}\n")
+		} else {
+			for c := 0; c < cols; c++ {
+				if c > 0 {
+					sb.WriteByte(',')
+				}
+				fmt.Fprintf(&sb, "%d", rng.Int63n(maxVal))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	if cut < 0 {
+		t.Fatalf("prefixRows %d out of range", prefixRows)
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String(), cut
+}
+
+func appendTail(t *testing.T, path, tail string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(tail); err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// appendQueries exercises full-column aggregates (dense state), selective
+// ranges (positional map, partial loads, coverage regions), an
+// out-of-range predicate (synopsis pruning must skip the tail portion
+// only when its zone maps allow it) and grouping.
+func appendQueries(maxVal int64) []string {
+	return []string{
+		"select count(*) from T",
+		"select sum(a1), min(a2), max(a3) from T",
+		fmt.Sprintf("select sum(a2), count(*) from T where a1 between %d and %d", maxVal/4, maxVal/2),
+		fmt.Sprintf("select count(*), sum(a2) from T where a1 > %d", maxVal*10),
+		"select a1, count(*) from T where a2 > 100 and a1 < 25 group by a1 order by a1 limit 10",
+	}
+}
+
+func resultStrings(t *testing.T, e *Engine, queries []string) []string {
+	t.Helper()
+	var out []string
+	for _, q := range queries {
+		res, err := e.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		var rows []string
+		for _, r := range res.Rows {
+			var vals []string
+			for _, v := range r {
+				vals = append(vals, v.String())
+			}
+			rows = append(rows, strings.Join(vals, ","))
+		}
+		out = append(out, strings.Join(rows, ";"))
+	}
+	return out
+}
+
+func TestAppendGrowthDifferential(t *testing.T) {
+	const rows, prefixRows, cols = 3000, 2700, 4
+	const maxVal, seed = 1000, 42
+	cases := []struct {
+		format string
+		policy plan.Policy
+	}{
+		{"csv", plan.PolicyColumnLoads},
+		{"csv", plan.PolicyPartialV2},
+		{"csv", plan.PolicySplitFiles},
+		{"ndjson", plan.PolicyColumnLoads},
+		{"ndjson", plan.PolicyPartialV2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.format+"/"+tc.policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			work := dir + "/grow." + tc.format
+			data, cut := writeGrowableTable(t, work, tc.format, rows, prefixRows, cols, maxVal, seed)
+			if err := os.WriteFile(work, []byte(data[:cut]), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			queries := appendQueries(maxVal)
+
+			e := newEngine(t, Options{Policy: tc.policy, DisableRevalidation: true})
+			defer e.Close()
+			if err := e.Attach("T", TableSpec{Path: work, Format: tc.format}); err != nil {
+				t.Fatal(err)
+			}
+			// Warm up twice: the second pass runs over learned structures.
+			resultStrings(t, e, queries)
+			resultStrings(t, e, queries)
+			preStats, err := e.TableStats("T")
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			appendTail(t, work, data[cut:])
+			tailBytes := int64(len(data) - cut)
+
+			before := e.Counters().Snapshot()
+			ref, err := e.Refresh("T")
+			if err != nil {
+				t.Fatal(err)
+			}
+			refreshWork := e.Counters().Snapshot().Sub(before)
+			if !ref.Changed || !ref.Grown {
+				t.Fatalf("refresh = %+v, want a grown change", ref)
+			}
+			if ref.RowsAdded != rows-prefixRows {
+				t.Errorf("rows added = %d, want %d", ref.RowsAdded, rows-prefixRows)
+			}
+			if ref.TailBytes != tailBytes {
+				t.Errorf("tail bytes = %d, want %d", ref.TailBytes, tailBytes)
+			}
+			if ref.Rows != rows {
+				t.Errorf("rows after refresh = %d, want %d", ref.Rows, rows)
+			}
+			// The whole point: re-adaptation reads the appended tail, not
+			// the file. (Slack for the chunked reader's final partial read.)
+			if got := refreshWork.RawBytesRead; got > tailBytes+8192 {
+				t.Errorf("refresh read %d raw bytes, want ~tail (%d)", got, tailBytes)
+			}
+
+			postStats, err := e.TableStats("T")
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Prefix-scoped structures survive and extend.
+			if preStats.PosMapEntries > 0 && postStats.PosMapEntries <= preStats.PosMapEntries {
+				t.Errorf("posmap entries %d -> %d, want growth", preStats.PosMapEntries, postStats.PosMapEntries)
+			}
+			if len(postStats.DenseCols) < len(preStats.DenseCols) {
+				t.Errorf("dense cols %v -> %v, want no loss", preStats.DenseCols, postStats.DenseCols)
+			}
+			if preStats.SynopsisPortions > 0 && postStats.SynopsisPortions != preStats.SynopsisPortions+1 {
+				t.Errorf("synopsis portions %d -> %d, want one appended tail portion",
+					preStats.SynopsisPortions, postStats.SynopsisPortions)
+			}
+			if postStats.Signature.Size != int64(len(data)) {
+				t.Errorf("signature size = %d, want %d", postStats.Signature.Size, len(data))
+			}
+
+			warm := resultStrings(t, e, queries)
+
+			cold := newEngine(t, Options{Policy: tc.policy})
+			defer cold.Close()
+			if err := cold.Attach("T", TableSpec{Path: work, Format: tc.format}); err != nil {
+				t.Fatal(err)
+			}
+			want := resultStrings(t, cold, queries)
+			for i := range queries {
+				if warm[i] != want[i] {
+					t.Errorf("query %q: grown-table answer %q != cold answer %q", queries[i], warm[i], want[i])
+				}
+			}
+
+			// Full-column aggregates over extended dense state must not
+			// touch the raw file again.
+			if tc.policy == plan.PolicyColumnLoads {
+				res, err := e.Query(queries[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Stats.Work.RawBytesRead != 0 {
+					t.Errorf("post-growth dense aggregate read %d raw bytes, want 0", res.Stats.Work.RawBytesRead)
+				}
+			}
+		})
+	}
+}
+
+// TestAppendPickedUpByQuery pins the default-revalidation path: with
+// revalidation on, a plain query after an append folds the tail in on its
+// own — no explicit Refresh — and still pays only the tail.
+func TestAppendPickedUpByQuery(t *testing.T) {
+	const rows, prefixRows, cols = 2000, 1800, 3
+	dir := t.TempDir()
+	work := dir + "/grow.csv"
+	data, cut := writeGrowableTable(t, work, "csv", rows, prefixRows, cols, 500, 7)
+	if err := os.WriteFile(work, []byte(data[:cut]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e := newEngine(t, Options{Policy: plan.PolicyColumnLoads})
+	defer e.Close()
+	if err := e.Attach("T", TableSpec{Path: work}); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := e.Query("select count(*) from T"); err != nil || res.Rows[0][0].I != prefixRows {
+		t.Fatalf("prefix count: %v, %v", res, err)
+	}
+
+	appendTail(t, work, data[cut:])
+	res, err := e.Query("select count(*) from T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != rows {
+		t.Fatalf("post-append count = %v, want %d", res.Rows[0][0], rows)
+	}
+	tailBytes := int64(len(data) - cut)
+	if got := res.Stats.Work.RawBytesRead; got > tailBytes+8192 {
+		t.Errorf("query after append read %d raw bytes, want ~tail (%d)", got, tailBytes)
+	}
+	ing, err := e.TableStats("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ing.Ingest.AppendedRows != int64(rows-prefixRows) || ing.Ingest.Refreshes != 1 {
+		t.Errorf("ingest = %+v, want %d appended rows in 1 refresh", ing.Ingest, rows-prefixRows)
+	}
+}
+
+// TestAppendAcrossSnapshotRestart pins the warm-restart contract for
+// grown files: a snapshot taken before the append restores the prefix
+// state, and only the tail is re-read on top of it.
+func TestAppendAcrossSnapshotRestart(t *testing.T) {
+	const rows, prefixRows, cols = 3000, 2700, 4
+	dir := t.TempDir()
+	work := dir + "/grow.csv"
+	cacheDir := dir + "/cache"
+	data, cut := writeGrowableTable(t, work, "csv", rows, prefixRows, cols, 1000, 99)
+	if err := os.WriteFile(work, []byte(data[:cut]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	queries := appendQueries(1000)
+
+	e1 := newEngine(t, Options{Policy: plan.PolicyColumnLoads, CacheDir: cacheDir, DisableRevalidation: true})
+	if err := e1.Attach("T", TableSpec{Path: work}); err != nil {
+		t.Fatal(err)
+	}
+	resultStrings(t, e1, queries)
+	if err := e1.Close(); err != nil { // snapshot flushes here
+		t.Fatal(err)
+	}
+
+	appendTail(t, work, data[cut:])
+	tailBytes := int64(len(data) - cut)
+
+	e2 := newEngine(t, Options{Policy: plan.PolicyColumnLoads, CacheDir: cacheDir})
+	defer e2.Close()
+	if err := e2.Attach("T", TableSpec{Path: work}); err != nil {
+		t.Fatal(err)
+	}
+	before := e2.Counters().Snapshot()
+	warm := resultStrings(t, e2, queries)
+	work2 := e2.Counters().Snapshot().Sub(before)
+	// The restart restores the prefix from the snapshot and scans only
+	// the appended tail — far less than the full file.
+	if work2.RawBytesRead > tailBytes+8192 {
+		t.Errorf("warm restart of grown file read %d raw bytes, want ~tail (%d of %d total)",
+			work2.RawBytesRead, tailBytes, len(data))
+	}
+
+	cold := newEngine(t, Options{Policy: plan.PolicyColumnLoads})
+	defer cold.Close()
+	if err := cold.Attach("T", TableSpec{Path: work}); err != nil {
+		t.Fatal(err)
+	}
+	want := resultStrings(t, cold, queries)
+	for i := range queries {
+		if warm[i] != want[i] {
+			t.Errorf("query %q: restored+grown answer %q != cold answer %q", queries[i], warm[i], want[i])
+		}
+	}
+}
+
+func TestAttachRefreshDetachLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "r.csv", basicCSV)
+	e := newEngine(t, Options{DisableRevalidation: true})
+	defer e.Close()
+
+	if err := e.Attach("", TableSpec{Path: path}); err == nil {
+		t.Error("attach without a name should fail")
+	}
+	if err := e.Attach("R", TableSpec{}); err == nil {
+		t.Error("attach without a path should fail")
+	}
+	if err := e.Attach("R", TableSpec{Path: path, Format: "parquet"}); err == nil {
+		t.Error("attach with an unknown format should fail")
+	}
+
+	if err := e.Attach("Events", TableSpec{Path: path, Format: "csv", Follow: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Followed(); len(got) != 1 || got[0] != "events" {
+		t.Errorf("Followed = %v, want [events]", got)
+	}
+
+	// Unchanged file: a refresh is a no-op.
+	ref, err := e.Refresh("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Changed || ref.Grown || ref.RowsAdded != 0 {
+		t.Errorf("no-op refresh = %+v", ref)
+	}
+	if _, err := e.Refresh("nope"); err == nil {
+		t.Error("refresh of unknown table should fail")
+	}
+
+	// Re-attach without Follow clears the mark.
+	if err := e.Attach("events", TableSpec{Path: path}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Followed(); len(got) != 0 {
+		t.Errorf("Followed after re-attach = %v, want none", got)
+	}
+
+	if err := e.Detach("events"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query("select count(*) from events"); err == nil {
+		t.Error("detached table still queryable")
+	}
+	if err := e.Detach("events"); err == nil {
+		t.Error("double detach should fail")
+	}
+
+	// The deprecated wrappers stay functional.
+	if err := e.Link("L", path); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Unlink("L"); err != nil {
+		t.Fatal(err)
+	}
+}

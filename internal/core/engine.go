@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -124,13 +125,16 @@ type Engine struct {
 	closeCtx    context.Context // cancelled by Close; aborts in-flight cursors
 	closeCancel context.CancelFunc
 	stmts       *stmtCache
+
+	followMu sync.Mutex
+	followed map[string]bool // lower-cased names attached with TableSpec.Follow
 }
 
 // NewEngine creates an engine with the given options. An unknown
 // EvictionPolicy falls back to the default (cost-aware); ParseDSN and the
 // command-line front ends validate the name earlier.
 func NewEngine(opts Options) *Engine {
-	e := &Engine{opts: opts, stmts: newStmtCache(stmtCacheSize)}
+	e := &Engine{opts: opts, stmts: newStmtCache(stmtCacheSize), followed: map[string]bool{}}
 	e.closeCtx, e.closeCancel = context.WithCancel(context.Background())
 	e.policy.Store(int32(opts.Policy))
 	evict, err := govern.PolicyByName(opts.EvictionPolicy)
@@ -253,18 +257,132 @@ func (e *Engine) Policy() plan.Policy { return plan.Policy(e.policy.Load()) }
 // each query reads the policy once, at plan time.
 func (e *Engine) SetPolicy(p plan.Policy) { e.policy.Store(int32(p)) }
 
-// Link registers a raw file under a table name. This is the only
-// initialization step NoDB requires.
-func (e *Engine) Link(name, path string) error {
+// TableSpec describes a raw file to attach as a table.
+type TableSpec struct {
+	// Path is the raw flat file to serve queries from.
+	Path string
+	// Format forces the file format: "csv" or "ndjson". Empty sniffs the
+	// prefix; anything else fails the attach.
+	Format string
+	// Delimiter forces the CSV delimiter instead of sniffing (0 sniffs).
+	Delimiter byte
+	// Follow marks the table for tail-follow polling: serving layers
+	// (nodbd's -follow mode) periodically Refresh the tables reported by
+	// Followed. The engine itself never polls.
+	Follow bool
+}
+
+// Attach registers the raw file described by spec under a table name,
+// replacing any previous table of that name (and dropping its derived
+// state). This is the only initialization step NoDB requires.
+func (e *Engine) Attach(name string, spec TableSpec) error {
 	if err := e.checkOpen(); err != nil {
 		return err
 	}
-	_, err := e.cat.Link(name, path)
-	return err
+	if name == "" || spec.Path == "" {
+		return fmt.Errorf("core: attach needs a table name and a file path")
+	}
+	_, err := e.cat.LinkOpts(name, spec.Path, schema.DetectOptions{
+		Format:    spec.Format,
+		Delimiter: spec.Delimiter,
+	})
+	if err != nil {
+		return err
+	}
+	e.followMu.Lock()
+	if spec.Follow {
+		e.followed[strings.ToLower(name)] = true
+	} else {
+		delete(e.followed, strings.ToLower(name))
+	}
+	e.followMu.Unlock()
+	return nil
+}
+
+// Detach removes a table, its derived state, and its follow mark.
+func (e *Engine) Detach(name string) error {
+	e.followMu.Lock()
+	delete(e.followed, strings.ToLower(name))
+	e.followMu.Unlock()
+	return e.cat.Unlink(name)
+}
+
+// Followed returns the names of currently attached tables whose spec set
+// Follow, sorted. Serving layers poll Refresh over this set.
+func (e *Engine) Followed() []string {
+	e.followMu.Lock()
+	marks := make([]string, 0, len(e.followed))
+	for n := range e.followed {
+		marks = append(marks, n)
+	}
+	e.followMu.Unlock()
+	var names []string
+	for _, n := range marks {
+		if _, err := e.cat.Get(n); err == nil {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RefreshResult describes what a Refresh found.
+type RefreshResult struct {
+	// Changed reports whether the raw file's signature moved at all.
+	Changed bool `json:"changed"`
+	// Grown reports whether the change was a prefix-stable growth folded
+	// in incrementally (learned structures kept). Changed && !Grown means
+	// the file was edited in place and everything derived was invalidated.
+	Grown bool `json:"grown"`
+	// RowsAdded and TailBytes are the rows/bytes ingested by this refresh
+	// when Grown.
+	RowsAdded int64 `json:"rows_added"`
+	TailBytes int64 `json:"tail_bytes"`
+	// Rows is the table's row count after the refresh (-1 when unknown).
+	Rows int64 `json:"rows"`
+}
+
+// Refresh re-stats a table's raw file now and folds in any change: a
+// prefix-stable growth (rows appended) extends the learned structures
+// incrementally, anything else invalidates them. Queries under
+// revalidation do this implicitly per statement; Refresh is the explicit
+// entry point for follow loops and the HTTP refresh endpoint, and works
+// even when revalidation is disabled.
+func (e *Engine) Refresh(name string) (RefreshResult, error) {
+	if err := e.checkOpen(); err != nil {
+		return RefreshResult{}, err
+	}
+	t, err := e.cat.Get(name)
+	if err != nil {
+		return RefreshResult{}, err
+	}
+	before := t.Ingest()
+	changed, err := t.Revalidate()
+	if err != nil {
+		return RefreshResult{}, err
+	}
+	after := t.Ingest()
+	return RefreshResult{
+		Changed:   changed,
+		Grown:     after.Refreshes > before.Refreshes,
+		RowsAdded: after.AppendedRows - before.AppendedRows,
+		TailBytes: after.AppendedBytes - before.AppendedBytes,
+		Rows:      t.NumRows(),
+	}, nil
+}
+
+// Link registers a raw file under a table name with full auto-detection.
+//
+// Deprecated: Link is Attach(name, TableSpec{Path: path}); new code should
+// use Attach, which can also force the format and request tail-following.
+func (e *Engine) Link(name, path string) error {
+	return e.Attach(name, TableSpec{Path: path})
 }
 
 // Unlink removes a table and its derived state.
-func (e *Engine) Unlink(name string) error { return e.cat.Unlink(name) }
+//
+// Deprecated: Unlink is the old name of Detach.
+func (e *Engine) Unlink(name string) error { return e.Detach(name) }
 
 // Tables returns the linked table names.
 func (e *Engine) Tables() []string { return e.cat.Tables() }
@@ -688,6 +806,8 @@ func (e *Engine) crackedSelect(t *catalog.Table, src exec.DenseSource, tp *plan.
 
 // TableStats describes the adaptive-store state of one linked table.
 type TableStats struct {
+	// Path is the raw file the table serves.
+	Path string
 	// Rows is the discovered row count (-1 when no scan has run yet).
 	Rows int64
 	// DenseCols lists fully loaded attribute indices.
@@ -707,6 +827,11 @@ type TableStats struct {
 	SplitBytes int64
 	// MemBytes is the in-memory size of all loaded state.
 	MemBytes int64
+	// Signature identifies the raw file version the state describes.
+	Signature catalog.Signature
+	// Ingest is the append-ingestion accounting: rows/bytes folded in by
+	// incremental tail extensions and when the last one ran.
+	Ingest catalog.IngestStats
 }
 
 // TableStats reports what the engine has adaptively built for a table.
@@ -716,10 +841,13 @@ func (e *Engine) TableStats(name string) (TableStats, error) {
 		return TableStats{}, err
 	}
 	st := TableStats{
+		Path:       t.Path(),
 		Rows:       t.NumRows(),
 		SparseCols: map[int]int{},
 		Regions:    len(t.Regions()),
 		MemBytes:   t.MemSize(),
+		Signature:  t.Signature(),
+		Ingest:     t.Ingest(),
 	}
 	for c := 0; c < t.Schema().NumCols(); c++ {
 		if t.Dense(c) != nil {

@@ -31,7 +31,7 @@ func (e *Engine) resultKey(stmt *sql.SelectStmt) string {
 			return false
 		}
 		sig := t.Signature()
-		fmt.Fprintf(&sb, "\x00%s=%s:%d:%d:%d", name, t.Path(), sig.Size, sig.ModTime, sig.Prefix)
+		fmt.Fprintf(&sb, "\x00%s=%s:%d:%d:%d:%d", name, t.Path(), sig.Size, sig.ModTime, sig.Prefix, sig.Tail)
 		return true
 	}
 	if !appendTable(stmt.From.Name) {

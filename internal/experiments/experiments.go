@@ -264,6 +264,7 @@ func All() []Runner {
 		{"cluster-scaling", "Scatter-gather cluster: cold full-scan workload speedup vs shard count", ClusterScaling},
 		{"redundant-traffic", "Result cache + singleflight collapse on a 100%-duplicate workload", RedundantTraffic},
 		{"tenant-isolation", "Per-tenant admission slots: light-tenant p99 under a saturating heavy tenant", TenantIsolation},
+		{"append", "Append-growth: incremental tail re-adaptation vs full relearn on a 90%-prefix-stable file", Append},
 	}
 }
 

@@ -289,8 +289,8 @@ func TestReportFormat(t *testing.T) {
 
 func TestAllAndLookup(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("experiments = %d, want 18", len(all))
+	if len(all) != 19 {
+		t.Fatalf("experiments = %d, want 19", len(all))
 	}
 	ids := map[string]bool{}
 	for _, r := range all {

@@ -52,6 +52,8 @@ type Counters struct {
 	resultCacheHits    atomic.Int64 // queries answered entirely from the result cache
 	resultCacheMisses  atomic.Int64 // cacheable queries that had to execute
 	queriesCollapsed   atomic.Int64 // duplicate in-flight queries served by a singleflight leader
+	tailExtensions     atomic.Int64 // prefix-stable file growths folded in incrementally
+	tailRowsAppended   atomic.Int64 // rows ingested by those incremental extensions
 }
 
 // AddScriptOps records interpreted per-record operations of an external
@@ -162,6 +164,13 @@ func (c *Counters) AddResultCacheMiss(n int64) { c.resultCacheMisses.Add(n) }
 // singleflight leader's result instead of executing.
 func (c *Counters) AddQueryCollapsed(n int64) { c.queriesCollapsed.Add(n) }
 
+// AddTailExtension records a prefix-stable file growth folded into the
+// learned structures incrementally instead of via full invalidation.
+func (c *Counters) AddTailExtension(n int64) { c.tailExtensions.Add(n) }
+
+// AddTailRowsAppended records rows ingested by incremental tail extensions.
+func (c *Counters) AddTailRowsAppended(n int64) { c.tailRowsAppended.Add(n) }
+
 // Snapshot is an immutable copy of the counters at one point in time.
 type Snapshot struct {
 	RawBytesRead         int64
@@ -196,6 +205,8 @@ type Snapshot struct {
 	ResultCacheHits      int64
 	ResultCacheMisses    int64
 	QueriesCollapsed     int64
+	TailExtensions       int64
+	TailRowsAppended     int64
 }
 
 // Snapshot returns a point-in-time copy of all counters.
@@ -233,6 +244,8 @@ func (c *Counters) Snapshot() Snapshot {
 		ResultCacheHits:      c.resultCacheHits.Load(),
 		ResultCacheMisses:    c.resultCacheMisses.Load(),
 		QueriesCollapsed:     c.queriesCollapsed.Load(),
+		TailExtensions:       c.tailExtensions.Load(),
+		TailRowsAppended:     c.tailRowsAppended.Load(),
 	}
 }
 
@@ -270,6 +283,8 @@ func (c *Counters) Reset() {
 	c.resultCacheHits.Store(0)
 	c.resultCacheMisses.Store(0)
 	c.queriesCollapsed.Store(0)
+	c.tailExtensions.Store(0)
+	c.tailRowsAppended.Store(0)
 }
 
 // Sub returns the delta s - prev, counter by counter. Use it to attribute
@@ -308,6 +323,8 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		ResultCacheHits:      s.ResultCacheHits - prev.ResultCacheHits,
 		ResultCacheMisses:    s.ResultCacheMisses - prev.ResultCacheMisses,
 		QueriesCollapsed:     s.QueriesCollapsed - prev.QueriesCollapsed,
+		TailExtensions:       s.TailExtensions - prev.TailExtensions,
+		TailRowsAppended:     s.TailRowsAppended - prev.TailRowsAppended,
 	}
 }
 

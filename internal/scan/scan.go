@@ -110,6 +110,20 @@ type Options struct {
 	// portion-granular pruning. Without it, a sequential scan keeps the
 	// classic single-portion stream that reads the file exactly once.
 	Portioned bool
+	// StartOffset begins the scan at this byte offset instead of the top
+	// of the file. It must be newline-aligned (the first byte of a row);
+	// the caller vouches for that — typically it is a previously validated
+	// file size, so the bytes before it are known to end in '\n'. Row ids
+	// are numbered from 0 at StartOffset. SkipHeader still applies first;
+	// the larger of the two wins. Used by incremental tail extension to
+	// scan only the bytes appended after a prefix-stable growth.
+	StartOffset int64
+	// MaxOffset, when > 0, caps the scan at this byte offset: the scanner
+	// treats the file as MaxOffset bytes long even if it has since grown.
+	// It must be newline-aligned (just past a '\n'). Tail extension sets
+	// it to the end of the last complete appended row, so a half-written
+	// append is never half-tokenized.
+	MaxOffset int64
 }
 
 // canceled reports the context's error, if any. Checked once per chunk —
@@ -252,7 +266,11 @@ func Open(path string, opts Options) (*Scanner, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scan: %w", err)
 	}
-	return &Scanner{path: path, opts: opts, size: st.Size()}, nil
+	size := st.Size()
+	if opts.MaxOffset > 0 && opts.MaxOffset < size {
+		size = opts.MaxOffset
+	}
+	return &Scanner{path: path, opts: opts, size: size}, nil
 }
 
 // Path returns the scanned file's path.
@@ -349,6 +367,9 @@ func (s *Scanner) buildPortions() error {
 			return err
 		}
 		s.dataStart = off
+	}
+	if s.opts.StartOffset > s.dataStart {
+		s.dataStart = s.opts.StartOffset
 	}
 	if s.dataStart >= s.size {
 		s.portions = nil

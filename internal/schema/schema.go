@@ -104,6 +104,10 @@ type DetectOptions struct {
 	SampleRows int
 	// Delimiter forces the delimiter instead of sniffing.
 	Delimiter byte
+	// Format forces the file format instead of sniffing: "csv" skips the
+	// NDJSON probe, "ndjson" skips delimiter sniffing. Empty auto-detects;
+	// anything else is an error.
+	Format string
 }
 
 func (o DetectOptions) sampleBytes() int {
@@ -147,8 +151,17 @@ func DetectBytes(sample []byte, opts DetectOptions) (*Schema, error) {
 		return nil, fmt.Errorf("schema: empty file")
 	}
 
-	if opts.Delimiter == 0 && scan.LooksLikeJSONObject(sample) {
+	switch opts.Format {
+	case "ndjson":
 		return detectNDJSON(lines)
+	case "csv":
+		// fall through to delimiter sniffing
+	case "":
+		if opts.Delimiter == 0 && scan.LooksLikeJSONObject(sample) {
+			return detectNDJSON(lines)
+		}
+	default:
+		return nil, fmt.Errorf("schema: unknown format %q (want \"csv\" or \"ndjson\")", opts.Format)
 	}
 
 	delim := opts.Delimiter

@@ -1,0 +1,233 @@
+package server
+
+// Table-lifecycle endpoint tests: PUT/DELETE /v1/tables/{name},
+// POST /v1/tables/{name}/refresh, the enriched /v1/tables listing, and
+// the -follow poll loop.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func doJSON(t *testing.T, method, url, body string, out any) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(b, out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, url, b, err)
+		}
+	}
+	return resp
+}
+
+func TestTableLifecycleEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "app.csv")
+	if err := os.WriteFile(logPath, []byte("1,10\n2,20\n3,30\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Attach with follow. The response is the enriched table entry.
+	spec, _ := json.Marshal(map[string]any{"path": logPath, "format": "csv", "follow": true})
+	var info tableInfoJSON
+	resp := doJSON(t, http.MethodPut, ts.URL+"/v1/tables/logs", string(spec), &info)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("attach status = %d", resp.StatusCode)
+	}
+	if info.Name != "logs" || !info.Follow || info.Path != logPath {
+		t.Fatalf("attach info = %+v", info)
+	}
+	if info.Signature.Size != 15 || info.Signature.PrefixCRC == 0 || info.Signature.TailCRC == 0 {
+		t.Errorf("attach signature = %+v, want the raw file's fingerprint", info.Signature)
+	}
+
+	// The listing carries both tables with signature + adaptation state.
+	var tables map[string][]tableInfoJSON
+	if resp := doJSON(t, http.MethodGet, ts.URL+"/v1/tables", "", &tables); resp.StatusCode != http.StatusOK {
+		t.Fatalf("tables status = %d", resp.StatusCode)
+	}
+	byName := map[string]tableInfoJSON{}
+	for _, ti := range tables["tables"] {
+		byName[ti.Name] = ti
+	}
+	if len(byName) != 2 {
+		t.Fatalf("tables = %v, want events + logs", tables)
+	}
+	if !byName["logs"].Follow || byName["events"].Follow {
+		t.Errorf("follow marks: logs=%v events=%v", byName["logs"].Follow, byName["events"].Follow)
+	}
+
+	// Warm up so the engine has learned state (and a row count) to
+	// extend when the file grows.
+	if resp, out := postQuery(t, ts.URL, "select count(*) from logs"); resp.StatusCode != http.StatusOK || out.Rows[0][0].(float64) != 3 {
+		t.Fatalf("warm-up query: %d %v", resp.StatusCode, out.Rows)
+	}
+
+	// Refresh of an unchanged file is a no-op.
+	var ref struct {
+		Changed   bool  `json:"changed"`
+		Grown     bool  `json:"grown"`
+		RowsAdded int64 `json:"rows_added"`
+		Rows      int64 `json:"rows"`
+	}
+	if resp := doJSON(t, http.MethodPost, ts.URL+"/v1/tables/logs/refresh", "", &ref); resp.StatusCode != http.StatusOK {
+		t.Fatalf("refresh status = %d", resp.StatusCode)
+	}
+	if ref.Changed || ref.Grown {
+		t.Errorf("no-op refresh = %+v", ref)
+	}
+
+	// Append rows; refresh reports the incremental growth.
+	f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("4,40\n5,50\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	doJSON(t, http.MethodPost, ts.URL+"/v1/tables/logs/refresh", "", &ref)
+	if !ref.Changed || !ref.Grown || ref.RowsAdded != 2 || ref.Rows != 5 {
+		t.Errorf("growth refresh = %+v, want 2 rows folded in of 5", ref)
+	}
+
+	// The growth shows up in /v1/stats: per-table ingest counters, the
+	// followed list, and the server's refresh accounting.
+	var stats struct {
+		Followed []string `json:"followed"`
+		Ingest   map[string]struct {
+			AppendedRows int64 `json:"appended_rows"`
+			Refreshes    int64 `json:"refreshes"`
+		} `json:"ingest"`
+		Server struct {
+			Refreshes int64 `json:"refreshes"`
+			Grown     int64 `json:"grown"`
+		} `json:"server"`
+	}
+	doJSON(t, http.MethodGet, ts.URL+"/v1/stats", "", &stats)
+	if len(stats.Followed) != 1 || stats.Followed[0] != "logs" {
+		t.Errorf("followed = %v, want [logs]", stats.Followed)
+	}
+	if in := stats.Ingest["logs"]; in.AppendedRows != 2 || in.Refreshes != 1 {
+		t.Errorf("ingest[logs] = %+v, want 2 appended rows in 1 refresh", in)
+	}
+	if stats.Server.Refreshes < 2 || stats.Server.Grown != 1 {
+		t.Errorf("server refresh accounting = %+v", stats.Server)
+	}
+
+	// The grown table answers queries over all five rows.
+	resp2, out := postQuery(t, ts.URL, "select count(*), sum(a2) from logs")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d", resp2.StatusCode)
+	}
+	if out.Rows[0][0].(float64) != 5 || out.Rows[0][1].(float64) != 150 {
+		t.Errorf("query over grown table = %v, want [5 150]", out.Rows[0])
+	}
+
+	// Error paths: bad body, missing path, unknown table.
+	if resp := doJSON(t, http.MethodPut, ts.URL+"/v1/tables/x", "{", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad body status = %d, want 400", resp.StatusCode)
+	}
+	if resp := doJSON(t, http.MethodPut, ts.URL+"/v1/tables/x", "{}", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing path status = %d, want 400", resp.StatusCode)
+	}
+	if resp := doJSON(t, http.MethodPut, ts.URL+"/v1/tables/x", `{"path":"`+logPath+`","delimiter":"ab"}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad delimiter status = %d, want 400", resp.StatusCode)
+	}
+	if resp := doJSON(t, http.MethodPost, ts.URL+"/v1/tables/nope/refresh", "", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("refresh unknown status = %d, want 404", resp.StatusCode)
+	}
+
+	// Detach removes the table and its follow mark.
+	var det map[string]string
+	if resp := doJSON(t, http.MethodDelete, ts.URL+"/v1/tables/logs", "", &det); resp.StatusCode != http.StatusOK || det["detached"] != "logs" {
+		t.Fatalf("detach = %d %v", resp.StatusCode, det)
+	}
+	if resp := doJSON(t, http.MethodDelete, ts.URL+"/v1/tables/logs", "", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("double detach status = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := postQuery(t, ts.URL, "select count(*) from logs"); resp.StatusCode == http.StatusOK {
+		t.Error("detached table still served queries")
+	}
+}
+
+// TestFollowLoop pins nodbd's -follow mode end to end: a followed table's
+// file grows on disk and the server's poll loop folds the tail in without
+// any client asking.
+func TestFollowLoop(t *testing.T) {
+	_, ts := newTestServer(t, Config{FollowInterval: 5 * time.Millisecond})
+
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "app.csv")
+	if err := os.WriteFile(logPath, []byte("1,10\n2,20\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := json.Marshal(map[string]any{"path": logPath, "follow": true})
+	if resp := doJSON(t, http.MethodPut, ts.URL+"/v1/tables/logs", string(spec), nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("attach status = %d", resp.StatusCode)
+	}
+
+	f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("3,30\n4,40\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Wait for the poll loop itself to fold the growth in (no query in
+	// between — a query would revalidate on its own and steal the work).
+	var stats struct {
+		Server struct {
+			Refreshes int64 `json:"refreshes"`
+			Grown     int64 `json:"grown"`
+		} `json:"server"`
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		doJSON(t, http.MethodGet, ts.URL+"/v1/stats", "", &stats)
+		if stats.Server.Grown >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follow loop never ingested the appended rows: %+v", stats.Server)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if stats.Server.Refreshes == 0 {
+		t.Errorf("follow loop accounting = %+v, want refreshes > 0", stats.Server)
+	}
+
+	resp, out := postQuery(t, ts.URL, "select count(*) from logs")
+	if resp.StatusCode != http.StatusOK || out.Rows[0][0].(float64) != 4 {
+		t.Errorf("query after follow ingest: %d %v, want 4 rows", resp.StatusCode, out.Rows)
+	}
+}

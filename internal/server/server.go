@@ -18,7 +18,12 @@
 //	GET  /v1/query?q=...                                      -> same
 //	POST /v1/query/stream  (same request shape)               -> NDJSON row stream
 //	POST /v1/explain       {"query": "..."} (or GET ?q=...)   -> physical plan text
-//	GET  /v1/tables                                           -> linked table names
+//	GET  /v1/tables                                           -> per-table state (signature, rows, adaptation)
+//	PUT  /v1/tables/{name} {"path": "...", "format": "",      -> attach (or replace) a table
+//	                        "delimiter": "", "follow": false}
+//	DELETE /v1/tables/{name}                                  -> detach a table
+//	POST /v1/tables/{name}/refresh                            -> re-stat the raw file now; appended
+//	                                                             rows are folded in incrementally
 //	GET  /v1/schema?table=name                                -> detected schema
 //	GET  /v1/stats                                            -> engine + server counters
 //	GET  /healthz, /readyz                                    -> probes (unversioned)
@@ -83,6 +88,11 @@ type Config struct {
 	// consume another's capacity. nil serves everyone as one anonymous
 	// tenant with the shared slot pool.
 	Tenants *qos.Registry
+	// FollowInterval is how often the server re-stats the raw files of
+	// tables attached with follow=true, folding appended rows into the
+	// learned structures incrementally (nodbd's -follow flag). 0 disables
+	// the poll loop; explicit POST /v1/tables/{name}/refresh always works.
+	FollowInterval time.Duration
 }
 
 func (c Config) maxInFlight() int {
@@ -123,7 +133,10 @@ type Server struct {
 	// Periodic snapshot flusher lifecycle (nil channels when disabled).
 	flushStop chan struct{}
 	flushDone chan struct{}
-	closeOnce sync.Once
+	// Tail-follow poll loop lifecycle (nil channels when disabled).
+	followStop chan struct{}
+	followDone chan struct{}
+	closeOnce  sync.Once
 
 	// ready flips once the operator has linked all tables; /readyz serves
 	// 503 until then so a coordinator doesn't route queries at a node
@@ -138,6 +151,10 @@ type Server struct {
 	failed     atomic.Int64 // queries that returned any other error
 	snapSaves  atomic.Int64 // periodic snapshot flushes that succeeded
 	snapErrors atomic.Int64 // periodic snapshot flushes that failed
+
+	refreshes     atomic.Int64 // explicit + follow-loop refreshes that completed
+	refreshErrors atomic.Int64 // refreshes that failed (I/O errors re-statting)
+	grown         atomic.Int64 // refreshes that folded in appended rows incrementally
 }
 
 // New creates a Server around cfg.DB.
@@ -178,6 +195,11 @@ func New(cfg Config) *Server {
 	s.route("/query/stream", s.handleQueryStream)
 	s.route("/explain", s.handleExplain)
 	s.route("/tables", s.handleTables)
+	// Lifecycle endpoints are v1-only (introduced with the versioned API;
+	// there is no legacy path to alias).
+	s.mux.Handle("PUT /v1/tables/{name}", s.wrap(s.handleTableAttach, ""))
+	s.mux.Handle("DELETE /v1/tables/{name}", s.wrap(s.handleTableDetach, ""))
+	s.mux.Handle("POST /v1/tables/{name}/refresh", s.wrap(s.handleTableRefresh, ""))
 	s.route("/schema", s.handleSchema)
 	s.route("/stats", s.handleStats)
 	s.route("/cluster/synopsis", s.handleClusterSynopsis)
@@ -187,6 +209,11 @@ func New(cfg Config) *Server {
 		s.flushStop = make(chan struct{})
 		s.flushDone = make(chan struct{})
 		go s.flushLoop(cfg.SnapshotInterval)
+	}
+	if cfg.FollowInterval > 0 {
+		s.followStop = make(chan struct{})
+		s.followDone = make(chan struct{})
+		go s.followLoop(cfg.FollowInterval)
 	}
 	return s
 }
@@ -248,11 +275,45 @@ func (s *Server) flushLoop(interval time.Duration) {
 	}
 }
 
-// Close stops the periodic snapshot flusher (if any) and performs a final
-// flush. It does not close the DB — the caller owns that. Idempotent.
+// followLoop periodically refreshes every followed table, folding
+// appended rows into the learned structures incrementally. Polling (not
+// file notification) keeps the daemon dependency-free; the interval
+// bounds staleness, and a poll that finds nothing new is one stat call
+// per followed table.
+func (s *Server) followLoop(interval time.Duration) {
+	defer close(s.followDone)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			for _, name := range s.db.Followed() {
+				res, err := s.db.Refresh(name)
+				if err != nil {
+					s.refreshErrors.Add(1)
+					continue
+				}
+				s.refreshes.Add(1)
+				if res.Grown {
+					s.grown.Add(1)
+				}
+			}
+		case <-s.followStop:
+			return
+		}
+	}
+}
+
+// Close stops the periodic snapshot flusher and follow loop (if any) and
+// performs a final flush. It does not close the DB — the caller owns
+// that. Idempotent.
 func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
+		if s.followStop != nil {
+			close(s.followStop)
+			<-s.followDone
+		}
 		if s.flushStop != nil {
 			close(s.flushStop)
 			<-s.flushDone
@@ -345,6 +406,11 @@ type statsResponse struct {
 	Work          metrics.Snapshot           `json:"work"`
 	Server        serverStatsJSON            `json:"server"`
 	Tenants       map[string]tenantStatsJSON `json:"tenants,omitempty"`
+	// Ingest is the per-table append-ingestion accounting (rows/bytes
+	// folded in by incremental tail extensions); Followed lists the
+	// tables the follow loop polls.
+	Ingest   map[string]nodb.IngestStats `json:"ingest,omitempty"`
+	Followed []string                    `json:"followed,omitempty"`
 }
 
 // tenantStatsJSON is one tenant's admission-control accounting; the
@@ -366,6 +432,9 @@ type serverStatsJSON struct {
 	Failed         int64 `json:"failed"`
 	SnapshotSaves  int64 `json:"snapshot_saves"`
 	SnapshotErrors int64 `json:"snapshot_errors"`
+	Refreshes      int64 `json:"refreshes"`
+	RefreshErrors  int64 `json:"refresh_errors"`
+	Grown          int64 `json:"grown"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -759,12 +828,160 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"plan": p})
 }
 
-func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
-	tables := s.db.Tables()
-	if tables == nil {
-		tables = []string{}
+// signatureJSON renders a raw file's signature.
+type signatureJSON struct {
+	Size      int64  `json:"size"`
+	ModTime   int64  `json:"mod_time"`
+	PrefixCRC uint32 `json:"prefix_crc"`
+	TailCRC   uint32 `json:"tail_crc"`
+}
+
+// tableInfoJSON is one table's entry in /v1/tables: identity, the raw
+// file's signature, and the adaptation state built for it so far.
+type tableInfoJSON struct {
+	Name             string           `json:"name"`
+	Path             string           `json:"path"`
+	Follow           bool             `json:"follow"`
+	Rows             int64            `json:"rows"`
+	Signature        signatureJSON    `json:"signature"`
+	DenseCols        int              `json:"dense_cols"`
+	SparseCols       int              `json:"sparse_cols"`
+	Regions          int              `json:"regions"`
+	PosMapEntries    int              `json:"posmap_entries"`
+	SynopsisPortions int              `json:"synopsis_portions"`
+	SynopsisBounds   int              `json:"synopsis_bounds"`
+	SplitBytes       int64            `json:"split_bytes"`
+	MemBytes         int64            `json:"mem_bytes"`
+	Ingest           nodb.IngestStats `json:"ingest"`
+}
+
+// tableInfo assembles one table's /v1/tables entry.
+func (s *Server) tableInfo(name string, followed map[string]bool) (tableInfoJSON, error) {
+	st, err := s.db.TableStats(name)
+	if err != nil {
+		return tableInfoJSON{}, err
 	}
-	writeJSON(w, http.StatusOK, map[string][]string{"tables": tables})
+	return tableInfoJSON{
+		Name:   name,
+		Path:   st.Path,
+		Follow: followed[name],
+		Rows:   st.Rows,
+		Signature: signatureJSON{
+			Size:      st.Signature.Size,
+			ModTime:   st.Signature.ModTime,
+			PrefixCRC: st.Signature.Prefix,
+			TailCRC:   st.Signature.Tail,
+		},
+		DenseCols:        len(st.DenseCols),
+		SparseCols:       len(st.SparseCols),
+		Regions:          st.Regions,
+		PosMapEntries:    st.PosMapEntries,
+		SynopsisPortions: st.SynopsisPortions,
+		SynopsisBounds:   st.SynopsisBounds,
+		SplitBytes:       st.SplitBytes,
+		MemBytes:         st.MemBytes,
+		Ingest:           st.Ingest,
+	}, nil
+}
+
+// followedSet returns the followed table names as a set.
+func (s *Server) followedSet() map[string]bool {
+	set := map[string]bool{}
+	for _, n := range s.db.Followed() {
+		set[n] = true
+	}
+	return set
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	followed := s.followedSet()
+	infos := []tableInfoJSON{}
+	for _, name := range s.db.Tables() {
+		info, err := s.tableInfo(name, followed)
+		if err != nil {
+			continue // detached concurrently
+		}
+		infos = append(infos, info)
+	}
+	writeJSON(w, http.StatusOK, map[string][]tableInfoJSON{"tables": infos})
+}
+
+// tableSpecJSON is the PUT /v1/tables/{name} request body.
+type tableSpecJSON struct {
+	// Path is the raw file to attach. Required.
+	Path string `json:"path"`
+	// Format forces "csv" or "ndjson"; empty sniffs.
+	Format string `json:"format,omitempty"`
+	// Delimiter forces the CSV delimiter (one character); empty sniffs.
+	Delimiter string `json:"delimiter,omitempty"`
+	// Follow marks the table for the daemon's tail-follow poll loop.
+	Follow bool `json:"follow,omitempty"`
+}
+
+func (s *Server) handleTableAttach(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var spec tableSpecJSON
+	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes())
+	if err := json.NewDecoder(body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if spec.Path == "" {
+		writeError(w, http.StatusBadRequest, "missing path")
+		return
+	}
+	var delim byte
+	if spec.Delimiter != "" {
+		if len(spec.Delimiter) != 1 {
+			writeError(w, http.StatusBadRequest, "delimiter must be a single character, got %q", spec.Delimiter)
+			return
+		}
+		delim = spec.Delimiter[0]
+	}
+	err := s.db.Attach(name, nodb.TableSpec{
+		Path:      spec.Path,
+		Format:    spec.Format,
+		Delimiter: delim,
+		Follow:    spec.Follow,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	info, err := s.tableInfo(name, s.followedSet())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleTableDetach(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.db.Detach(name); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"detached": name})
+}
+
+func (s *Server) handleTableRefresh(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if _, err := s.db.Schema(name); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	res, err := s.db.Refresh(name)
+	if err != nil {
+		s.refreshErrors.Add(1)
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.refreshes.Add(1)
+	if res.Grown {
+		s.grown.Add(1)
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 // schemaJSON renders a detected schema.
@@ -815,6 +1032,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	ingest := map[string]nodb.IngestStats{}
+	for _, name := range s.db.Tables() {
+		if st, err := s.db.TableStats(name); err == nil {
+			ingest[name] = st.Ingest
+		}
+	}
 	writeJSON(w, http.StatusOK, statsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Policy:        s.db.Policy().String(),
@@ -824,6 +1047,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Snapshot:      s.db.SnapStats(),
 		Work:          s.db.Work(),
 		Tenants:       tenants,
+		Ingest:        ingest,
+		Followed:      s.db.Followed(),
 		Server: serverStatsJSON{
 			InFlight:       s.inFlight.Load(),
 			MaxInFlight:    cap(s.sem),
@@ -833,6 +1058,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Failed:         s.failed.Load(),
 			SnapshotSaves:  s.snapSaves.Load(),
 			SnapshotErrors: s.snapErrors.Load(),
+			Refreshes:      s.refreshes.Load(),
+			RefreshErrors:  s.refreshErrors.Load(),
+			Grown:          s.grown.Load(),
 		},
 	})
 }

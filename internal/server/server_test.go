@@ -95,10 +95,13 @@ func TestServerQueryEndpoint(t *testing.T) {
 func TestServerMetadataEndpoints(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 
-	var tables map[string][]string
+	var tables map[string][]tableInfoJSON
 	getJSON(t, ts.URL+"/tables", &tables)
-	if len(tables["tables"]) != 1 || tables["tables"][0] != "events" {
+	if len(tables["tables"]) != 1 || tables["tables"][0].Name != "events" {
 		t.Fatalf("tables = %v", tables)
+	}
+	if tables["tables"][0].Signature.Size <= 0 {
+		t.Fatalf("tables entry missing signature: %+v", tables["tables"][0])
 	}
 
 	var sch schemaJSON

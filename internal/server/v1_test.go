@@ -79,8 +79,10 @@ func TestV1LegacyDifferential(t *testing.T) {
 	}
 }
 
-// stripVolatile zeroes per-request timing fields inside JSON or NDJSON
-// bodies so byte comparison pins everything else.
+// stripVolatile zeroes per-request timing and live-memory fields inside
+// JSON or NDJSON bodies so byte comparison pins everything else.
+// mem_bytes in /tables entries is live accounting that background cursor
+// teardown can shift between two otherwise-identical requests.
 func stripVolatile(t *testing.T, body []byte) []byte {
 	t.Helper()
 	var out [][]byte
@@ -92,6 +94,17 @@ func stripVolatile(t *testing.T, body []byte) []byte {
 		}
 		if _, ok := m["stats"]; ok {
 			delete(m, "stats")
+		}
+		if raw, ok := m["tables"]; ok {
+			var infos []map[string]json.RawMessage
+			if json.Unmarshal(raw, &infos) == nil {
+				for _, info := range infos {
+					delete(info, "mem_bytes")
+				}
+				if norm, err := json.Marshal(infos); err == nil {
+					m["tables"] = norm
+				}
+			}
 		}
 		norm, err := json.Marshal(m)
 		if err != nil {

@@ -53,7 +53,7 @@ import (
 // change: old files then fail the header check and count as stale.
 const (
 	magic   = "NODBSNAP"
-	version = 1
+	version = 2 // v2: Sig gained the tail CRC (append-aware invalidation)
 )
 
 // Section kinds.
@@ -84,6 +84,11 @@ type Sig struct {
 	Size    int64
 	ModTime int64
 	Prefix  uint32
+	// Tail is the CRC of the file's last bytes (up to 4 KiB). Together
+	// with Prefix it lets a reopened snapshot distinguish "file grew by
+	// appending" (prefix still verifies against the stored size) from
+	// "file rewritten" — even when the rewrite kept the size.
+	Tail uint32
 }
 
 // PosMapCol is the serialized positional map of one attribute: parallel
@@ -232,6 +237,7 @@ func Encode(w io.Writer, sig Sig, t *Table) (int64, error) {
 	sw.i64(sig.Size)
 	sw.i64(sig.ModTime)
 	sw.u32(sig.Prefix)
+	sw.u32(sig.Tail)
 	sw.i64(t.Rows)
 	if err := section(kindHeader, -1, sw.buf); err != nil {
 		return n, err
@@ -505,6 +511,18 @@ type Reader struct {
 // that fails to parse returns ErrCorrupt; a signature mismatch returns
 // ErrStale. onRead (may be nil) observes every payload byte read.
 func OpenReader(path string, want Sig, onRead func(int64)) (*Reader, error) {
+	return openReader(path, &want, onRead)
+}
+
+// OpenReaderAny opens a snapshot without a signature check: the stored
+// signature is exposed via Sig() and the caller decides whether the
+// snapshot is usable (e.g. whether the raw file is a prefix-stable growth
+// of the snapshotted version). Everything else matches OpenReader.
+func OpenReaderAny(path string, onRead func(int64)) (*Reader, error) {
+	return openReader(path, nil, onRead)
+}
+
+func openReader(path string, want *Sig, onRead func(int64)) (*Reader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -517,7 +535,7 @@ func OpenReader(path string, want Sig, onRead func(int64)) (*Reader, error) {
 	return r, nil
 }
 
-func (r *Reader) index(want Sig) error {
+func (r *Reader) index(want *Sig) error {
 	hdr := make([]byte, len(magic)+2)
 	if _, err := io.ReadFull(r.f, hdr); err != nil {
 		return ErrCorrupt
@@ -564,12 +582,12 @@ func (r *Reader) index(want Sig) error {
 				return ErrCorrupt
 			}
 			pr := payloadReader{buf: payload}
-			r.sig = Sig{Size: pr.i64(), ModTime: pr.i64(), Prefix: pr.u32()}
+			r.sig = Sig{Size: pr.i64(), ModTime: pr.i64(), Prefix: pr.u32(), Tail: pr.u32()}
 			r.rows = pr.i64()
 			if pr.err != nil {
 				return ErrCorrupt
 			}
-			if r.sig != want {
+			if want != nil && r.sig != *want {
 				return ErrStale
 			}
 			first = false

@@ -401,3 +401,47 @@ func BenchmarkSnapshotDecode(b *testing.B) {
 		}
 	}
 }
+
+// TestOpenVerifyGrownAccept pins the append-aware open path: the caller's
+// verifier sees the stored signature and can accept a snapshot of a
+// prefix-stable ancestor of the raw file, which Open's exact match would
+// discard as stale.
+func TestOpenVerifyGrownAccept(t *testing.T) {
+	s := NewStore(t.TempDir(), nil)
+	s.Logf = func(string, ...any) {}
+	key := Key("t", "/data/t.csv")
+	old := testSig()
+	if err := s.Save(key, old, testTable(10)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The raw file has grown since the save; the verifier recognizes the
+	// stored signature as the validated prefix and accepts.
+	grown := old
+	grown.Size += 4096
+	r := s.OpenVerify(key, func(sig Sig) bool { return sig == old })
+	if r == nil {
+		t.Fatal("verifier accepted but OpenVerify returned nil")
+	}
+	if r.Sig() != old {
+		t.Errorf("stored sig = %+v, want %+v", r.Sig(), old)
+	}
+	if r.Sig() == grown {
+		t.Error("reader must expose the snapshot's signature, not the file's")
+	}
+	r.Close()
+
+	// A rejecting verifier invalidates the file on disk.
+	before := s.Stats().Invalidations
+	if r := s.OpenVerify(key, func(Sig) bool { return false }); r != nil {
+		r.Close()
+		t.Fatal("rejected snapshot still returned a reader")
+	}
+	if got := s.Stats().Invalidations; got != before+1 {
+		t.Errorf("invalidations = %d, want %d", got, before+1)
+	}
+	if r := s.OpenVerify(key, func(Sig) bool { return true }); r != nil {
+		r.Close()
+		t.Fatal("invalidated snapshot file should be gone")
+	}
+}

@@ -229,6 +229,45 @@ func (s *Store) Open(key string, sig Sig) *Reader {
 	}
 }
 
+// OpenVerify opens the full snapshot for key like Open, but delegates the
+// staleness decision to ok, which receives the stored signature and
+// reports whether the snapshot is usable for the current raw file. The
+// append-aware catalog uses it to accept snapshots of a prefix-stable
+// ancestor of the file (grown since the save) that Open's exact-match
+// check would discard. Files ok rejects are invalidated.
+func (s *Store) OpenVerify(key string, ok func(Sig) bool) *Reader {
+	path := s.SnapPath(key)
+	r, err := OpenReaderAny(path, s.onRead())
+	if err == nil && !ok(r.Sig()) {
+		r.Close()
+		r, err = nil, ErrStale
+	}
+	switch {
+	case err == nil:
+		s.hits.Add(1)
+		if s.counters != nil {
+			s.counters.AddSnapshotHit(1)
+		}
+		if r.Truncated() {
+			s.invalidations.Add(1)
+			if s.counters != nil {
+				s.counters.AddSnapshotInvalidation(1)
+			}
+			s.Logf("nodb/snapshot: %s is truncated; restoring its intact prefix only", path)
+		}
+		return r
+	case os.IsNotExist(err):
+		s.misses.Add(1)
+		if s.counters != nil {
+			s.counters.AddSnapshotMiss(1)
+		}
+		return nil
+	default:
+		s.invalidate(path, err)
+		return nil
+	}
+}
+
 // CountCorrupt records a corrupt section discovered during a lazy read
 // (the file stays: other sections may be fine).
 func (s *Store) CountCorrupt(key string, err error) {

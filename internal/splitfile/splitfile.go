@@ -520,6 +520,165 @@ func (r *Registry) SpillTo(dir string) (Manifest, int64, error) {
 	return m, moved, nil
 }
 
+// Extender appends the rows of a prefix-stable growth to every registered
+// split file, keeping sidecars and residual files row-aligned with the
+// grown raw file. Create with NewExtender, feed every appended row in
+// order with AppendRow, then Close. Any failure poisons the extender and
+// Close reports it; the caller must then Drop the registry — a partially
+// extended split set is row-misaligned and unusable.
+type Extender struct {
+	reg     *Registry
+	delim   byte
+	cols    []int // original attribute ids with sidecars, ascending
+	files   []*os.File
+	bufs    []*bufio.Writer
+	rests   [][]int // column sets of the residual files, same order
+	written int64
+	failed  bool
+}
+
+// extOpen opens path for appending.
+func extOpen(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+}
+
+// NewExtender opens every registered split file for appending. Returns
+// (nil, nil) when the registry holds no files — a nil *Extender is valid
+// and inert. On an open failure the caller should Drop the registry.
+func (r *Registry) NewExtender() (*Extender, error) {
+	r.mu.Lock()
+	type sidecar struct {
+		col  int
+		path string
+	}
+	sides := make([]sidecar, 0, len(r.colFiles))
+	for c, p := range r.colFiles {
+		sides = append(sides, sidecar{c, p})
+	}
+	rests := make([]restFile, len(r.rests))
+	copy(rests, r.rests)
+	delim := r.delim
+	r.mu.Unlock()
+	if len(sides) == 0 && len(rests) == 0 {
+		return nil, nil
+	}
+	sort.Slice(sides, func(i, j int) bool { return sides[i].col < sides[j].col })
+
+	e := &Extender{reg: r, delim: delim}
+	fail := func(err error) (*Extender, error) {
+		for _, f := range e.files {
+			f.Close()
+		}
+		return nil, fmt.Errorf("splitfile: %w", err)
+	}
+	for _, s := range sides {
+		f, err := extOpen(s.path)
+		if err != nil {
+			return fail(err)
+		}
+		e.cols = append(e.cols, s.col)
+		e.files = append(e.files, f)
+		e.bufs = append(e.bufs, bufio.NewWriterSize(f, 256<<10))
+	}
+	for _, rf := range rests {
+		f, err := extOpen(rf.path)
+		if err != nil {
+			return fail(err)
+		}
+		e.files = append(e.files, f)
+		e.bufs = append(e.bufs, bufio.NewWriterSize(f, 256<<10))
+		e.rests = append(e.rests, append([]int(nil), rf.cols...))
+	}
+	return e, nil
+}
+
+// AppendRow writes one appended raw row to every open split file.
+// fields[i] must be the raw text of original attribute i — the full row,
+// every column tokenized. Nil-safe.
+func (e *Extender) AppendRow(fields [][]byte) error {
+	if e == nil {
+		return nil
+	}
+	write := func(buf *bufio.Writer, b []byte) error {
+		if _, err := buf.Write(b); err != nil {
+			e.failed = true
+			return err
+		}
+		e.written += int64(len(b))
+		return nil
+	}
+	for i, col := range e.cols {
+		if col >= len(fields) {
+			e.failed = true
+			return fmt.Errorf("splitfile: row has %d fields, sidecar wants col %d", len(fields), col)
+		}
+		if err := write(e.bufs[i], fields[col]); err != nil {
+			return err
+		}
+		if err := write(e.bufs[i], []byte{'\n'}); err != nil {
+			return err
+		}
+	}
+	for i, cols := range e.rests {
+		buf := e.bufs[len(e.cols)+i]
+		for j, col := range cols {
+			if col >= len(fields) {
+				e.failed = true
+				return fmt.Errorf("splitfile: row has %d fields, rest wants col %d", len(fields), col)
+			}
+			if j > 0 {
+				if err := write(buf, []byte{e.delim}); err != nil {
+					return err
+				}
+			}
+			if err := write(buf, fields[col]); err != nil {
+				return err
+			}
+		}
+		if err := write(buf, []byte{'\n'}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes the split files and updates the registry's
+// accounting. On any failure (during writes or here) it reports an error
+// and the caller must Drop the registry. Nil-safe.
+func (e *Extender) Close() error {
+	if e == nil {
+		return nil
+	}
+	var firstErr error
+	for _, b := range e.bufs {
+		if err := b.Flush(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, f := range e.files {
+		if err := f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if e.failed || firstErr != nil {
+		if firstErr != nil {
+			return fmt.Errorf("splitfile: %w", firstErr)
+		}
+		return fmt.Errorf("splitfile: extender failed")
+	}
+	r := e.reg
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters != nil {
+		r.counters.AddSplitBytesWritten(e.written)
+	}
+	if r.acct != nil {
+		r.acct.AddBytes(e.written)
+		r.acct.Touch()
+	}
+	return nil
+}
+
 // Drop removes every registered split file and resets the registry (raw
 // file changed, or eviction reclaiming the storage budget).
 func (r *Registry) Drop() {

@@ -44,11 +44,20 @@ type colAcc struct {
 }
 
 // PortionAcc accumulates one portion's observations. Nil-safe: a nil
-// accumulator ignores observations.
+// accumulator ignores observations. Usually created through a Collector's
+// Begin; NewPortionAcc builds a standalone one for bounded passes (tail
+// extension) that commit through Synopsis.ExtendTail instead.
 type PortionAcc struct {
-	c    *Collector
-	info scan.PortionInfo
-	b    []colAcc
+	info  scan.PortionInfo
+	cols  []int
+	types []schema.Type
+	b     []colAcc
+}
+
+// NewPortionAcc prepares standalone accumulation of bounds for cols (with
+// matching types) over one portion.
+func NewPortionAcc(info scan.PortionInfo, cols []int, types []schema.Type) *PortionAcc {
+	return &PortionAcc{info: info, cols: cols, types: types, b: make([]colAcc, len(cols))}
 }
 
 // Layout returns the synopsis' learned layout, pinned to the generation
@@ -76,7 +85,7 @@ func (c *Collector) Begin(p scan.PortionInfo) *PortionAcc {
 	if c == nil {
 		return nil
 	}
-	a := &PortionAcc{c: c, info: p, b: make([]colAcc, len(c.cols))}
+	a := NewPortionAcc(p, c.cols, c.types)
 	c.mu.Lock()
 	c.acc[p.Index] = a
 	c.mu.Unlock()
@@ -92,7 +101,7 @@ func (a *PortionAcc) Observe(idx int, v storage.Value) {
 		return
 	}
 	ca := &a.b[idx]
-	switch a.c.types[idx] {
+	switch a.types[idx] {
 	case schema.Int64:
 		if ca.n == 0 {
 			ca.minI, ca.maxI = v.I, v.I
@@ -146,14 +155,25 @@ func (c *Collector) Commit(p scan.PortionInfo, rows int64) {
 	if a == nil || rows <= 0 {
 		return
 	}
+	// Even a bound-less commit matters: it supplies the portion's row
+	// count, completing a lazily-counted layout.
+	c.syn.commit(c.gen, p.Index, p, rows, a.Bounds(rows))
+}
+
+// Bounds extracts the accumulated bounds: columns observed in every one
+// of rows rows contribute; the rest stay uncovered. Nil-safe.
+func (a *PortionAcc) Bounds(rows int64) []ColBounds {
+	if a == nil || rows <= 0 {
+		return nil
+	}
 	var bounds []ColBounds
 	for j := range a.b {
 		ca := &a.b[j]
 		if ca.n != rows || ca.bad {
 			continue
 		}
-		b := ColBounds{Col: c.cols[j], Typ: c.types[j], MinExact: true, MaxExact: true}
-		switch c.types[j] {
+		b := ColBounds{Col: a.cols[j], Typ: a.types[j], MinExact: true, MaxExact: true}
+		switch a.types[j] {
 		case schema.Int64:
 			b.MinI, b.MaxI = ca.minI, ca.maxI
 		case schema.Float64:
@@ -164,9 +184,7 @@ func (c *Collector) Commit(p scan.PortionInfo, rows int64) {
 		}
 		bounds = append(bounds, b)
 	}
-	// Even a bound-less commit matters: it supplies the portion's row
-	// count, completing a lazily-counted layout.
-	c.syn.commit(c.gen, p.Index, p, rows, bounds)
+	return bounds
 }
 
 // prefix truncates a string bound to StringPrefixLen; exact reports

@@ -320,6 +320,58 @@ func (s *Synopsis) Import(ps []PortionState, sch *schema.Schema) {
 	s.recomputeCompleteLocked()
 }
 
+// ExtendTail appends tail portions — learned by a bounded scan of the
+// bytes a prefix-stable growth appended — to a complete layout that ends
+// exactly at the first new portion's Off. The new portions must be
+// contiguous with non-negative row counts and FirstRow ids continuing the
+// existing total. Reports whether the extension was applied; on any
+// mismatch the synopsis is left untouched so the caller can Drop it and
+// relearn from scratch.
+func (s *Synopsis) ExtendTail(ps []PortionState) bool {
+	if s == nil || len(ps) == 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.complete || len(s.portions) == 0 {
+		return false
+	}
+	last := s.portions[len(s.portions)-1].info
+	var total int64
+	for i := range s.portions {
+		total += s.portions[i].info.Rows
+	}
+	end, firstRow := last.End, total
+	for _, p := range ps {
+		if p.Info.Off != end || p.Info.End <= p.Info.Off || p.Info.Rows < 0 || p.Info.FirstRow != firstRow {
+			return false
+		}
+		end = p.Info.End
+		firstRow += p.Info.Rows
+	}
+	add := int64(0)
+	for _, p := range ps {
+		info := p.Info
+		info.Index = len(s.portions)
+		ns := portionSyn{info: info}
+		add += 48
+		for _, b := range p.Cols {
+			if ns.cols == nil {
+				ns.cols = make(map[int]ColBounds, len(p.Cols))
+			}
+			ns.cols[b.Col] = b
+			add += b.memSize()
+		}
+		s.portions = append(s.portions, ns)
+	}
+	s.bytes += add
+	if s.acct != nil {
+		s.acct.AddBytes(add)
+		s.acct.Touch()
+	}
+	return true
+}
+
 // commit installs one portion's bounds, learned by a completed portion
 // scan. Stale commits (generation mismatch, unknown portion) are
 // discarded.

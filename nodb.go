@@ -362,12 +362,69 @@ func (db *DB) SnapStats() SnapStats { return db.e.SnapStats() }
 // Ping reports whether the DB is usable; it returns ErrClosed after Close.
 func (db *DB) Ping() error { return db.e.Ping() }
 
+// TableSpec describes a raw file to attach as a table: where it lives and
+// how to read it. The zero value plus a Path is the common case — format,
+// delimiter, header and column types are detected automatically.
+type TableSpec struct {
+	// Path is the raw flat file to serve queries from.
+	Path string
+	// Format forces the file format, "csv" or "ndjson", instead of
+	// sniffing the prefix. Forcing matters for files whose first rows are
+	// unrepresentative (e.g. an empty NDJSON log that will grow later).
+	Format string
+	// Delimiter forces the CSV delimiter instead of sniffing.
+	Delimiter byte
+	// Follow marks the table for tail-follow polling: nodbd's -follow
+	// mode periodically calls Refresh on every followed table, folding in
+	// appended rows. The library itself never polls — embedders run their
+	// own loop over Followed/Refresh.
+	Follow bool
+}
+
+// Attach registers the raw file described by spec as a queryable table,
+// replacing any previous table of that name (and dropping its derived
+// state). This is the only setup step NoDB requires.
+func (db *DB) Attach(name string, spec TableSpec) error {
+	return db.e.Attach(name, core.TableSpec{
+		Path:      spec.Path,
+		Format:    spec.Format,
+		Delimiter: spec.Delimiter,
+		Follow:    spec.Follow,
+	})
+}
+
+// Detach removes a table and drops everything derived from its file.
+func (db *DB) Detach(name string) error { return db.e.Detach(name) }
+
+// RefreshResult describes what a Refresh found: whether the file changed,
+// whether the change was append-only growth that was folded in
+// incrementally (Grown — learned structures kept), and how many rows and
+// bytes arrived.
+type RefreshResult = core.RefreshResult
+
+// Refresh re-stats a table's raw file now. Rows appended since the last
+// look (the file grew and its previous contents are intact) extend the
+// positional map, cached columns, coverage regions, scan synopsis and
+// split files in one pass over just the new tail; any other edit
+// invalidates the derived state, exactly as a query would. Queries detect
+// both cases automatically unless DisableRevalidation is set; Refresh is
+// for follow loops and for engines that disabled revalidation.
+func (db *DB) Refresh(name string) (RefreshResult, error) { return db.e.Refresh(name) }
+
+// Followed returns the names of attached tables whose TableSpec set
+// Follow, sorted.
+func (db *DB) Followed() []string { return db.e.Followed() }
+
 // Link registers the flat file at path as a queryable table. The schema
 // (delimiter, header, column names and types) is detected automatically.
-// This is the only setup step.
+//
+// Deprecated: Link is Attach(name, TableSpec{Path: path}); new code should
+// use Attach, which can also force the format and request tail-following.
 func (db *DB) Link(name, path string) error { return db.e.Link(name, path) }
 
 // Unlink removes a table and drops everything derived from its file.
+//
+// Deprecated: Unlink is the old name of Detach.
 func (db *DB) Unlink(name string) error { return db.e.Unlink(name) }
 
 // Tables returns the linked table names.
@@ -464,6 +521,14 @@ type TableStats = core.TableStats
 
 // TableStats reports what the engine has adaptively built for a table.
 func (db *DB) TableStats(name string) (TableStats, error) { return db.e.TableStats(name) }
+
+// IngestStats is a table's append-ingestion accounting: rows and bytes
+// folded in by incremental tail extensions, and when the last one ran.
+type IngestStats = catalog.IngestStats
+
+// Signature identifies one version of a raw file: size, mtime, and the
+// prefix/tail checksums that certify prefix-stable growth.
+type Signature = catalog.Signature
 
 // SynopsisExport is one table's exported scan synopsis: the learned
 // portion layout with per-portion zone maps, plus the raw file's signature
