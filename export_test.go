@@ -1,0 +1,6 @@
+package nodb
+
+// OpenFSForTest exposes the fault-injection open seam to external test
+// packages. The server-over-faulty-disk integration tests live in
+// package nodb_test because internal/server imports this package.
+var OpenFSForTest = openFS

@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 
 	"nodb/internal/cracking"
+	"nodb/internal/errs"
 	"nodb/internal/govern"
 	"nodb/internal/intervals"
 	"nodb/internal/metrics"
@@ -44,6 +45,7 @@ import (
 	"nodb/internal/splitfile"
 	"nodb/internal/storage"
 	"nodb/internal/synopsis"
+	"nodb/internal/vfs"
 )
 
 // Signature fingerprints a raw file cheaply: size, mtime, a CRC of the
@@ -66,13 +68,18 @@ const sigProbeLen = 4096
 
 // SignFile computes the signature of the file at path.
 func SignFile(path string) (Signature, error) {
-	st, err := os.Stat(path)
+	return SignFileFS(nil, path)
+}
+
+// SignFileFS is SignFile through an explicit filesystem.
+func SignFileFS(fsys vfs.FS, path string) (Signature, error) {
+	st, err := vfs.Default(fsys).Stat(path)
 	if err != nil {
-		return Signature{}, fmt.Errorf("catalog: %w", err)
+		return Signature{}, errs.Wrap(errs.ErrRawIO, "catalog sign", path, err)
 	}
-	f, err := os.Open(path)
+	f, err := vfs.Default(fsys).Open(path)
 	if err != nil {
-		return Signature{}, fmt.Errorf("catalog: %w", err)
+		return Signature{}, errs.Wrap(errs.ErrRawIO, "catalog sign", path, err)
 	}
 	defer f.Close()
 	size := st.Size()
@@ -82,7 +89,7 @@ func SignFile(path string) (Signature, error) {
 	}
 	prefix, err := crcRange(f, 0, pEnd)
 	if err != nil {
-		return Signature{}, fmt.Errorf("catalog: %w", err)
+		return Signature{}, errs.Wrap(errs.ErrRawIO, "catalog sign", path, err)
 	}
 	tStart := size - sigProbeLen
 	if tStart < 0 {
@@ -90,7 +97,7 @@ func SignFile(path string) (Signature, error) {
 	}
 	tail, err := crcRange(f, tStart, size)
 	if err != nil {
-		return Signature{}, fmt.Errorf("catalog: %w", err)
+		return Signature{}, errs.Wrap(errs.ErrRawIO, "catalog sign", path, err)
 	}
 	return Signature{
 		Size:    size,
@@ -103,7 +110,7 @@ func SignFile(path string) (Signature, error) {
 // crcRange CRCs the bytes [off, end) of f. A file shrunk concurrently
 // yields a CRC over the shorter read — a signature that matches nothing,
 // which is the right failure mode.
-func crcRange(f *os.File, off, end int64) (uint32, error) {
+func crcRange(f vfs.File, off, end int64) (uint32, error) {
 	if end <= off {
 		return crc32.ChecksumIEEE(nil), nil
 	}
@@ -121,19 +128,24 @@ func crcRange(f *os.File, off, end int64) (uint32, error) {
 // newline, so the appended bytes start on a fresh row boundary. ModTime
 // is deliberately ignored — an append always bumps it.
 func GrownFrom(path string, old Signature) (bool, error) {
+	return GrownFromFS(nil, path, old)
+}
+
+// GrownFromFS is GrownFrom through an explicit filesystem.
+func GrownFromFS(fsys vfs.FS, path string, old Signature) (bool, error) {
 	if old.Size <= 0 {
 		return false, nil
 	}
-	st, err := os.Stat(path)
+	st, err := vfs.Default(fsys).Stat(path)
 	if err != nil {
-		return false, fmt.Errorf("catalog: %w", err)
+		return false, errs.Wrap(errs.ErrRawIO, "catalog grown", path, err)
 	}
 	if st.Size() <= old.Size {
 		return false, nil
 	}
-	f, err := os.Open(path)
+	f, err := vfs.Default(fsys).Open(path)
 	if err != nil {
-		return false, fmt.Errorf("catalog: %w", err)
+		return false, errs.Wrap(errs.ErrRawIO, "catalog grown", path, err)
 	}
 	defer f.Close()
 	pEnd := int64(sigProbeLen)
@@ -141,14 +153,14 @@ func GrownFrom(path string, old Signature) (bool, error) {
 		pEnd = old.Size
 	}
 	if crc, err := crcRange(f, 0, pEnd); err != nil || crc != old.Prefix {
-		return false, err
+		return false, errs.Wrap(errs.ErrRawIO, "catalog grown", path, err)
 	}
 	tStart := old.Size - sigProbeLen
 	if tStart < 0 {
 		tStart = 0
 	}
 	if crc, err := crcRange(f, tStart, old.Size); err != nil || crc != old.Tail {
-		return false, err
+		return false, errs.Wrap(errs.ErrRawIO, "catalog grown", path, err)
 	}
 	var last [1]byte
 	if _, err := f.ReadAt(last[:], old.Size-1); err != nil {
@@ -222,6 +234,7 @@ type Table struct {
 	schema *schema.Schema
 	sig    Signature
 	detect schema.DetectOptions // options the schema was detected with (Refresh re-uses them)
+	fs     vfs.FS               // filesystem for raw-file access; nil = real disk
 
 	// Ingest counters (guarded by mu): appended rows/bytes folded in by
 	// incremental tail extensions, how many extensions ran, and when the
@@ -848,7 +861,7 @@ func (t *Table) initSnapLocked() {
 		if stored.Size <= 0 || stored.Size >= sig.Size {
 			return false
 		}
-		ok, err := GrownFrom(t.path, catSig(stored))
+		ok, err := GrownFromFS(t.fs, t.path, catSig(stored))
 		return err == nil && ok
 	})
 	if r != nil && r.Sig() != want {
@@ -1681,7 +1694,7 @@ func (t *Table) releaseGoverned() {
 // keyed by the old signature and would only self-invalidate later — and
 // re-detects the schema. Returns true when either happened.
 func (t *Table) Revalidate() (bool, error) {
-	sig, err := SignFile(t.path)
+	sig, err := SignFileFS(t.fs, t.path)
 	if err != nil {
 		return false, err
 	}
@@ -1703,7 +1716,7 @@ func (t *Table) Revalidate() (bool, error) {
 		return false, nil // raced with another Revalidate
 	}
 	if sig.Size > old.Size {
-		if ok, gerr := GrownFrom(t.path, old); gerr == nil && ok {
+		if ok, gerr := GrownFromFS(t.fs, t.path, old); gerr == nil && ok {
 			// The prefix (and therefore the header and schema) is intact:
 			// extend positional map, synopsis, coverage regions, dense
 			// columns and split files over the appended tail instead of
@@ -1773,6 +1786,10 @@ type Options struct {
 	Snapshots *snapshot.Store
 	// Counters receives work accounting; may be nil.
 	Counters *metrics.Counters
+	// FS is the filesystem raw files are read through (schema
+	// detection, signatures, revalidation, tail extension); nil means
+	// the real disk.
+	FS vfs.FS
 }
 
 // Catalog is the set of linked tables. Safe for concurrent use.
@@ -1798,11 +1815,14 @@ func (c *Catalog) Link(name, path string) (*Table, error) {
 // or delimiter). The options are remembered: revalidation after a file
 // edit re-detects the schema under the same constraints.
 func (c *Catalog) LinkOpts(name, path string, dopts schema.DetectOptions) (*Table, error) {
+	if dopts.FS == nil {
+		dopts.FS = c.opts.FS
+	}
 	sch, err := schema.Detect(path, dopts)
 	if err != nil {
 		return nil, fmt.Errorf("catalog: linking %s: %w", path, err)
 	}
-	sig, err := SignFile(path)
+	sig, err := SignFileFS(c.opts.FS, path)
 	if err != nil {
 		return nil, err
 	}
@@ -1812,6 +1832,7 @@ func (c *Catalog) LinkOpts(name, path string, dopts schema.DetectOptions) (*Tabl
 		schema:   sch,
 		sig:      sig,
 		detect:   dopts,
+		fs:       c.opts.FS,
 		rows:     -1,
 		cols:     make([]ColState, len(sch.Columns)),
 		crack:    make(map[int]*cracking.Cracker),
@@ -1826,6 +1847,7 @@ func (c *Catalog) LinkOpts(name, path string, dopts schema.DetectOptions) (*Tabl
 	if c.opts.SplitDir != "" && sch.Format == scan.FormatCSV {
 		dir := filepath.Join(c.opts.SplitDir, sanitizeName(name))
 		t.Splits = splitfile.NewRegistry(dir, path, len(sch.Columns), sch.Delimiter, c.opts.Counters)
+		t.Splits.FS = c.opts.FS
 	}
 	if c.opts.Snapshots != nil {
 		t.snap = c.opts.Snapshots

@@ -2,15 +2,16 @@ package catalog
 
 import (
 	"fmt"
-	"os"
 	"sort"
 	"time"
 
+	"nodb/internal/errs"
 	"nodb/internal/scan"
 	"nodb/internal/schema"
 	"nodb/internal/splitfile"
 	"nodb/internal/storage"
 	"nodb/internal/synopsis"
+	"nodb/internal/vfs"
 )
 
 // IngestStats reports a table's append-ingestion accounting: how much of
@@ -86,9 +87,9 @@ func (t *Table) extendForGrowth(old, cur Signature) error {
 
 	// The appended range must end on a row boundary; otherwise a torn or
 	// still-in-progress append would be folded in as half a row.
-	f, err := os.Open(t.path)
+	f, err := vfs.Default(t.fs).Open(t.path)
 	if err != nil {
-		return err
+		return errs.Wrap(errs.ErrRawIO, "catalog extend", t.path, err)
 	}
 	var last [1]byte
 	_, rerr := f.ReadAt(last[:], cur.Size-1)
@@ -256,6 +257,7 @@ func (t *Table) extendForGrowth(old, cur Signature) error {
 		Counters:    t.counters,
 		StartOffset: old.Size,
 		MaxOffset:   cur.Size,
+		FS:          t.fs,
 	})
 	if err != nil {
 		return err

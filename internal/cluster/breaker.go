@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Breaker is one shard's circuit breaker. It sits under the retry budget:
+// the retrier decides how often one query re-attempts a shard, the
+// breaker decides whether anyone should be dialing the shard at all. A
+// shard that fails breakerThreshold consecutive interactions opens its
+// breaker, and every query until the open interval expires skips the
+// shard instantly — no dial, no per-attempt timeout burned — instead of
+// each independently rediscovering that it is dead. When the interval
+// expires one probe attempt is let through (half-open): success closes
+// the breaker, failure re-opens it with a doubled, jittered interval.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures to open
+	baseDelay time.Duration // first open interval
+	maxDelay  time.Duration // cap for the doubling interval
+
+	failures int // consecutive failures seen
+	state    breakerState
+	until    time.Time     // open: next probe not before this
+	delay    time.Duration // current open interval (doubles per re-open)
+	probing  bool          // half-open: one probe already admitted
+
+	opened int64 // times the breaker opened (stats)
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// Breaker defaults: open after 3 consecutive failures, first open
+// interval 500ms doubling to a 30s cap, each interval jittered ±50%.
+const (
+	breakerThreshold = 3
+	breakerBaseDelay = 500 * time.Millisecond
+	breakerMaxDelay  = 30 * time.Second
+)
+
+// NewBreaker builds a breaker; zero arguments select the defaults.
+func NewBreaker(threshold int, baseDelay, maxDelay time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = breakerThreshold
+	}
+	if baseDelay <= 0 {
+		baseDelay = breakerBaseDelay
+	}
+	if maxDelay <= 0 {
+		maxDelay = breakerMaxDelay
+	}
+	return &Breaker{threshold: threshold, baseDelay: baseDelay, maxDelay: maxDelay}
+}
+
+// Allow reports whether an attempt may proceed now. In the open state it
+// returns false until the interval expires, then admits exactly one
+// half-open probe; concurrent callers keep being refused until that
+// probe's Success or Failure settles the state.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Now().Before(b.until) {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a successful interaction, closing the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.state = breakerClosed
+	b.probing = false
+	b.delay = 0
+}
+
+// Failure records a failed interaction: threshold consecutive failures
+// open the breaker; a failed half-open probe re-opens it with a doubled
+// interval. Each open interval is jittered ±50% so a fleet of
+// coordinators does not re-probe a recovering shard in lockstep.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	switch {
+	case b.state == breakerHalfOpen:
+		b.reopenLocked()
+	case b.state == breakerClosed && b.failures >= b.threshold:
+		b.delay = 0
+		b.reopenLocked()
+	}
+}
+
+func (b *Breaker) reopenLocked() {
+	if b.delay <= 0 {
+		b.delay = b.baseDelay
+	} else {
+		b.delay *= 2
+		if b.delay > b.maxDelay {
+			b.delay = b.maxDelay
+		}
+	}
+	jittered := b.delay/2 + time.Duration(rand.Int63n(int64(b.delay)))
+	b.state = breakerOpen
+	b.probing = false
+	b.until = time.Now().Add(jittered)
+	b.opened++
+}
+
+// State returns the state name for stats ("closed", "open", "half-open").
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if !time.Now().Before(b.until) {
+			return "half-open" // next Allow admits a probe
+		}
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Opened reports how many times the breaker has opened.
+func (b *Breaker) Opened() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opened
+}

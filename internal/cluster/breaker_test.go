@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b := NewBreaker(3, time.Hour, 0)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if !b.Allow() {
+			t.Fatalf("breaker opened after %d failures, threshold is 3", i+1)
+		}
+	}
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("breaker still closed after 3 consecutive failures")
+	}
+	if got := b.State(); got != "open" {
+		t.Fatalf("state = %q, want open", got)
+	}
+	if b.Opened() != 1 {
+		t.Fatalf("opened = %d, want 1", b.Opened())
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b := NewBreaker(3, time.Hour, 0)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if !b.Allow() {
+		t.Fatal("success must reset the consecutive-failure streak")
+	}
+}
+
+func TestBreakerHalfOpenAdmitsOneProbe(t *testing.T) {
+	b := NewBreaker(1, time.Nanosecond, time.Nanosecond)
+	b.Failure()
+	time.Sleep(time.Millisecond) // let the open interval expire
+	if !b.Allow() {
+		t.Fatal("expired open interval must admit a probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open must admit exactly one probe at a time")
+	}
+	b.Success()
+	if !b.Allow() {
+		t.Fatal("probe success must close the breaker")
+	}
+	if got := b.State(); got != "closed" {
+		t.Fatalf("state = %q, want closed", got)
+	}
+}
+
+func TestBreakerFailedProbeReopensWithLongerDelay(t *testing.T) {
+	b := NewBreaker(1, 10*time.Millisecond, time.Hour)
+	b.Failure() // opens with base delay
+	d1 := b.delay
+	time.Sleep(50 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("expired open interval must admit a probe")
+	}
+	b.Failure() // failed probe: reopen with doubled delay
+	if b.delay != 2*d1 {
+		t.Fatalf("delay after failed probe = %v, want %v", b.delay, 2*d1)
+	}
+	if b.Opened() != 2 {
+		t.Fatalf("opened = %d, want 2", b.Opened())
+	}
+}
+
+func TestBreakerDelayCapped(t *testing.T) {
+	b := NewBreaker(1, 10*time.Millisecond, 25*time.Millisecond)
+	b.Failure()
+	for i := 0; i < 5; i++ {
+		b.mu.Lock()
+		b.state = breakerHalfOpen // force probe state without sleeping
+		b.mu.Unlock()
+		b.Failure()
+	}
+	if b.delay > 25*time.Millisecond {
+		t.Fatalf("delay %v exceeds cap", b.delay)
+	}
+}

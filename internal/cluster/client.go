@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"nodb/internal/errs"
 	"nodb/internal/qos"
 	"nodb/internal/storage"
 )
@@ -43,6 +44,11 @@ func (e *ShardError) Unwrap() error { return e.cause }
 // retry would burn the budget for nothing.
 func retryable(err error) bool {
 	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	if errors.Is(err, errs.ErrCircuitOpen) {
+		// The breaker already knows the shard is down; retrying inside
+		// the same query would just spin until the budget is gone.
 		return false
 	}
 	var se *ShardError

@@ -722,3 +722,92 @@ func TestCoordinatorTenantAuth(t *testing.T) {
 		t.Fatalf("stats missing reporting tenant: %+v", stats.Tenants)
 	}
 }
+
+// hangShard answers health and synopsis probes instantly but never
+// responds to a query until the request is cancelled — the worst-case
+// dead shard: reachable, just infinitely slow.
+type hangShard struct {
+	queries atomic.Int32
+}
+
+func (h *hangShard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch strings.TrimPrefix(r.URL.Path, "/v1") {
+	case "/readyz", "/healthz":
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	case "/cluster/synopsis":
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"tables":{}}`)
+	case "/query/stream":
+		h.queries.Add(1)
+		// Drain the body so the server arms close-detection and cancels
+		// the request context when the coordinator gives up.
+		_, _ = io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// TestCircuitBreakerSkipsOpenShard pins the breaker's latency win: after
+// a hung shard burns one query's ShardTimeout and opens its breaker, the
+// next query must skip that shard instantly — completing in a fraction
+// of the timeout it would otherwise burn again — while still reporting
+// the shard failed in the partial-results trailer, and without a second
+// dial ever reaching the shard.
+func TestCircuitBreakerSkipsOpenShard(t *testing.T) {
+	healthy := httptest.NewServer(&fakeShard{columns: []string{"a1"}, rows: fakeRows(1, 2, 3)})
+	t.Cleanup(healthy.Close)
+	hung := &hangShard{}
+	hungSrv := httptest.NewServer(hung)
+	t.Cleanup(hungSrv.Close)
+
+	const shardTimeout = 800 * time.Millisecond
+	coord := startCoordinator(t, cluster.CoordinatorConfig{
+		Shards:           []string{healthy.URL, hungSrv.URL},
+		AllowPartial:     true,
+		Retries:          -1, // single attempt per query
+		ShardTimeout:     shardTimeout,
+		BreakerThreshold: 1,
+		BreakerBackoff:   time.Minute, // stays open for the whole test
+	})
+
+	check := func(stage string, sr streamResult) {
+		t.Helper()
+		want := []string{"[1]", "[2]", "[3]"}
+		if len(sr.rows) != len(want) {
+			t.Fatalf("%s: rows = %v, want %v", stage, sr.rows, want)
+		}
+		for i := range want {
+			if sr.rows[i] != want[i] {
+				t.Fatalf("%s: row %d = %s, want %s", stage, i, sr.rows[i], want[i])
+			}
+		}
+		cl := clusterTrailer(t, sr)
+		if partial, _ := cl["partial_results"].(bool); !partial {
+			t.Fatalf("%s: expected partial_results=true, got %v", stage, cl)
+		}
+		failed, _ := cl["failed_shards"].([]any)
+		if len(failed) != 1 || failed[0] != hungSrv.URL {
+			t.Fatalf("%s: expected failed_shards=[%s], got %v", stage, hungSrv.URL, cl)
+		}
+	}
+
+	start := time.Now()
+	first := stream(t, coord.URL, "select a1 from t")
+	if d := time.Since(start); d < shardTimeout {
+		t.Fatalf("first query finished in %v; expected it to burn the %v shard timeout", d, shardTimeout)
+	}
+	check("first", first)
+
+	start = time.Now()
+	second := stream(t, coord.URL, "select a1 from t")
+	if d := time.Since(start); d >= shardTimeout/2 {
+		t.Fatalf("second query took %v; an open breaker must skip the shard without consuming its %v timeout", d, shardTimeout)
+	}
+	check("second", second)
+
+	if n := hung.queries.Load(); n != 1 {
+		t.Fatalf("hung shard saw %d query attempts, want 1 (the breaker must prevent the second dial)", n)
+	}
+}

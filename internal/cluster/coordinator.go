@@ -48,6 +48,13 @@ type CoordinatorConfig struct {
 	// stays dead, reporting the failed shards in the stats trailer.
 	// When false a dead shard fails the whole query.
 	AllowPartial bool
+	// BreakerThreshold is how many consecutive failures open a shard's
+	// circuit breaker (0 = default 3; breakers cannot be disabled, only
+	// tuned — an open breaker costs nothing when shards are healthy).
+	BreakerThreshold int
+	// BreakerBackoff is the breaker's first open interval, doubling per
+	// consecutive re-open up to a 30s cap (0 = default 500ms).
+	BreakerBackoff time.Duration
 	// MaxInFlight caps concurrently executing queries (default 64).
 	MaxInFlight int
 	// DefaultTimeout bounds each query when the request does not set its
@@ -146,6 +153,11 @@ type Coordinator struct {
 
 	ready []atomic.Int32 // per-shard readiness (shardUnknown/Ready/Unready)
 
+	// breakers is the per-shard circuit-breaker array, aligned with
+	// shards. Breakers persist across queries: consecutive failures
+	// accumulate no matter which query observed them.
+	breakers []*Breaker
+
 	synMu    sync.Mutex
 	synCache map[int]synEntry
 
@@ -170,7 +182,11 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		mux:      http.NewServeMux(),
 		started:  time.Now(),
 		ready:    make([]atomic.Int32, len(cfg.Shards)),
+		breakers: make([]*Breaker, len(cfg.Shards)),
 		synCache: map[int]synEntry{},
+	}
+	for i := range c.breakers {
+		c.breakers[i] = NewBreaker(cfg.BreakerThreshold, cfg.BreakerBackoff, 0)
 	}
 	globalSlots := cfg.maxInFlight()
 	if cfg.Tenants != nil {
@@ -525,7 +541,7 @@ func (c *Coordinator) runStreaming(ctx context.Context, plan *ScatterPlan, cand 
 	for j, i := range cand {
 		iters[j] = newShardIter(sctx, c.shards[i], plan.PushedSQL,
 			c.cfg.retries(), c.cfg.retryBackoff(), c.cfg.ShardTimeout,
-			func() { st.retries.Add(1) })
+			func() { st.retries.Add(1) }, c.breakers[i])
 		wg.Add(1)
 		go func(j int) {
 			defer wg.Done()
@@ -611,7 +627,7 @@ func (c *Coordinator) runAggregate(ctx context.Context, plan *ScatterPlan, cand 
 			defer wg.Done()
 			it := newShardIter(sctx, c.shards[i], plan.PushedSQL,
 				c.cfg.retries(), c.cfg.retryBackoff(), c.cfg.ShardTimeout,
-				func() { st.retries.Add(1) })
+				func() { st.retries.Add(1) }, c.breakers[i])
 			defer func() { st.bytes.Add(it.Bytes()); it.Close() }()
 			rows, err := exec.DrainRowIter(it)
 			results[j] = drainResult{rows: rows, err: err}
@@ -1164,6 +1180,10 @@ func (c *Coordinator) handleSchema(w http.ResponseWriter, r *http.Request) {
 type shardStatusJSON struct {
 	Shard string `json:"shard"`
 	State string `json:"state"`
+	// Breaker is the shard's circuit-breaker state ("closed", "open",
+	// "half-open"); BreakerOpened counts how often it has opened.
+	Breaker       string `json:"breaker"`
+	BreakerOpened int64  `json:"breaker_opened,omitempty"`
 }
 
 func (c *Coordinator) shardStates() []shardStatusJSON {
@@ -1176,7 +1196,12 @@ func (c *Coordinator) shardStates() []shardStatusJSON {
 		case shardUnready:
 			state = "unready"
 		}
-		out[i] = shardStatusJSON{Shard: sc.Name, State: state}
+		out[i] = shardStatusJSON{
+			Shard:         sc.Name,
+			State:         state,
+			Breaker:       c.breakers[i].State(),
+			BreakerOpened: c.breakers[i].Opened(),
+		}
 	}
 	return out
 }

@@ -2,9 +2,11 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
+	"nodb/internal/errs"
 	"nodb/internal/storage"
 )
 
@@ -25,6 +27,8 @@ type shardIter struct {
 
 	// onRetry is notified once per re-attempt (stats counter).
 	onRetry func()
+	// breaker is the shard's circuit breaker; nil disables breaking.
+	breaker *Breaker
 
 	stream    *ShardStream
 	cancel    context.CancelFunc
@@ -33,7 +37,7 @@ type shardIter struct {
 	err       error
 }
 
-func newShardIter(ctx context.Context, c *ShardClient, query string, retries int, backoff, timeout time.Duration, onRetry func()) *shardIter {
+func newShardIter(ctx context.Context, c *ShardClient, query string, retries int, backoff, timeout time.Duration, onRetry func(), breaker *Breaker) *shardIter {
 	if retries < 0 {
 		retries = 0
 	}
@@ -45,12 +49,17 @@ func newShardIter(ctx context.Context, c *ShardClient, query string, retries int
 		backoff: backoff,
 		timeout: timeout,
 		onRetry: onRetry,
+		breaker: breaker,
 	}
 }
 
 // open starts one attempt (consuming budget) and resumes past the rows
-// already delivered.
+// already delivered. An open circuit refuses the attempt locally — no
+// dial, no per-attempt timeout consumed — with a non-retryable error.
 func (s *shardIter) open() error {
+	if s.breaker != nil && !s.breaker.Allow() {
+		return &ShardError{Shard: s.client.Name, Msg: "circuit open", cause: errs.ErrCircuitOpen}
+	}
 	s.budget--
 	actx := s.parent
 	var cancel context.CancelFunc = func() {}
@@ -60,8 +69,10 @@ func (s *shardIter) open() error {
 	st, err := s.client.Stream(actx, s.query)
 	if err != nil {
 		cancel()
+		s.noteOutcome(err)
 		return err
 	}
+	s.noteOutcome(nil)
 	for skip := s.delivered; skip > 0; skip-- {
 		_, ok, err := st.Next()
 		if err != nil {
@@ -80,6 +91,23 @@ func (s *shardIter) open() error {
 	}
 	s.stream, s.cancel = st, cancel
 	return nil
+}
+
+// noteOutcome feeds the circuit breaker. Parent-context cancellation is
+// the caller giving up, not a shard fault, and does not count against
+// the shard; everything else does (including per-attempt timeouts).
+func (s *shardIter) noteOutcome(err error) {
+	if s.breaker == nil {
+		return
+	}
+	if err == nil {
+		s.breaker.Success()
+		return
+	}
+	if s.parent.Err() != nil || errors.Is(err, context.Canceled) {
+		return
+	}
+	s.breaker.Failure()
 }
 
 // retryWait sleeps the current backoff (doubling it) unless the parent
@@ -152,6 +180,7 @@ func (s *shardIter) Next() ([]storage.Value, bool, error) {
 			return row, ok, nil
 		}
 		s.closeAttempt()
+		s.noteOutcome(err)
 		if s.budget <= 0 || !retryable(err) || s.parent.Err() != nil {
 			s.err = err
 			return nil, false, err

@@ -34,6 +34,7 @@ import (
 	"nodb/internal/sql"
 	"nodb/internal/storage"
 	"nodb/internal/synopsis"
+	"nodb/internal/vfs"
 )
 
 // Options configures an Engine.
@@ -100,6 +101,10 @@ type Options struct {
 	// Tenants configures per-tenant budget partitioning in the memory
 	// governor (weights; see qos.Tenant). Empty disables tenancy.
 	Tenants []qos.Tenant
+	// FS is the filesystem every disk access goes through — raw-file
+	// scans, schema detection, snapshots, spills and split files. Nil
+	// means the real disk; tests inject a fault-scheduling FS here.
+	FS vfs.FS
 }
 
 // ErrClosed is returned by every query or preparation attempt after the
@@ -158,6 +163,7 @@ func NewEngine(opts Options) *Engine {
 	}
 	if opts.CacheDir != "" {
 		e.snap = snapshot.NewStore(opts.CacheDir, &e.counters)
+		e.snap.FS = opts.FS
 	}
 	e.cat = catalog.New(catalog.Options{
 		SplitDir:     opts.SplitDir,
@@ -165,6 +171,7 @@ func NewEngine(opts Options) *Engine {
 		Governor:     e.gov,
 		Snapshots:    e.snap,
 		Counters:     &e.counters,
+		FS:           opts.FS,
 	})
 	e.ld = &loader.Loader{
 		Counters:        &e.counters,
@@ -173,10 +180,11 @@ func NewEngine(opts Options) *Engine {
 		RecordPositions: !opts.DisablePositionalMap,
 		UsePositions:    !opts.DisablePositionalMap,
 		UseSynopsis:     !opts.DisableSynopsis,
+		FS:              opts.FS,
 	}
 	// The external baseline never learns anything — no positional map and
 	// no synopsis; it re-pays the full scan every query by design.
-	e.extLd = &loader.Loader{Counters: &e.counters, Workers: opts.Workers, ChunkSize: opts.ChunkSize}
+	e.extLd = &loader.Loader{Counters: &e.counters, Workers: opts.Workers, ChunkSize: opts.ChunkSize, FS: opts.FS}
 	return e
 }
 

@@ -1,0 +1,84 @@
+package errs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"syscall"
+	"testing"
+)
+
+func TestWrapMatchesKindAndCause(t *testing.T) {
+	cause := &os.PathError{Op: "read", Path: "/x", Err: syscall.EIO}
+	err := Wrap(ErrRawIO, "scan read", "/x", cause)
+	if !errors.Is(err, ErrRawIO) {
+		t.Fatal("wrapped error must match its category sentinel")
+	}
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatal("wrapped error must still match the underlying cause")
+	}
+	if errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatal("wrapped error must not match other categories")
+	}
+}
+
+func TestWrapNilAndDoubleWrap(t *testing.T) {
+	if Wrap(ErrRawIO, "op", "p", nil) != nil {
+		t.Fatal("Wrap(nil) must be nil")
+	}
+	inner := Wrap(ErrRawIO, "inner", "p", syscall.EIO)
+	outer := Wrap(ErrRawIO, "outer", "p", inner)
+	if outer != inner {
+		t.Fatal("re-wrapping under the same category must not stack")
+	}
+}
+
+func TestNewSynthesized(t *testing.T) {
+	err := New(ErrFileShrunk, "scan count", "/x")
+	if !errors.Is(err, ErrFileShrunk) {
+		t.Fatal("synthesized error must match its sentinel")
+	}
+	if err.Error() == "" {
+		t.Fatal("synthesized error must render a message")
+	}
+}
+
+func TestClassifyWrite(t *testing.T) {
+	enospc := &os.PathError{Op: "write", Path: "/x", Err: syscall.ENOSPC}
+	if err := ClassifyWrite("save", "/x", enospc); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("ENOSPC must classify as ErrDiskFull, got %v", err)
+	}
+	edquot := ClassifyWrite("save", "/x", syscall.EDQUOT)
+	if !errors.Is(edquot, ErrDiskFull) {
+		t.Fatal("EDQUOT must classify as ErrDiskFull")
+	}
+	other := errors.New("boom")
+	if err := ClassifyWrite("save", "/x", other); err != other {
+		t.Fatalf("non-space errors must pass through, got %v", err)
+	}
+	if ClassifyWrite("save", "/x", nil) != nil {
+		t.Fatal("ClassifyWrite(nil) must be nil")
+	}
+}
+
+func TestIsDiskFull(t *testing.T) {
+	if IsDiskFull(nil) {
+		t.Fatal("nil is not disk-full")
+	}
+	if !IsDiskFull(syscall.ENOSPC) || !IsDiskFull(New(ErrDiskFull, "op", "")) {
+		t.Fatal("both raw ENOSPC and classified ErrDiskFull must report disk-full")
+	}
+	if IsDiskFull(syscall.EIO) {
+		t.Fatal("EIO is not disk-full")
+	}
+}
+
+func TestIsNotExist(t *testing.T) {
+	err := Wrap(ErrRawIO, "open", "/x", &os.PathError{Op: "open", Path: "/x", Err: fs.ErrNotExist})
+	if !IsNotExist(err) {
+		t.Fatal("IsNotExist must unwrap through the taxonomy")
+	}
+	if IsNotExist(New(ErrRawIO, "open", "/x")) {
+		t.Fatal("a synthesized error is not not-exist")
+	}
+}

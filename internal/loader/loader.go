@@ -33,6 +33,7 @@ import (
 	"nodb/internal/schema"
 	"nodb/internal/storage"
 	"nodb/internal/synopsis"
+	"nodb/internal/vfs"
 )
 
 // Loader executes adaptive loading operators against catalog tables.
@@ -59,6 +60,9 @@ type Loader struct {
 	// the predicate, and the learned portion layout replaces the
 	// boundary-discovery pre-pass of later scans.
 	UseSynopsis bool
+	// FS is the filesystem raw files are read through; nil means the
+	// real disk. Tests substitute a fault-injecting FS here.
+	FS vfs.FS
 }
 
 // synFor returns the table's synopsis when collection is enabled.
@@ -174,6 +178,7 @@ func (l *Loader) scanOpts(ctx context.Context, t *catalog.Table) scan.Options {
 		SkipHeader: sch.HasHeader,
 		Counters:   l.Counters,
 		Context:    ctx,
+		FS:         l.FS,
 	}
 }
 

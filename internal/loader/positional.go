@@ -5,12 +5,13 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"os"
 	"sort"
 
 	"nodb/internal/catalog"
+	"nodb/internal/errs"
 	"nodb/internal/scan"
 	"nodb/internal/storage"
+	"nodb/internal/vfs"
 )
 
 // tryPositionalColumnLoad loads the missing columns by jumping straight to
@@ -99,9 +100,9 @@ func (l *Loader) tryPositionalColumnLoad(ctx context.Context, t *catalog.Table, 
 // loads: CSV tokenizes rightward from an anchor attribute, NDJSON
 // delimits one value token in place.
 func (l *Loader) eachLineAt(ctx context.Context, path string, offs []int64, fn func(rowID int64, off int64, line []byte) error) error {
-	f, err := os.Open(path)
+	f, err := vfs.Default(l.FS).Open(path)
 	if err != nil {
-		return fmt.Errorf("loader: %w", err)
+		return errs.Wrap(errs.ErrRawIO, "loader open", path, err)
 	}
 	defer f.Close()
 
@@ -136,7 +137,7 @@ func (l *Loader) eachLineAt(ctx context.Context, path string, offs []int64, fn f
 			l.Counters.AddRawBytesRead(int64(n))
 		}
 		if err != nil && err != io.EOF {
-			return fmt.Errorf("loader: %w", err)
+			return errs.Wrap(errs.ErrRawIO, "loader read", path, err)
 		}
 		return nil
 	}

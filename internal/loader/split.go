@@ -91,6 +91,7 @@ func (l *Loader) loadGroup(ctx context.Context, t *catalog.Table, src splitfile.
 		SkipHeader: src.Raw && sch.HasHeader,
 		Counters:   l.Counters,
 		Context:    ctx,
+		FS:         l.FS,
 	}
 	sc, err := scan.Open(src.Path, opts)
 	if err != nil {
@@ -160,18 +161,23 @@ func (l *Loader) loadGroup(ctx context.Context, t *catalog.Table, src splitfile.
 		return nil
 	}, nil)
 	if err != nil {
-		w.Close()
+		w.Abort() // the feed stopped early; the files hold a prefix
 		return err
 	}
 	if splitErr != nil {
-		w.Close()
+		w.Abort()
 		return splitErr
 	}
-	if err := w.Close(); err != nil {
+	// Validate row alignment before registering: a source that disagrees
+	// with the table's row count must not contribute split files.
+	if err := l.checkSplitRows(t, src, sc.RowsScanned()); err != nil {
+		w.Abort()
+		if !src.Raw {
+			t.Splits.Drop() // the existing split set is misaligned too
+		}
 		return err
 	}
-
-	if err := l.checkSplitRows(t, src, sc.RowsScanned()); err != nil {
+	if err := w.Close(); err != nil {
 		return err
 	}
 	var written int64
@@ -213,6 +219,9 @@ func (l *Loader) loadSidecar(t *catalog.Table, sc *scan.Scanner, src splitfile.S
 		return err
 	}
 	if err := l.checkSplitRows(t, src, sc.RowsScanned()); err != nil {
+		// The registered sidecar is row-misaligned with the table; a
+		// truncated or stale split set self-heals by rebuilding from raw.
+		t.Splits.Drop()
 		return err
 	}
 	t.SetDense(orig, dense)

@@ -26,12 +26,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"nodb/internal/errs"
 	"nodb/internal/metrics"
+	"nodb/internal/vfs"
 )
 
 // DefaultChunkSize is the streaming read granularity. It doubles as the
@@ -124,7 +125,12 @@ type Options struct {
 	// it to the end of the last complete appended row, so a half-written
 	// append is never half-tokenized.
 	MaxOffset int64
+	// FS is the filesystem the scanner reads through; nil means the
+	// real disk. Tests substitute a fault-injecting FS here.
+	FS vfs.FS
 }
+
+func (o Options) fs() vfs.FS { return vfs.Default(o.FS) }
 
 // canceled reports the context's error, if any. Checked once per chunk —
 // cheap relative to a ChunkSize read.
@@ -262,9 +268,9 @@ type portion struct {
 // captured now and a scan reads at most that many bytes, so a file being
 // appended to mid-scan yields the prefix.
 func Open(path string, opts Options) (*Scanner, error) {
-	st, err := os.Stat(path)
+	st, err := opts.fs().Stat(path)
 	if err != nil {
-		return nil, fmt.Errorf("scan: %w", err)
+		return nil, errs.Wrap(errs.ErrRawIO, "scan stat", path, err)
 	}
 	size := st.Size()
 	if opts.MaxOffset > 0 && opts.MaxOffset < size {
@@ -290,9 +296,9 @@ func (s *Scanner) NumRows() (int64, error) {
 		return s.rows, nil
 	}
 	s.countOnce.Do(func() {
-		f, err := os.Open(s.path)
+		f, err := s.opts.fs().Open(s.path)
 		if err != nil {
-			s.countErr = fmt.Errorf("scan: %w", err)
+			s.countErr = errs.Wrap(errs.ErrRawIO, "scan open", s.path, err)
 			return
 		}
 		defer f.Close()
@@ -354,9 +360,9 @@ func (s *Scanner) buildPortions() error {
 	if s.adoptLayout() {
 		return nil
 	}
-	f, err := os.Open(s.path)
+	f, err := s.opts.fs().Open(s.path)
 	if err != nil {
-		return fmt.Errorf("scan: %w", err)
+		return errs.Wrap(errs.ErrRawIO, "scan open", s.path, err)
 	}
 	defer f.Close()
 
@@ -496,7 +502,7 @@ func (s *Scanner) adoptLayout() bool {
 
 // findLineEnd returns the offset just past the first '\n' at or after off,
 // or end if none.
-func findLineEnd(f *os.File, off, end int64, chunk int) (int64, error) {
+func findLineEnd(f vfs.File, off, end int64, chunk int) (int64, error) {
 	buf := make([]byte, chunk)
 	for off < end {
 		n := int64(len(buf))
@@ -514,7 +520,7 @@ func findLineEnd(f *os.File, off, end int64, chunk int) (int64, error) {
 			break
 		}
 		if err != nil {
-			return 0, fmt.Errorf("scan: %w", err)
+			return 0, errs.Wrap(errs.ErrRawIO, "scan read", f.Name(), err)
 		}
 	}
 	return end, nil
@@ -522,7 +528,7 @@ func findLineEnd(f *os.File, off, end int64, chunk int) (int64, error) {
 
 // countRows counts data rows in [off, end). A final line without a
 // trailing newline counts as a row.
-func countRows(f *os.File, off, end int64, o Options) (int64, error) {
+func countRows(f vfs.File, off, end int64, o Options) (int64, error) {
 	c := o.Counters
 	bufSize := int64(o.chunkSize())
 	if span := end - off; span < bufSize {
@@ -550,10 +556,16 @@ func countRows(f *os.File, off, end int64, o Options) (int64, error) {
 			}
 		}
 		if err == io.EOF {
+			if pos < end {
+				// The size captured at Open promised bytes up to end;
+				// the file got shorter underneath us. Counting the
+				// prefix as the whole file would silently drop rows.
+				return 0, errs.New(errs.ErrFileShrunk, "scan count", f.Name())
+			}
 			break
 		}
 		if err != nil {
-			return 0, fmt.Errorf("scan: %w", err)
+			return 0, errs.Wrap(errs.ErrRawIO, "scan read", f.Name(), err)
 		}
 	}
 	if lastByte != '\n' && pos > off {
@@ -703,9 +715,9 @@ dispatch:
 // scanPortion streams one portion and tokenizes its rows, returning how
 // many it tokenized.
 func (s *Scanner) scanPortion(p portion, cols []int, handler RowHandler, tailH RowTailHandler, abandon AbandonFunc) (int64, error) {
-	f, err := os.Open(s.path)
+	f, err := s.opts.fs().Open(s.path)
 	if err != nil {
-		return 0, fmt.Errorf("scan: %w", err)
+		return 0, errs.Wrap(errs.ErrRawIO, "scan open", s.path, err)
 	}
 	defer f.Close()
 	var portionRows int64
@@ -745,12 +757,14 @@ func (s *Scanner) scanPortion(p portion, cols []int, handler RowHandler, tailH R
 				}
 			}
 			if err != nil && err != io.EOF {
-				return portionRows, fmt.Errorf("scan: %w", err)
+				return portionRows, errs.Wrap(errs.ErrRawIO, "scan read", s.path, err)
 			}
 			n = carry + m
 			if m == 0 && err == io.EOF {
-				n = carry
-				pos = p.end
+				// EOF before the portion's end: the file shrank after
+				// its size was captured. Tokenizing the prefix as if it
+				// were the whole portion would return wrong results.
+				return portionRows, errs.New(errs.ErrFileShrunk, "scan read", s.path)
 			}
 		} else {
 			n = carry
@@ -973,9 +987,9 @@ func (s *Scanner) ReadRowAt(rowOff int64, rowID int64, cols []int, handler RowHa
 	if err := s.opts.canceled(); err != nil {
 		return err
 	}
-	f, err := os.Open(s.path)
+	f, err := s.opts.fs().Open(s.path)
 	if err != nil {
-		return fmt.Errorf("scan: %w", err)
+		return errs.Wrap(errs.ErrRawIO, "scan open", s.path, err)
 	}
 	defer f.Close()
 	// Read forward until a full line is available.
@@ -988,7 +1002,7 @@ func (s *Scanner) ReadRowAt(rowOff int64, rowID int64, cols []int, handler RowHa
 			if err == io.EOF {
 				break
 			}
-			return fmt.Errorf("scan: %w", err)
+			return errs.Wrap(errs.ErrRawIO, "scan read", s.path, err)
 		}
 		if s.opts.Counters != nil {
 			s.opts.Counters.AddRawBytesRead(int64(m))

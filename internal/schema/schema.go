@@ -8,10 +8,11 @@ import (
 	"bytes"
 	"fmt"
 	"io"
-	"os"
 	"strings"
 
+	"nodb/internal/errs"
 	"nodb/internal/scan"
+	"nodb/internal/vfs"
 )
 
 // Type is an attribute's inferred data type.
@@ -108,6 +109,9 @@ type DetectOptions struct {
 	// NDJSON probe, "ndjson" skips delimiter sniffing. Empty auto-detects;
 	// anything else is an error.
 	Format string
+	// FS is the filesystem the sample is read through; nil means the
+	// real disk.
+	FS vfs.FS
 }
 
 func (o DetectOptions) sampleBytes() int {
@@ -128,15 +132,17 @@ var candidateDelims = []byte{',', '\t', ';', '|'}
 
 // Detect infers the schema of the file at path by sampling its prefix.
 func Detect(path string, opts DetectOptions) (*Schema, error) {
-	f, err := os.Open(path)
+	f, err := vfs.Default(opts.FS).Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("schema: %w", err)
+		return nil, errs.Wrap(errs.ErrRawIO, "schema detect", path, err)
 	}
 	defer f.Close()
 	buf := make([]byte, opts.sampleBytes())
 	n, err := io.ReadFull(f, buf)
-	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
-		return nil, fmt.Errorf("schema: %w", err)
+	// A short sample (ErrUnexpectedEOF with bytes read) is normal for
+	// small files; the same error with zero bytes is a read fault.
+	if err != nil && err != io.EOF && !(err == io.ErrUnexpectedEOF && n > 0) {
+		return nil, errs.Wrap(errs.ErrRawIO, "schema detect", path, err)
 	}
 	return DetectBytes(buf[:n], opts)
 }

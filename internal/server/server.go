@@ -50,7 +50,9 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -58,6 +60,7 @@ import (
 
 	"nodb"
 	"nodb/internal/cluster"
+	"nodb/internal/errs"
 	"nodb/internal/metrics"
 	"nodb/internal/qos"
 	"nodb/internal/schema"
@@ -155,7 +158,23 @@ type Server struct {
 	refreshes     atomic.Int64 // explicit + follow-loop refreshes that completed
 	refreshErrors atomic.Int64 // refreshes that failed (I/O errors re-statting)
 	grown         atomic.Int64 // refreshes that folded in appended rows incrementally
+	panics        atomic.Int64 // handler panics converted to 500s
+
+	// followMu guards follow, the per-table backoff state of the follow
+	// loop: a table whose refresh keeps failing is retried with
+	// exponentially growing intervals instead of every poll tick.
+	followMu sync.Mutex
+	follow   map[string]*followState
 }
+
+// followState is one followed table's refresh-failure backoff.
+type followState struct {
+	failures int       // consecutive refresh failures
+	nextTry  time.Time // do not re-poll before this
+}
+
+// followBackoffCap bounds the follow loop's per-table retry interval.
+const followBackoffCap = 5 * time.Minute
 
 // New creates a Server around cfg.DB.
 func New(cfg Config) *Server {
@@ -228,8 +247,10 @@ func (s *Server) route(path string, h http.HandlerFunc) {
 }
 
 // wrap applies the cross-cutting response contract: every response
-// carries an X-Request-Id (echoed from the request, or generated), and
-// deprecated aliases advertise their successor.
+// carries an X-Request-Id (echoed from the request, or generated),
+// deprecated aliases advertise their successor, and a panicking handler
+// is converted into a 500 with the v1 error envelope instead of killing
+// the connection (and, without http.Server's recovery, the daemon).
 func (s *Server) wrap(h http.HandlerFunc, successor string) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-Id")
@@ -241,8 +262,43 @@ func (s *Server) wrap(h http.HandlerFunc, successor string) http.Handler {
 			w.Header().Set("Deprecation", "true")
 			w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
 		}
-		h(w, r)
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panics.Add(1)
+				log.Printf("nodb/server: panic serving %s %s (request %s): %v\n%s",
+					r.Method, r.URL.Path, id, rec, debug.Stack())
+				if !sw.wrote {
+					writeError(w, http.StatusInternalServerError, "internal error (request %s)", id)
+				}
+			}
+		}()
+		h(sw, r)
 	})
+}
+
+// statusWriter tracks whether a handler wrote anything, so the panic
+// recovery knows if a clean error envelope can still be sent.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards streaming flushes (the NDJSON endpoints rely on it).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // newRequestID generates a fresh 16-hex-digit request id.
@@ -287,12 +343,18 @@ func (s *Server) followLoop(interval time.Duration) {
 	for {
 		select {
 		case <-tick.C:
+			now := time.Now()
 			for _, name := range s.db.Followed() {
+				if !s.followDue(name, now) {
+					continue
+				}
 				res, err := s.db.Refresh(name)
 				if err != nil {
 					s.refreshErrors.Add(1)
+					s.followFailed(name, interval, now)
 					continue
 				}
+				s.followOK(name)
 				s.refreshes.Add(1)
 				if res.Grown {
 					s.grown.Add(1)
@@ -302,6 +364,64 @@ func (s *Server) followLoop(interval time.Duration) {
 			return
 		}
 	}
+}
+
+// followDue reports whether a followed table should be polled this tick,
+// honoring its failure backoff.
+func (s *Server) followDue(name string, now time.Time) bool {
+	s.followMu.Lock()
+	defer s.followMu.Unlock()
+	st, ok := s.follow[name]
+	if !ok {
+		return true
+	}
+	return !now.Before(st.nextTry)
+}
+
+// followFailed records a refresh failure and doubles the table's retry
+// delay: interval, 2*interval, 4*interval, ... capped at
+// followBackoffCap. A permanently broken file then costs one refresh
+// attempt per cap window instead of one per tick.
+func (s *Server) followFailed(name string, interval time.Duration, now time.Time) {
+	s.followMu.Lock()
+	defer s.followMu.Unlock()
+	if s.follow == nil {
+		s.follow = make(map[string]*followState)
+	}
+	st := s.follow[name]
+	if st == nil {
+		st = &followState{}
+		s.follow[name] = st
+	}
+	st.failures++
+	delay := interval << (st.failures - 1)
+	if st.failures > 20 || delay > followBackoffCap || delay <= 0 {
+		delay = followBackoffCap
+	}
+	st.nextTry = now.Add(delay)
+}
+
+// followOK clears a table's backoff after a successful refresh.
+func (s *Server) followOK(name string) {
+	s.followMu.Lock()
+	defer s.followMu.Unlock()
+	delete(s.follow, name)
+}
+
+// followBackoffs snapshots the tables currently backing off: name →
+// consecutive failures. Exposed in /v1/stats so an operator can see that
+// follow mode is alive but a specific table keeps failing.
+func (s *Server) followBackoffs() map[string]int {
+	s.followMu.Lock()
+	defer s.followMu.Unlock()
+	if len(s.follow) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(s.follow))
+	for name, st := range s.follow {
+		out[name] = st.failures
+	}
+	return out
 }
 
 // Close stops the periodic snapshot flusher and follow loop (if any) and
@@ -435,6 +555,10 @@ type serverStatsJSON struct {
 	Refreshes      int64 `json:"refreshes"`
 	RefreshErrors  int64 `json:"refresh_errors"`
 	Grown          int64 `json:"grown"`
+	Panics         int64 `json:"panics"`
+	// RefreshBackoff lists followed tables whose refreshes keep failing:
+	// table → consecutive failures (absent when everything is healthy).
+	RefreshBackoff map[string]int `json:"refresh_backoff,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -591,6 +715,10 @@ func errStatus(err error) int {
 	case errors.Is(err, context.Canceled):
 		// Client went away (or server shutting down) mid-query.
 		return http.StatusServiceUnavailable
+	case errors.Is(err, errs.ErrRawIO), errors.Is(err, errs.ErrFileShrunk),
+		errors.Is(err, errs.ErrDiskFull), errors.Is(err, errs.ErrSnapshotCorrupt):
+		// Classified storage failures: server faults, not caller bugs.
+		return http.StatusInternalServerError
 	case errors.As(err, &pathErr):
 		// The raw file vanished or became unreadable mid-query: a server
 		// fault, not a caller bug.
@@ -1061,11 +1189,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Refreshes:      s.refreshes.Load(),
 			RefreshErrors:  s.refreshErrors.Load(),
 			Grown:          s.grown.Load(),
+			Panics:         s.panics.Load(),
+			RefreshBackoff: s.followBackoffs(),
 		},
 	})
 }
 
+// handleHealthz is the liveness probe. It answers 200 as long as the
+// process serves requests; when the snapshot tier has degraded to
+// memory-only after an out-of-space write, the body says so — the node
+// still serves correct results, it just cannot persist adaptive state.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.db.SnapStats().Degraded {
+		writeJSON(w, http.StatusOK, map[string]string{
+			"status": "degraded",
+			"reason": "snapshot tier disk full; running memory-only",
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 

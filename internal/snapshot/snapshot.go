@@ -43,10 +43,11 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
-	"os"
 	"sort"
 
+	"nodb/internal/errs"
 	"nodb/internal/schema"
+	"nodb/internal/vfs"
 )
 
 // Magic and version identify the file format. Bump version on any layout
@@ -74,8 +75,10 @@ var ErrStale = errors.New("snapshot: stale (raw file changed)")
 
 // ErrCorrupt reports a snapshot section whose framing or checksum is
 // invalid (torn write, truncation, bit rot). Corruption never surfaces to
-// the query path: the affected structure is simply not restored.
-var ErrCorrupt = errors.New("snapshot: corrupt")
+// the query path: the affected structure is simply not restored. It
+// matches errs.ErrSnapshotCorrupt, so callers outside this package can
+// classify through the engine-wide taxonomy.
+var ErrCorrupt = fmt.Errorf("snapshot: %w", errs.ErrSnapshotCorrupt)
 
 // Sig is the raw file's identity: any edit to the file changes it, which
 // invalidates every snapshot keyed by the old value. It mirrors the
@@ -495,7 +498,7 @@ type sectionInfo struct {
 // and CRC-checked only when a structure is actually restored. Reader is
 // not safe for concurrent use; the catalog serializes access.
 type Reader struct {
-	f        *os.File
+	f        vfs.File
 	sig      Sig
 	rows     int64
 	sections []sectionInfo
@@ -511,7 +514,12 @@ type Reader struct {
 // that fails to parse returns ErrCorrupt; a signature mismatch returns
 // ErrStale. onRead (may be nil) observes every payload byte read.
 func OpenReader(path string, want Sig, onRead func(int64)) (*Reader, error) {
-	return openReader(path, &want, onRead)
+	return openReader(nil, path, &want, onRead)
+}
+
+// OpenReaderFS is OpenReader through an explicit filesystem.
+func OpenReaderFS(fsys vfs.FS, path string, want Sig, onRead func(int64)) (*Reader, error) {
+	return openReader(fsys, path, &want, onRead)
 }
 
 // OpenReaderAny opens a snapshot without a signature check: the stored
@@ -519,11 +527,16 @@ func OpenReader(path string, want Sig, onRead func(int64)) (*Reader, error) {
 // snapshot is usable (e.g. whether the raw file is a prefix-stable growth
 // of the snapshotted version). Everything else matches OpenReader.
 func OpenReaderAny(path string, onRead func(int64)) (*Reader, error) {
-	return openReader(path, nil, onRead)
+	return openReader(nil, path, nil, onRead)
 }
 
-func openReader(path string, want *Sig, onRead func(int64)) (*Reader, error) {
-	f, err := os.Open(path)
+// OpenReaderAnyFS is OpenReaderAny through an explicit filesystem.
+func OpenReaderAnyFS(fsys vfs.FS, path string, onRead func(int64)) (*Reader, error) {
+	return openReader(fsys, path, nil, onRead)
+}
+
+func openReader(fsys vfs.FS, path string, want *Sig, onRead func(int64)) (*Reader, error) {
+	f, err := vfs.Default(fsys).Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -923,7 +936,12 @@ func (r *Reader) Close() error {
 // and always wanted whole). Semantics match OpenReader for staleness and
 // corruption; a truncated tail yields ErrCorrupt.
 func DecodeAll(path string, want Sig, onRead func(int64)) (*Table, error) {
-	r, err := OpenReader(path, want, onRead)
+	return DecodeAllFS(nil, path, want, onRead)
+}
+
+// DecodeAllFS is DecodeAll through an explicit filesystem.
+func DecodeAllFS(fsys vfs.FS, path string, want Sig, onRead func(int64)) (*Table, error) {
+	r, err := openReader(fsys, path, &want, onRead)
 	if err != nil {
 		return nil, err
 	}

@@ -8,7 +8,9 @@ import (
 	"path/filepath"
 	"sync/atomic"
 
+	"nodb/internal/errs"
 	"nodb/internal/metrics"
+	"nodb/internal/vfs"
 )
 
 // Store manages one cache directory of snapshot and spill files. All
@@ -34,12 +36,25 @@ type Store struct {
 	// log.Printf). Replaceable for tests.
 	Logf func(format string, args ...any)
 
+	// FS is the filesystem the store reads and writes through; nil
+	// means the real disk. Set before first use.
+	FS vfs.FS
+
 	hits          atomic.Int64
 	misses        atomic.Int64
 	saves         atomic.Int64
 	spills        atomic.Int64
 	invalidations atomic.Int64
+
+	// degraded marks the store as memory-only: a save or spill hit an
+	// out-of-space condition, so the disk tier is sacrificed and the
+	// engine keeps serving from memory. The next successful save
+	// clears it (space was freed).
+	degraded    atomic.Bool
+	writeErrors atomic.Int64
 }
+
+func (s *Store) fs() vfs.FS { return vfs.Default(s.FS) }
 
 // Stats is a point-in-time snapshot of the store's activity.
 type Stats struct {
@@ -59,6 +74,12 @@ type Stats struct {
 	// Invalidations counts stale or corrupt files discarded (raw file
 	// edits, torn writes, truncation).
 	Invalidations int64 `json:"invalidations"`
+	// Degraded reports that the store is running memory-only after an
+	// out-of-space write failure; it self-heals on the next save that
+	// succeeds.
+	Degraded bool `json:"degraded"`
+	// WriteErrors counts failed snapshot/spill writes.
+	WriteErrors int64 `json:"write_errors"`
 }
 
 // NewStore creates a store over dir. The directory is created lazily on
@@ -80,8 +101,14 @@ func (s *Store) Stats() Stats {
 		Saves:         s.saves.Load(),
 		Spills:        s.spills.Load(),
 		Invalidations: s.invalidations.Load(),
+		Degraded:      s.degraded.Load(),
+		WriteErrors:   s.writeErrors.Load(),
 	}
 }
+
+// Degraded reports whether the store is running memory-only after an
+// out-of-space write failure.
+func (s *Store) Degraded() bool { return s.degraded.Load() }
 
 // Key derives the file-name key for a table: the sanitized table name
 // plus a hash of the raw file's absolute path, so two tables (or the same
@@ -123,23 +150,24 @@ func (s *Store) SplitSpillDir(key string) string { return filepath.Join(s.dir, k
 // leaves either the old file or a temp file the next open ignores; the
 // per-section CRCs catch everything else.
 func (s *Store) save(path string, sig Sig, t *Table) error {
-	if err := os.MkdirAll(s.dir, 0o755); err != nil {
-		return err
+	fsys := s.fs()
+	if err := fsys.MkdirAll(s.dir, 0o755); err != nil {
+		return errs.ClassifyWrite("snapshot mkdir", s.dir, err)
 	}
-	tmp, err := os.CreateTemp(s.dir, filepath.Base(path)+".tmp*")
+	tmp, err := fsys.CreateTemp(s.dir, filepath.Base(path)+".tmp*")
 	if err != nil {
-		return err
+		return errs.ClassifyWrite("snapshot create", path, err)
 	}
 	n, err := Encode(tmp, sig, t)
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}
 	if err == nil {
-		err = os.Rename(tmp.Name(), path)
+		err = fsys.Rename(tmp.Name(), path)
 	}
 	if err != nil {
-		os.Remove(tmp.Name())
-		return err
+		fsys.Remove(tmp.Name())
+		return errs.ClassifyWrite("snapshot write", path, err)
 	}
 	if s.counters != nil {
 		s.counters.AddSnapshotBytesWritten(n)
@@ -147,11 +175,27 @@ func (s *Store) save(path string, sig Sig, t *Table) error {
 	return nil
 }
 
+// noteSaveResult maintains the degraded flag: out-of-space failures
+// enter degraded (memory-only) mode, any successful save leaves it.
+func (s *Store) noteSaveResult(err error) {
+	if err == nil {
+		if s.degraded.CompareAndSwap(true, false) {
+			s.Logf("nodb/snapshot: disk tier recovered; leaving memory-only mode")
+		}
+		return
+	}
+	s.writeErrors.Add(1)
+	if errs.IsDiskFull(err) && s.degraded.CompareAndSwap(false, true) {
+		s.Logf("nodb/snapshot: disk full; degrading to memory-only operation")
+	}
+}
+
 // Save writes the full snapshot for key. Failures are logged and counted
 // but not returned to the query path; the error is for callers that want
 // to surface it (DB.Snapshot).
 func (s *Store) Save(key string, sig Sig, t *Table) error {
 	err := s.save(s.SnapPath(key), sig, t)
+	s.noteSaveResult(err)
 	if err != nil {
 		s.Logf("nodb/snapshot: saving %s: %v", s.SnapPath(key), err)
 		return err
@@ -166,6 +210,7 @@ func (s *Store) Save(key string, sig Sig, t *Table) error {
 // SaveSpill writes one evicted structure for key. Counted as a spill.
 func (s *Store) SaveSpill(key, what string, sig Sig, t *Table) error {
 	err := s.save(s.SpillPath(key, what), sig, t)
+	s.noteSaveResult(err)
 	if err != nil {
 		s.Logf("nodb/snapshot: spilling %s: %v", s.SpillPath(key, what), err)
 		return err
@@ -179,7 +224,7 @@ func (s *Store) SaveSpill(key, what string, sig Sig, t *Table) error {
 
 // invalidate removes a stale or corrupt file and counts it.
 func (s *Store) invalidate(path string, err error) {
-	os.Remove(path)
+	s.fs().Remove(path)
 	s.invalidations.Add(1)
 	if s.counters != nil {
 		s.counters.AddSnapshotInvalidation(1)
@@ -202,7 +247,7 @@ func (s *Store) onRead() func(int64) {
 // is usable — with the damage counted once here.
 func (s *Store) Open(key string, sig Sig) *Reader {
 	path := s.SnapPath(key)
-	r, err := OpenReader(path, sig, s.onRead())
+	r, err := OpenReaderFS(s.FS, path, sig, s.onRead())
 	switch {
 	case err == nil:
 		s.hits.Add(1)
@@ -237,7 +282,7 @@ func (s *Store) Open(key string, sig Sig) *Reader {
 // check would discard. Files ok rejects are invalidated.
 func (s *Store) OpenVerify(key string, ok func(Sig) bool) *Reader {
 	path := s.SnapPath(key)
-	r, err := OpenReaderAny(path, s.onRead())
+	r, err := OpenReaderAnyFS(s.FS, path, s.onRead())
 	if err == nil && !ok(r.Sig()) {
 		r.Close()
 		r, err = nil, ErrStale
@@ -283,10 +328,10 @@ func (s *Store) CountCorrupt(key string, err error) {
 // or corrupt files are invalidated.
 func (s *Store) LoadSpill(key, what string, sig Sig) *Table {
 	path := s.SpillPath(key, what)
-	t, err := DecodeAll(path, sig, s.onRead())
+	t, err := DecodeAllFS(s.FS, path, sig, s.onRead())
 	switch {
 	case err == nil:
-		os.Remove(path) // one-shot: re-eviction re-spills current state
+		s.fs().Remove(path) // one-shot: re-eviction re-spills current state
 		s.hits.Add(1)
 		if s.counters != nil {
 			s.counters.AddSnapshotHit(1)
@@ -302,7 +347,7 @@ func (s *Store) LoadSpill(key, what string, sig Sig) *Table {
 
 // HasSpill reports whether a spill file exists for (key, what).
 func (s *Store) HasSpill(key, what string) bool {
-	_, err := os.Stat(s.SpillPath(key, what))
+	_, err := s.fs().Stat(s.SpillPath(key, what))
 	return err == nil
 }
 
@@ -310,10 +355,11 @@ func (s *Store) HasSpill(key, what string) bool {
 // spilled split directory. Used when the raw file changed (the files
 // would self-invalidate anyway; removing them reclaims the space now).
 func (s *Store) Remove(key string) {
-	os.Remove(s.SnapPath(key))
-	matches, _ := filepath.Glob(filepath.Join(s.dir, key+".*.spill"))
+	fsys := s.fs()
+	fsys.Remove(s.SnapPath(key))
+	matches, _ := fsys.Glob(filepath.Join(s.dir, key+".*.spill"))
 	for _, m := range matches {
-		os.Remove(m)
+		fsys.Remove(m)
 	}
 	os.RemoveAll(s.SplitSpillDir(key))
 }

@@ -17,7 +17,9 @@ import (
 	"sort"
 	"sync"
 
+	"nodb/internal/errs"
 	"nodb/internal/metrics"
+	"nodb/internal/vfs"
 )
 
 // Source describes where the values of one attribute can be read from.
@@ -58,7 +60,13 @@ type Registry struct {
 	rests    []restFile     // residual files, most recent last
 	counters *metrics.Counters
 	acct     Accountant
+
+	// FS is the filesystem split files are written and read through;
+	// nil means the real disk. Set before the registry is shared.
+	FS vfs.FS
 }
+
+func (r *Registry) fs() vfs.FS { return vfs.Default(r.FS) }
 
 // SetAccountant attaches the byte-footprint sink (the memory governor's
 // handle for this registry). Call before the registry is shared.
@@ -198,9 +206,9 @@ type Writer struct {
 	reg      *Registry
 	plan     SplitPlan
 	locals   []int // sorted local column indices with sidecars
-	files    []*os.File
+	files    []vfs.File
 	bufs     []*bufio.Writer
-	restFile *os.File
+	restFile vfs.File
 	restBuf  *bufio.Writer
 	paths    []string
 	written  int64
@@ -209,8 +217,8 @@ type Writer struct {
 
 // NewWriter opens output files for the given plan.
 func (r *Registry) NewWriter(plan SplitPlan) (*Writer, error) {
-	if err := os.MkdirAll(r.dir, 0o755); err != nil {
-		return nil, fmt.Errorf("splitfile: %w", err)
+	if err := r.fs().MkdirAll(r.dir, 0o755); err != nil {
+		return nil, errs.ClassifyWrite("splitfile mkdir", r.dir, fmt.Errorf("splitfile: %w", err))
 	}
 	r.mu.Lock()
 	r.seq++
@@ -231,16 +239,16 @@ func (r *Registry) NewWriter(plan SplitPlan) (*Writer, error) {
 			w.restFile.Close()
 		}
 		for _, p := range w.paths {
-			os.Remove(p)
+			r.fs().Remove(p)
 		}
 	}
 	for _, local := range w.locals {
 		orig := plan.Sidecars[local]
 		path := filepath.Join(r.dir, fmt.Sprintf("%s.c%d.%d.col", r.base, orig, seq))
-		f, err := os.Create(path)
+		f, err := r.fs().Create(path)
 		if err != nil {
 			cleanup()
-			return nil, fmt.Errorf("splitfile: %w", err)
+			return nil, errs.ClassifyWrite("splitfile create", path, fmt.Errorf("splitfile: %w", err))
 		}
 		w.files = append(w.files, f)
 		w.bufs = append(w.bufs, bufio.NewWriterSize(f, 256<<10))
@@ -248,10 +256,10 @@ func (r *Registry) NewWriter(plan SplitPlan) (*Writer, error) {
 	}
 	if len(plan.RestCols) > 0 {
 		path := filepath.Join(r.dir, fmt.Sprintf("%s.rest%d.%d.csv", r.base, plan.RestCols[0], seq))
-		f, err := os.Create(path)
+		f, err := r.fs().Create(path)
 		if err != nil {
 			cleanup()
-			return nil, fmt.Errorf("splitfile: %w", err)
+			return nil, errs.ClassifyWrite("splitfile create", path, fmt.Errorf("splitfile: %w", err))
 		}
 		w.restFile = f
 		w.restBuf = bufio.NewWriterSize(f, 256<<10)
@@ -295,6 +303,16 @@ func (w *Writer) WriteRow(fields [][]byte, tail []byte) error {
 	return nil
 }
 
+// Abort closes and removes the partial outputs without registering
+// anything. Callers whose row feed stopped early — a scan error, a
+// cancelled query — must Abort rather than Close: the files hold a
+// prefix of the table and registering them would serve truncated
+// columns to every later query.
+func (w *Writer) Abort() {
+	w.failed = true
+	_ = w.Close()
+}
+
 // Close flushes, registers the new files, and retires residual files that
 // are now fully superseded. On any earlier write failure it removes the
 // partial outputs instead.
@@ -322,10 +340,10 @@ func (w *Writer) Close() error {
 	}
 	if w.failed || firstErr != nil {
 		for _, p := range w.paths {
-			os.Remove(p)
+			w.reg.fs().Remove(p)
 		}
 		if firstErr != nil {
-			return fmt.Errorf("splitfile: %w", firstErr)
+			return errs.ClassifyWrite("splitfile write", w.reg.rawPath, fmt.Errorf("splitfile: %w", firstErr))
 		}
 		return fmt.Errorf("splitfile: writer failed")
 	}
@@ -340,7 +358,7 @@ func (w *Writer) Close() error {
 			r.colFiles[orig] = w.paths[i]
 			registered += fileSize(w.paths[i])
 		} else {
-			os.Remove(w.paths[i]) // a concurrent load beat us; keep theirs
+			r.fs().Remove(w.paths[i]) // a concurrent load beat us; keep theirs
 		}
 	}
 	if len(w.plan.RestCols) > 0 {
@@ -487,16 +505,16 @@ func (r *Registry) SpillTo(dir string) (Manifest, int64, error) {
 	if len(r.colFiles) == 0 && len(r.rests) == 0 {
 		return Manifest{Seq: r.seq, Sidecars: map[int]string{}}, 0, nil
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return Manifest{}, 0, fmt.Errorf("splitfile: %w", err)
+	if err := r.fs().MkdirAll(dir, 0o755); err != nil {
+		return Manifest{}, 0, errs.ClassifyWrite("splitfile spill", dir, fmt.Errorf("splitfile: %w", err))
 	}
 	m := Manifest{Seq: r.seq, Sidecars: make(map[int]string, len(r.colFiles))}
 	var moved int64
 	move := func(p string) (string, bool) {
 		dst := filepath.Join(dir, filepath.Base(p))
 		sz := fileSize(p)
-		if err := os.Rename(p, dst); err != nil {
-			os.Remove(p) // cross-device or permission trouble: plain evict
+		if err := r.fs().Rename(p, dst); err != nil {
+			r.fs().Remove(p) // cross-device or permission trouble: plain evict
 			return "", false
 		}
 		moved += sz
@@ -530,7 +548,7 @@ type Extender struct {
 	reg     *Registry
 	delim   byte
 	cols    []int // original attribute ids with sidecars, ascending
-	files   []*os.File
+	files   []vfs.File
 	bufs    []*bufio.Writer
 	rests   [][]int // column sets of the residual files, same order
 	written int64
@@ -538,8 +556,8 @@ type Extender struct {
 }
 
 // extOpen opens path for appending.
-func extOpen(path string) (*os.File, error) {
-	return os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+func (r *Registry) extOpen(path string) (vfs.File, error) {
+	return r.fs().OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
 }
 
 // NewExtender opens every registered split file for appending. Returns
@@ -572,7 +590,7 @@ func (r *Registry) NewExtender() (*Extender, error) {
 		return nil, fmt.Errorf("splitfile: %w", err)
 	}
 	for _, s := range sides {
-		f, err := extOpen(s.path)
+		f, err := r.extOpen(s.path)
 		if err != nil {
 			return fail(err)
 		}
@@ -581,7 +599,7 @@ func (r *Registry) NewExtender() (*Extender, error) {
 		e.bufs = append(e.bufs, bufio.NewWriterSize(f, 256<<10))
 	}
 	for _, rf := range rests {
-		f, err := extOpen(rf.path)
+		f, err := r.extOpen(rf.path)
 		if err != nil {
 			return fail(err)
 		}
@@ -685,10 +703,10 @@ func (r *Registry) Drop() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, p := range r.colFiles {
-		os.Remove(p)
+		r.fs().Remove(p)
 	}
 	for _, rf := range r.rests {
-		os.Remove(rf.path)
+		r.fs().Remove(rf.path)
 	}
 	r.colFiles = make(map[int]string)
 	r.rests = nil

@@ -1,0 +1,353 @@
+package vfs
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Op identifies the filesystem operation a fault Rule targets.
+type Op int
+
+const (
+	OpOpen Op = iota
+	OpStat
+	OpRead
+	OpWrite
+	OpCreate
+	OpRename
+	OpRemove
+	OpMkdir
+	OpSync
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpOpen:
+		return "open"
+	case OpStat:
+		return "stat"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpCreate:
+		return "create"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpMkdir:
+		return "mkdir"
+	case OpSync:
+		return "sync"
+	}
+	return "?"
+}
+
+// Rule schedules one fault. A rule fires when its Op matches, the path
+// contains PathContains (empty matches everything), its AfterCalls /
+// AfterBytes thresholds have been crossed, and it has fires left.
+type Rule struct {
+	// Op is the operation class the rule applies to.
+	Op Op
+	// PathContains filters by substring of the file path; "" matches all.
+	PathContains string
+	// Err is the error injected. Required unless the rule only delays
+	// or shrinks.
+	Err error
+	// AfterBytes delays the fault until N bytes have passed through
+	// matching files for this Op (reads for OpRead, writes for
+	// OpWrite). A read or write that would cross the boundary is
+	// truncated to it (a short, successful I/O); the next call fails.
+	// This gives byte-exact "EIO at offset N" and torn-write-at-N.
+	AfterBytes int64
+	// AfterCalls delays the fault until N matching calls succeeded.
+	AfterCalls int
+	// Times is extra fires beyond the first: the rule fires Times+1
+	// times total. 0 fires once; -1 fires without limit.
+	Times int
+	// Delay pauses matching calls before they proceed (slow I/O). A
+	// rule with Delay and no Err only slows, never fails.
+	Delay time.Duration
+	// ShrinkBy makes OpStat report a size smaller by this many bytes
+	// (floor 0) instead of failing. Only meaningful with Op == OpStat
+	// and Err == nil.
+	ShrinkBy int64
+
+	bytes int64 // bytes already passed through
+	calls int   // successful calls already seen
+	fired int
+}
+
+// FaultFS wraps an inner FS and injects faults per a mutable schedule.
+// Safe for concurrent use. The zero value is not usable; call NewFaultFS.
+type FaultFS struct {
+	inner FS
+
+	mu    sync.Mutex
+	rules []*Rule
+
+	// Injected counts faults actually delivered.
+	Injected atomic.Int64
+}
+
+// NewFaultFS wraps inner (nil means the real filesystem).
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: Default(inner)}
+}
+
+// AddRule appends r to the schedule and returns it (for inspection).
+func (f *FaultFS) AddRule(r Rule) *Rule {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rc := r
+	f.rules = append(f.rules, &rc)
+	return &rc
+}
+
+// Clear drops every rule; subsequent calls pass through untouched.
+func (f *FaultFS) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+}
+
+// check consults the schedule for a call of kind op on path. It returns
+// the injected error, or nil to let the call proceed. For byte-metered
+// ops, n is the size of the impending I/O; the returned allow value is
+// how many bytes may proceed (n when unmetered).
+func (f *FaultFS) check(op Op, path string, n int) (allow int, err error) {
+	f.mu.Lock()
+	var delay time.Duration
+	allow = n
+	for _, r := range f.rules {
+		if r.Op != op {
+			continue
+		}
+		if r.PathContains != "" && !strings.Contains(path, r.PathContains) {
+			continue
+		}
+		if r.Times >= 0 && r.fired > r.Times {
+			continue
+		}
+		if r.Delay > 0 && r.Err == nil && r.ShrinkBy == 0 {
+			delay = r.Delay
+			continue
+		}
+		if r.AfterBytes > 0 {
+			remain := r.AfterBytes - r.bytes
+			if remain > 0 && int64(n) <= remain {
+				r.bytes += int64(n)
+				continue // not at the boundary yet
+			}
+			if remain > 0 {
+				// Truncate this I/O to the boundary; fault next call.
+				r.bytes = r.AfterBytes
+				if int64(allow) > remain {
+					allow = int(remain)
+				}
+				continue
+			}
+		}
+		if r.AfterCalls > 0 && r.calls < r.AfterCalls {
+			r.calls++
+			continue
+		}
+		if err == nil && r.Err != nil {
+			r.fired++
+			err = r.Err
+		}
+	}
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err != nil {
+		f.Injected.Add(1)
+		return 0, err
+	}
+	return allow, nil
+}
+
+// shrinkFor returns how many bytes OpStat should subtract for path.
+func (f *FaultFS) shrinkFor(path string) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.rules {
+		if r.Op != OpStat || r.ShrinkBy == 0 || r.Err != nil {
+			continue
+		}
+		if r.PathContains != "" && !strings.Contains(path, r.PathContains) {
+			continue
+		}
+		if r.Times >= 0 && r.fired > r.Times {
+			continue
+		}
+		r.fired++
+		return r.ShrinkBy
+	}
+	return 0
+}
+
+func (f *FaultFS) Open(name string) (File, error) {
+	if _, err := f.check(OpOpen, name, 0); err != nil {
+		return nil, &os.PathError{Op: "open", Path: name, Err: err}
+	}
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f, path: name}, nil
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	op := OpOpen
+	if flag&(os.O_WRONLY|os.O_RDWR|os.O_CREATE) != 0 {
+		op = OpCreate
+	}
+	if _, err := f.check(op, name, 0); err != nil {
+		return nil, &os.PathError{Op: "open", Path: name, Err: err}
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f, path: name}, nil
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	if _, err := f.check(OpCreate, name, 0); err != nil {
+		return nil, &os.PathError{Op: "create", Path: name, Err: err}
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f, path: name}, nil
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	if _, err := f.check(OpCreate, dir+"/"+pattern, 0); err != nil {
+		return nil, &os.PathError{Op: "createtemp", Path: dir, Err: err}
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f, path: file.Name()}, nil
+}
+
+func (f *FaultFS) Stat(name string) (os.FileInfo, error) {
+	if _, err := f.check(OpStat, name, 0); err != nil {
+		return nil, &os.PathError{Op: "stat", Path: name, Err: err}
+	}
+	fi, err := f.inner.Stat(name)
+	if err != nil {
+		return nil, err
+	}
+	if by := f.shrinkFor(name); by > 0 {
+		return shrunkInfo{FileInfo: fi, by: by}, nil
+	}
+	return fi, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if _, err := f.check(OpRename, newpath, 0); err != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: err}
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if _, err := f.check(OpRemove, name, 0); err != nil {
+		return &os.PathError{Op: "remove", Path: name, Err: err}
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if _, err := f.check(OpMkdir, path, 0); err != nil {
+		return &os.PathError{Op: "mkdir", Path: path, Err: err}
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) Glob(pattern string) ([]string, error) { return f.inner.Glob(pattern) }
+
+// shrunkInfo lies about a file's size, simulating a file truncated
+// between stat and read.
+type shrunkInfo struct {
+	os.FileInfo
+	by int64
+}
+
+func (s shrunkInfo) Size() int64 {
+	sz := s.FileInfo.Size() - s.by
+	if sz < 0 {
+		return 0
+	}
+	return sz
+}
+
+// faultFile threads per-call fault checks through reads and writes.
+type faultFile struct {
+	File
+	fs   *FaultFS
+	path string
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	allow, err := ff.fs.check(OpRead, ff.path, len(p))
+	if err != nil {
+		return 0, err
+	}
+	if allow < len(p) && allow >= 0 {
+		p = p[:allow]
+	}
+	return ff.File.Read(p)
+}
+
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	allow, err := ff.fs.check(OpRead, ff.path, len(p))
+	if err != nil {
+		return 0, err
+	}
+	if allow < len(p) {
+		// Short read up to the fault boundary; the next call, starting
+		// exactly at the boundary, gets the injected error. Engine
+		// read loops advance by the returned count, so a short count
+		// with nil error re-issues at the boundary.
+		p = p[:allow]
+	}
+	return ff.File.ReadAt(p, off)
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	allow, err := ff.fs.check(OpWrite, ff.path, len(p))
+	if err != nil {
+		return 0, err
+	}
+	if allow < len(p) && allow >= 0 {
+		// Torn write: persist the prefix, then report failure for the
+		// remainder on the next write (or now if nothing is allowed).
+		n, werr := ff.File.Write(p[:allow])
+		if werr != nil {
+			return n, werr
+		}
+		if _, err2 := ff.fs.check(OpWrite, ff.path, 0); err2 != nil {
+			return n, err2
+		}
+		return n, nil
+	}
+	return ff.File.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if _, err := ff.fs.check(OpSync, ff.path, 0); err != nil {
+		return err
+	}
+	return ff.File.Sync()
+}

@@ -1,0 +1,240 @@
+package vfs_test
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"nodb/internal/vfs"
+)
+
+var errInjected = errors.New("injected fault")
+
+func writeFile(t *testing.T, dir, name string, n int) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + i%26)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFaultOpenFiresOnce(t *testing.T) {
+	path := writeFile(t, t.TempDir(), "f", 10)
+	ffs := vfs.NewFaultFS(nil)
+	ffs.AddRule(vfs.Rule{Op: vfs.OpOpen, Err: errInjected})
+
+	if _, err := ffs.Open(path); !errors.Is(err, errInjected) {
+		t.Fatalf("first open err = %v, want injected", err)
+	}
+	f, err := ffs.Open(path)
+	if err != nil {
+		t.Fatalf("second open should pass through (Times=0 fires once): %v", err)
+	}
+	f.Close()
+	if got := ffs.Injected.Load(); got != 1 {
+		t.Fatalf("Injected = %d, want 1", got)
+	}
+}
+
+func TestFaultTimesUnlimited(t *testing.T) {
+	path := writeFile(t, t.TempDir(), "f", 10)
+	ffs := vfs.NewFaultFS(nil)
+	ffs.AddRule(vfs.Rule{Op: vfs.OpOpen, Err: errInjected, Times: -1})
+	for i := 0; i < 5; i++ {
+		if _, err := ffs.Open(path); !errors.Is(err, errInjected) {
+			t.Fatalf("open %d err = %v, want injected", i, err)
+		}
+	}
+}
+
+func TestFaultAfterBytesShortReadThenError(t *testing.T) {
+	path := writeFile(t, t.TempDir(), "f", 100)
+	ffs := vfs.NewFaultFS(nil)
+	ffs.AddRule(vfs.Rule{Op: vfs.OpRead, Err: errInjected, AfterBytes: 64})
+
+	f, err := ffs.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// The read crossing byte 64 is truncated to the boundary.
+	buf := make([]byte, 80)
+	n, err := f.Read(buf)
+	if err != nil || n != 64 {
+		t.Fatalf("boundary read = (%d, %v), want (64, nil)", n, err)
+	}
+	// The next read, starting exactly at the boundary, gets the fault.
+	if n, err = f.Read(buf); !errors.Is(err, errInjected) {
+		t.Fatalf("post-boundary read = (%d, %v), want injected error", n, err)
+	}
+	// The rule is exhausted; reads pass through again.
+	if n, err = f.Read(buf); err != nil || n != 36 {
+		t.Fatalf("post-fault read = (%d, %v), want (36, nil)", n, err)
+	}
+}
+
+func TestFaultAfterBytesReadAt(t *testing.T) {
+	path := writeFile(t, t.TempDir(), "f", 100)
+	ffs := vfs.NewFaultFS(nil)
+	ffs.AddRule(vfs.Rule{Op: vfs.OpRead, Err: errInjected, AfterBytes: 32})
+
+	f, err := ffs.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	buf := make([]byte, 50)
+	n, err := f.ReadAt(buf, 0)
+	if err != nil || n != 32 {
+		t.Fatalf("boundary ReadAt = (%d, %v), want (32, nil)", n, err)
+	}
+	if _, err = f.ReadAt(buf, 32); !errors.Is(err, errInjected) {
+		t.Fatalf("post-boundary ReadAt err = %v, want injected", err)
+	}
+}
+
+func TestFaultTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out")
+	ffs := vfs.NewFaultFS(nil)
+	ffs.AddRule(vfs.Rule{Op: vfs.OpWrite, Err: syscall.ENOSPC, AfterBytes: 10})
+
+	f, err := ffs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write(make([]byte, 25))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("torn write err = %v, want ENOSPC", err)
+	}
+	if n != 10 {
+		t.Fatalf("torn write persisted %d bytes, want 10", n)
+	}
+	f.Close()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 10 {
+		t.Fatalf("file holds %d bytes after torn write, want exactly the 10-byte prefix", len(b))
+	}
+}
+
+func TestFaultStatShrink(t *testing.T) {
+	path := writeFile(t, t.TempDir(), "f", 50)
+	ffs := vfs.NewFaultFS(nil)
+	ffs.AddRule(vfs.Rule{Op: vfs.OpStat, ShrinkBy: 20})
+
+	fi, err := ffs.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 30 {
+		t.Fatalf("shrunk Size = %d, want 30", fi.Size())
+	}
+	fi, err = ffs.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 50 {
+		t.Fatalf("second stat Size = %d, want the true 50 (rule exhausted)", fi.Size())
+	}
+}
+
+func TestFaultAfterCalls(t *testing.T) {
+	path := writeFile(t, t.TempDir(), "f", 10)
+	ffs := vfs.NewFaultFS(nil)
+	ffs.AddRule(vfs.Rule{Op: vfs.OpOpen, Err: errInjected, AfterCalls: 2})
+
+	for i := 0; i < 2; i++ {
+		f, err := ffs.Open(path)
+		if err != nil {
+			t.Fatalf("open %d should succeed before AfterCalls: %v", i, err)
+		}
+		f.Close()
+	}
+	if _, err := ffs.Open(path); !errors.Is(err, errInjected) {
+		t.Fatalf("third open err = %v, want injected", err)
+	}
+}
+
+func TestFaultPathFilterAndClear(t *testing.T) {
+	dir := t.TempDir()
+	target := writeFile(t, dir, "target.csv", 10)
+	other := writeFile(t, dir, "other.csv", 10)
+	ffs := vfs.NewFaultFS(nil)
+	ffs.AddRule(vfs.Rule{Op: vfs.OpOpen, Err: errInjected, PathContains: "target", Times: -1})
+
+	if f, err := ffs.Open(other); err != nil {
+		t.Fatalf("non-matching path must pass through: %v", err)
+	} else {
+		f.Close()
+	}
+	if _, err := ffs.Open(target); !errors.Is(err, errInjected) {
+		t.Fatalf("matching path err = %v, want injected", err)
+	}
+	ffs.Clear()
+	f, err := ffs.Open(target)
+	if err != nil {
+		t.Fatalf("open after Clear must pass through: %v", err)
+	}
+	f.Close()
+}
+
+func TestFaultCreateAndRename(t *testing.T) {
+	dir := t.TempDir()
+	ffs := vfs.NewFaultFS(nil)
+	ffs.AddRule(vfs.Rule{Op: vfs.OpCreate, Err: syscall.ENOSPC, Times: -1})
+	ffs.AddRule(vfs.Rule{Op: vfs.OpRename, Err: errInjected, Times: -1})
+
+	if _, err := ffs.Create(filepath.Join(dir, "x")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("create err = %v, want ENOSPC", err)
+	}
+	src := writeFile(t, dir, "src", 5)
+	if err := ffs.Rename(src, filepath.Join(dir, "dst")); !errors.Is(err, errInjected) {
+		t.Fatalf("rename err = %v, want injected", err)
+	}
+}
+
+// TestOSPassthrough sanity-checks the passthrough FS against real files.
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	fsys := vfs.Default(nil)
+	f, err := fsys.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := fsys.Open(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(g)
+	g.Close()
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("read back = (%q, %v)", b, err)
+	}
+	fi, err := fsys.Stat(filepath.Join(dir, "f"))
+	if err != nil || fi.Size() != 5 {
+		t.Fatalf("stat = (%v, %v)", fi, err)
+	}
+	matches, err := fsys.Glob(filepath.Join(dir, "*"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("glob = (%v, %v)", matches, err)
+	}
+}

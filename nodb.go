@@ -26,6 +26,7 @@ import (
 
 	"nodb/internal/catalog"
 	"nodb/internal/core"
+	"nodb/internal/errs"
 	"nodb/internal/govern"
 	"nodb/internal/metrics"
 	"nodb/internal/plan"
@@ -34,6 +35,7 @@ import (
 	"nodb/internal/snapshot"
 	"nodb/internal/storage"
 	"nodb/internal/synopsis"
+	"nodb/internal/vfs"
 )
 
 // Policy selects the adaptive loading strategy.
@@ -239,6 +241,31 @@ type Stmt = core.Stmt
 // ErrClosed is returned by queries, preparations and links after Close.
 var ErrClosed = core.ErrClosed
 
+// Typed failure categories, re-exported from the engine's error
+// taxonomy. Any error a query or refresh returns can be classified with
+// errors.Is against these; see internal/errs for the full semantics.
+var (
+	// ErrRawIO marks a failed read of a raw data file.
+	ErrRawIO = errs.ErrRawIO
+	// ErrSnapshotCorrupt marks a snapshot/spill file that failed
+	// validation. It never surfaces from queries (corrupt snapshots
+	// degrade to cold starts); it may surface from explicit Snapshot
+	// round-trips in tests and tools.
+	ErrSnapshotCorrupt = errs.ErrSnapshotCorrupt
+	// ErrDiskFull marks an out-of-space write; the snapshot tier
+	// degrades to memory-only operation instead of failing queries.
+	ErrDiskFull = errs.ErrDiskFull
+	// ErrFileShrunk marks a raw file that got shorter mid-scan.
+	ErrFileShrunk = errs.ErrFileShrunk
+	// ErrShardUnavailable marks a cluster shard that exhausted its
+	// retry budget; with AllowPartial the coordinator reports it in
+	// the trailer instead of failing the query.
+	ErrShardUnavailable = errs.ErrShardUnavailable
+	// ErrCircuitOpen marks a shard request refused locally because
+	// that shard's circuit breaker is open.
+	ErrCircuitOpen = errs.ErrCircuitOpen
+)
+
 // QueryStats is the per-query work accounting attached to results.
 type QueryStats = core.QueryStats
 
@@ -271,6 +298,15 @@ type DB struct {
 // should be an error instead.
 func Open(opts Options) *DB {
 	return &DB{e: core.NewEngine(coreOptions(opts))}
+}
+
+// openFS is the test seam for fault injection: Open with every disk
+// access routed through fsys (see internal/vfs). Chaos tests inject a
+// vfs.FaultFS here; production code always opens against the real disk.
+func openFS(opts Options, fsys vfs.FS) *DB {
+	co := coreOptions(opts)
+	co.FS = fsys
+	return &DB{e: core.NewEngine(co)}
 }
 
 // OpenErr is Open with validation: it rejects an unrecognized
